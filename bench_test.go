@@ -1,0 +1,133 @@
+package friendseeker
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md section 4 for the experiment index). Each
+// benchmark runs its experiment once per iteration and reports the
+// resulting rows through b.Log, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction run. Experiments default to the Quick scale
+// so the whole suite completes in minutes; set FRIENDSEEKER_BENCH_SCALE to
+// "standard" for the calibrated reproduction scale (cmd/experiments -all
+// -scale standard produces the same numbers with nicer formatting).
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/experiment"
+)
+
+// benchScale resolves the benchmark workload scale from the environment.
+func benchScale() experiment.Scale {
+	if os.Getenv("FRIENDSEEKER_BENCH_SCALE") == "standard" {
+		return experiment.Standard
+	}
+	return experiment.Quick
+}
+
+// runExperimentBench runs one experiment per benchmark iteration. The
+// suite is rebuilt every iteration so cached state cannot hide cost.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		suite := experiment.NewSuite(benchScale(), 1)
+		table, err := suite.Run(id)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if i == 0 {
+			var sb strings.Builder
+			if err := table.Format(&sb); err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// Table I: dataset statistics.
+func BenchmarkTable1Stats(b *testing.B) { runExperimentBench(b, "table1") }
+
+// Table II: co-location x co-friend quadrants.
+func BenchmarkTable2Quadrants(b *testing.B) { runExperimentBench(b, "table2") }
+
+// Fig. 1: CDFs of common POIs and common friends.
+func BenchmarkFig1CDFs(b *testing.B) { runExperimentBench(b, "fig1") }
+
+// Fig. 5: CDFs of k-length path counts.
+func BenchmarkFig5PathCDFs(b *testing.B) { runExperimentBench(b, "fig5") }
+
+// Fig. 7: accuracy vs sigma.
+func BenchmarkFig7Sigma(b *testing.B) { runExperimentBench(b, "fig7") }
+
+// Fig. 8: accuracy vs tau.
+func BenchmarkFig8Tau(b *testing.B) { runExperimentBench(b, "fig8") }
+
+// Fig. 9: accuracy vs feature dimension d.
+func BenchmarkFig9Dimension(b *testing.B) { runExperimentBench(b, "fig9") }
+
+// Fig. 10: accuracy vs iteration count.
+func BenchmarkFig10Iterations(b *testing.B) { runExperimentBench(b, "fig10") }
+
+// Fig. 11: FriendSeeker vs the four baselines.
+func BenchmarkFig11Comparison(b *testing.B) { runExperimentBench(b, "fig11") }
+
+// Fig. 12: F1 vs number of co-locations.
+func BenchmarkFig12CoLocations(b *testing.B) { runExperimentBench(b, "fig12") }
+
+// Fig. 13: F1 vs number of check-ins.
+func BenchmarkFig13CheckinVolume(b *testing.B) { runExperimentBench(b, "fig13") }
+
+// Fig. 14: F1 vs hiding proportion.
+func BenchmarkFig14Hiding(b *testing.B) { runExperimentBench(b, "fig14") }
+
+// Fig. 15: F1 vs in-grid blurring proportion.
+func BenchmarkFig15InGridBlur(b *testing.B) { runExperimentBench(b, "fig15") }
+
+// Fig. 16: F1 vs cross-grid blurring proportion.
+func BenchmarkFig16CrossGridBlur(b *testing.B) { runExperimentBench(b, "fig16") }
+
+// Extension: evidence-targeted hiding vs random hiding.
+func BenchmarkDefenseTargeted(b *testing.B) { runExperimentBench(b, "defense-targeted") }
+
+// Ablation A1: the path-count channel of the social proximity feature.
+func BenchmarkAblationPathCount(b *testing.B) { runExperimentBench(b, "ablation-pathcount") }
+
+// Ablation A2: the reachable-subgraph hop bound k.
+func BenchmarkAblationK(b *testing.B) { runExperimentBench(b, "ablation-k") }
+
+// Ablation A3: supervised vs unsupervised autoencoder.
+func BenchmarkAblationAlpha(b *testing.B) { runExperimentBench(b, "ablation-alpha") }
+
+// Ablation A4: adaptive quadtree vs uniform spatial grids.
+func BenchmarkAblationDivision(b *testing.B) { runExperimentBench(b, "ablation-division") }
+
+// BenchmarkEndToEndAttack measures one full train + infer cycle of the
+// public API on a miniature world — the library's end-to-end cost.
+func BenchmarkEndToEndAttack(b *testing.B) {
+	world, err := GenerateWorld(TinyWorld(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	split, err := world.FullView().SplitPairs(0.7, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, _ := world.FullView().AllPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attack, err := New(Config{Sigma: 120, FeatureDim: 16, Epochs: 12, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := attack.Infer(world.Dataset, pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// repository's ablations) on the synthetic worlds and prints them as
+// terminal tables or Markdown.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -all -scale standard -markdown > EXPERIMENTS-results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		runID    = fs.String("run", "", "run one experiment by id (e.g. fig11)")
+		all      = fs.Bool("all", false, "run every experiment in paper order")
+		scale    = fs.String("scale", "standard", "workload scale: quick | standard")
+		seed     = fs.Int64("seed", 1, "suite seed (equal seeds give equal results)")
+		markdown = fs.Bool("markdown", false, "emit GitHub-flavoured Markdown instead of tables")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset (gowalla-like, brightkite-like)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			title, err := experiment.Title(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-20s %s\n", id, title)
+		}
+		return nil
+	}
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.Quick
+	case "standard":
+		sc = experiment.Standard
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or standard)", *scale)
+	}
+	suite := experiment.NewSuite(sc, *seed)
+	if *datasets != "" {
+		names := strings.Split(*datasets, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		if err := suite.RestrictDatasets(names); err != nil {
+			return err
+		}
+	}
+
+	emit := func(t *experiment.Table) error {
+		if *markdown {
+			return t.Markdown(out)
+		}
+		return t.Format(out)
+	}
+
+	switch {
+	case *runID != "":
+		ids := strings.Split(*runID, ",")
+		for _, id := range ids {
+			start := time.Now()
+			t, err := suite.Run(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %.1fs\n", id, time.Since(start).Seconds())
+		}
+		return nil
+	case *all:
+		for _, id := range experiment.IDs() {
+			start := time.Now()
+			t, err := suite.Run(id)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %.1fs\n", id, time.Since(start).Seconds())
+		}
+		return nil
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
+	}
+}

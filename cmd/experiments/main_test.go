@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"table1", "fig16", "ablation-k"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no action should fail")
+	}
+	if err := run([]string{"-scale", "galactic", "-all"}, &out); err == nil {
+		t.Error("unknown scale should fail")
+	}
+	if err := run([]string{"-run", "nope"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "table1", "-scale", "quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gowalla-like") {
+		t.Errorf("table1 output missing dataset row:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-run", "table1", "-scale", "quick", "-markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| Dataset |") {
+		t.Errorf("markdown output malformed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,193 @@
+// Command friendseeker trains the two-phase friendship-inference attack on
+// a labelled check-in trace and attacks a target trace, printing the
+// predicted friendships and (when ground truth is supplied) the attack's
+// precision/recall/F1.
+//
+// Input formats: the CSV trace format of cmd/synthgen, or the original
+// SNAP Gowalla/Brightkite formats via -snap.
+//
+// Usage:
+//
+//	friendseeker -checkins trace.csv -edges truth.csv
+//	friendseeker -checkins loc.txt -edges graph.txt -snap -sigma 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/metrics"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "friendseeker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("friendseeker", flag.ContinueOnError)
+	var (
+		checkinsPath = fs.String("checkins", "", "check-in trace (CSV, or SNAP with -snap)")
+		edgesPath    = fs.String("edges", "", "ground-truth social graph (CSV, or SNAP with -snap)")
+		snap         = fs.Bool("snap", false, "parse inputs in the SNAP Gowalla/Brightkite format")
+		sigma        = fs.Int("sigma", 0, "max POIs per spatial grid (0 = default)")
+		tauDays      = fs.Int("tau", 7, "time-slot length in days")
+		dim          = fs.Int("d", 32, "presence-proximity feature dimension")
+		k            = fs.Int("k", 3, "reachable-subgraph hop bound")
+		epochs       = fs.Int("epochs", 28, "autoencoder training epochs")
+		trainFrac    = fs.Float64("train-frac", 0.7, "fraction of friendships used for training")
+		negRatio     = fs.Float64("neg-ratio", 3, "non-friend pairs per friend pair in the samples")
+		seed         = fs.Int64("seed", 1, "random seed")
+		showEdges    = fs.Bool("print-edges", false, "print every predicted friendship")
+		saveModel    = fs.String("save-model", "", "write the trained model to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkinsPath == "" || *edgesPath == "" {
+		return fmt.Errorf("both -checkins and -edges are required")
+	}
+
+	ds, truth, err := load(*checkinsPath, *edgesPath, *snap)
+	if err != nil {
+		return err
+	}
+	ds, err = ds.FilterMinCheckIns(2) // the paper's preprocessing
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "dataset: %d users, %d POIs, %d check-ins, %d known friendships\n",
+		ds.NumUsers(), ds.NumPOIs(), ds.NumCheckIns(), truth.NumEdges())
+
+	view := &synth.View{Dataset: ds, Truth: truth}
+	split, err := view.SplitPairs(*trainFrac, *negRatio, *seed)
+	if err != nil {
+		return fmt.Errorf("split pairs: %w", err)
+	}
+
+	attack, err := core.New(core.Config{
+		Sigma:      *sigma,
+		Tau:        time.Duration(*tauDays) * 24 * time.Hour,
+		FeatureDim: *dim,
+		K:          *k,
+		Epochs:     *epochs,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := attack.Train(ds, split.TrainPairs, split.TrainLabels); err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
+	rep, err := attack.LastTrainReport()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trained in %.1fs: STD %dx%d (input dim %d), %d phase-2 iterations\n",
+		time.Since(start).Seconds(), rep.SpatialCells, rep.TimeSlots, rep.InputDim, rep.Phase2Iterations)
+
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			return fmt.Errorf("create model file: %w", err)
+		}
+		if err := attack.Save(f); err != nil {
+			f.Close()
+			return fmt.Errorf("save model: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close model file: %w", err)
+		}
+		fmt.Fprintf(out, "saved model to %s\n", *saveModel)
+	}
+
+	pairs, labels := view.AllPairs()
+	start = time.Now()
+	decisions, inferRep, err := attack.Infer(ds, pairs)
+	if err != nil {
+		return fmt.Errorf("infer: %w", err)
+	}
+	fmt.Fprintf(out, "inferred %d pairs in %.1fs (%d refinement iterations)\n",
+		len(pairs), time.Since(start).Seconds(), inferRep.Iterations)
+
+	evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+	if err != nil {
+		return err
+	}
+	conf, err := metrics.Evaluate(evalPreds, split.EvalLabels)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "held-out pairs: %s\n", conf)
+
+	if *showEdges {
+		for i, p := range pairs {
+			if decisions[i] {
+				marker := " "
+				if labels[i] {
+					marker = "*"
+				}
+				fmt.Fprintf(out, "friend%s %d %d\n", marker, p.A, p.B)
+			}
+		}
+	}
+	return nil
+}
+
+// load reads the trace and graph in either format.
+func load(checkinsPath, edgesPath string, snap bool) (*checkin.Dataset, *graph.Graph, error) {
+	cf, err := os.Open(checkinsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ef.Close()
+
+	if snap {
+		pois, checkIns, skipped, err := dataset.LoadSNAPCheckIns(cf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse snap check-ins: %w", err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "friendseeker: skipped %d malformed check-in lines\n", skipped)
+		}
+		ds, err := checkin.NewDataset(pois, checkIns)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges, _, err := dataset.LoadSNAPEdges(ef)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse snap edges: %w", err)
+		}
+		g, err := graph.FromEdges(edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, g, nil
+	}
+
+	ds, err := dataset.ReadCheckInsCSV(cf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse check-ins csv: %w", err)
+	}
+	g, err := dataset.ReadEdgesCSV(ef)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse edges csv: %w", err)
+	}
+	return ds, g, nil
+}

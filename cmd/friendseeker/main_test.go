@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func writeWorld(t *testing.T, dir string) (checkins, edges string) {
+	t.Helper()
+	cfg := synth.Tiny(5)
+	cfg.NumUsers = 50
+	cfg.NumPOIs = 200
+	cfg.SpanWeeks = 6
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkins = filepath.Join(dir, "checkins.csv")
+	edges = filepath.Join(dir, "edges.csv")
+	cf, err := os.Create(checkins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	if err := dataset.WriteCheckInsCSV(cf, w.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	ef, err := os.Create(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	if err := dataset.WriteEdgesCSV(ef, w.Truth); err != nil {
+		t.Fatal(err)
+	}
+	return checkins, edges
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := run([]string{"-checkins", "/nonexistent", "-edges", "/nonexistent"}, &out); err == nil {
+		t.Error("missing files should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	dir := t.TempDir()
+	checkins, edges := writeWorld(t, dir)
+	var out bytes.Buffer
+	err := run([]string{
+		"-checkins", checkins, "-edges", edges,
+		"-sigma", "100", "-d", "8", "-epochs", "8", "-seed", "6",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"dataset:", "trained in", "held-out pairs:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLoadSNAPFormat(t *testing.T) {
+	dir := t.TempDir()
+	snapCheckins := filepath.Join(dir, "snap-checkins.txt")
+	snapEdges := filepath.Join(dir, "snap-edges.txt")
+	ci := "0\t2010-10-19T23:55:27Z\t30.2\t-97.7\t10\n" +
+		"1\t2010-10-18T22:17:43Z\t30.3\t-97.8\t11\n" +
+		"1\t2010-10-18T23:17:43Z\t30.3\t-97.8\t10\n"
+	if err := os.WriteFile(snapCheckins, []byte(ci), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapEdges, []byte("0\t1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, g, err := load(snapCheckins, snapEdges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() != 2 || g.NumEdges() != 1 {
+		t.Errorf("snap load: %d users, %d edges", ds.NumUsers(), g.NumEdges())
+	}
+}

@@ -1,0 +1,100 @@
+// Command synthgen generates a synthetic mobile-social-network trace and
+// writes it as CSV files: a check-in trace and the ground-truth social
+// graph (the offline substitute for the Gowalla/Brightkite SNAP
+// snapshots).
+//
+// Usage:
+//
+//	synthgen -preset gowalla -seed 1 -out ./data
+//	synthgen -preset brightkite -users 200 -out ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
+	var (
+		preset = fs.String("preset", "gowalla", "world preset: gowalla | brightkite | tiny")
+		seed   = fs.Int64("seed", 1, "generator seed (equal seeds give equal worlds)")
+		users  = fs.Int("users", 0, "override the preset's user count")
+		pois   = fs.Int("pois", 0, "override the preset's POI count")
+		weeks  = fs.Int("weeks", 0, "override the preset's trace span in weeks")
+		outDir = fs.String("out", ".", "output directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg synth.Config
+	switch *preset {
+	case "gowalla":
+		cfg = synth.GowallaLike(*seed)
+	case "brightkite":
+		cfg = synth.BrightkiteLike(*seed)
+	case "tiny":
+		cfg = synth.Tiny(*seed)
+	default:
+		return fmt.Errorf("unknown preset %q (want gowalla, brightkite or tiny)", *preset)
+	}
+	if *users > 0 {
+		cfg.NumUsers = *users
+	}
+	if *pois > 0 {
+		cfg.NumPOIs = *pois
+	}
+	if *weeks > 0 {
+		cfg.SpanWeeks = *weeks
+	}
+
+	world, err := synth.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("generate: %w", err)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+	checkinsPath := filepath.Join(*outDir, cfg.Name+"-checkins.csv")
+	edgesPath := filepath.Join(*outDir, cfg.Name+"-edges.csv")
+
+	cf, err := os.Create(checkinsPath)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", checkinsPath, err)
+	}
+	defer cf.Close()
+	if err := dataset.WriteCheckInsCSV(cf, world.Dataset); err != nil {
+		return fmt.Errorf("write check-ins: %w", err)
+	}
+
+	ef, err := os.Create(edgesPath)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", edgesPath, err)
+	}
+	defer ef.Close()
+	if err := dataset.WriteEdgesCSV(ef, world.Truth); err != nil {
+		return fmt.Errorf("write edges: %w", err)
+	}
+
+	fmt.Printf("world %q: %d users, %d POIs, %d check-ins, %d friendships (%d real, %d cyber)\n",
+		cfg.Name, world.Dataset.NumUsers(), world.Dataset.NumPOIs(),
+		world.Dataset.NumCheckIns(), world.Truth.NumEdges(),
+		len(world.RealEdges()), len(world.CyberEdges()))
+	fmt.Println("wrote", checkinsPath)
+	fmt.Println("wrote", edgesPath)
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/dataset"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-preset", "mars"}); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunGeneratesFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-preset", "tiny", "-seed", "2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(filepath.Join(dir, "tiny-checkins.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	ds, err := dataset.ReadCheckInsCSV(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() == 0 || ds.NumCheckIns() == 0 {
+		t.Error("empty generated dataset")
+	}
+	ef, err := os.Open(filepath.Join(dir, "tiny-edges.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	g, err := dataset.ReadEdgesCSV(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Error("empty generated graph")
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-preset", "tiny", "-users", "40", "-pois", "150", "-weeks", "4", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := os.Open(filepath.Join(dir, "tiny-checkins.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	ds, err := dataset.ReadCheckInsCSV(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumUsers() > 40 {
+		t.Errorf("users = %d, want <= 40", ds.NumUsers())
+	}
+}

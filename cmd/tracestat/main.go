@@ -1,0 +1,160 @@
+// Command tracestat prints the paper's empirical statistics (Table I,
+// Table II and the Fig. 1 CDFs) for any check-in trace + social graph,
+// in either the CSV format of cmd/synthgen or the SNAP format of the
+// original Gowalla/Brightkite snapshots.
+//
+// Usage:
+//
+//	tracestat -checkins trace.csv -edges graph.csv
+//	tracestat -checkins loc.txt -edges graph.txt -snap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	var (
+		checkinsPath = fs.String("checkins", "", "check-in trace (CSV, or SNAP with -snap)")
+		edgesPath    = fs.String("edges", "", "social graph (CSV, or SNAP with -snap)")
+		snap         = fs.Bool("snap", false, "parse inputs in the SNAP format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *checkinsPath == "" || *edgesPath == "" {
+		return fmt.Errorf("both -checkins and -edges are required")
+	}
+	ds, g, err := load(*checkinsPath, *edgesPath, *snap)
+	if err != nil {
+		return err
+	}
+	ds, err = ds.FilterMinCheckIns(2)
+	if err != nil {
+		return err
+	}
+	return report(out, ds, g)
+}
+
+// report prints the Table I counts, Table II quadrants and Fig. 1 CDF
+// points for the dataset.
+func report(out io.Writer, ds *checkin.Dataset, g *graph.Graph) error {
+	first, last := ds.Span()
+	fmt.Fprintf(out, "trace: %d POIs, %d users, %d check-ins, %d friendships\n",
+		ds.NumPOIs(), ds.NumUsers(), ds.NumCheckIns(), g.NumEdges())
+	fmt.Fprintf(out, "span: %s .. %s\n\n", first.Format("2006-01-02"), last.Format("2006-01-02"))
+
+	// Per-user check-in distribution.
+	counts := make([]float64, 0, ds.NumUsers())
+	for _, u := range ds.Users() {
+		counts = append(counts, float64(ds.CheckInCount(u)))
+	}
+	sort.Float64s(counts)
+	cdf, err := metrics.NewCDF(counts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "check-ins per user: median %.0f, p90 %.0f, max %.0f; %.1f%% of users have < 25\n\n",
+		cdf.Quantile(0.5), cdf.Quantile(0.9), counts[len(counts)-1], cdf.At(24)*100)
+
+	// Table II quadrants.
+	coloc := ds.CoLocatedPairs(0)
+	users := ds.Users()
+	var q [2][2][2]int // [friend][hasCL][hasCF]
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			p := checkin.MakePair(users[i], users[j])
+			f, cl, cf := 0, 0, 0
+			if g.HasEdge(p.A, p.B) {
+				f = 1
+			}
+			if coloc[p] > 0 {
+				cl = 1
+			}
+			if g.HasCommonNeighbor(p.A, p.B) {
+				cf = 1
+			}
+			q[f][cl][cf]++
+		}
+	}
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "population\tC-L&C-F\tC-F only\tC-L only\tneither")
+	for f := 1; f >= 0; f-- {
+		name := "friends"
+		if f == 0 {
+			name = "non-friends"
+		}
+		total := q[f][0][0] + q[f][0][1] + q[f][1][0] + q[f][1][1]
+		if total == 0 {
+			continue
+		}
+		pctOf := func(n int) string { return fmt.Sprintf("%.2f%%", 100*float64(n)/float64(total)) }
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", name,
+			pctOf(q[f][1][1]), pctOf(q[f][0][1]), pctOf(q[f][1][0]), pctOf(q[f][0][0]))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// load reads the trace and graph in either format.
+func load(checkinsPath, edgesPath string, snap bool) (*checkin.Dataset, *graph.Graph, error) {
+	cf, err := os.Open(checkinsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cf.Close()
+	ef, err := os.Open(edgesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ef.Close()
+
+	if snap {
+		pois, checkIns, _, err := dataset.LoadSNAPCheckIns(cf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse snap check-ins: %w", err)
+		}
+		ds, err := checkin.NewDataset(pois, checkIns)
+		if err != nil {
+			return nil, nil, err
+		}
+		edges, _, err := dataset.LoadSNAPEdges(ef)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse snap edges: %w", err)
+		}
+		g, err := graph.FromEdges(edges)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, g, nil
+	}
+	ds, err := dataset.ReadCheckInsCSV(cf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse check-ins csv: %w", err)
+	}
+	g, err := dataset.ReadEdgesCSV(ef)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse edges csv: %w", err)
+	}
+	return ds, g, nil
+}

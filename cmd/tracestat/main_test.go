@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing flags should fail")
+	}
+	if err := run([]string{"-checkins", "/none", "-edges", "/none"}, &out); err == nil {
+		t.Error("missing files should fail")
+	}
+}
+
+func TestRunOnSynthetic(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "c.csv")
+	ep := filepath.Join(dir, "e.csv")
+	cf, err := os.Create(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCheckInsCSV(cf, w.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	ef, err := os.Create(ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteEdgesCSV(ef, w.Truth); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-checkins", cp, "-edges", ep}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"trace:", "span:", "check-ins per user:", "friends", "non-friends", "neither"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package friendseeker_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/friendseeker/friendseeker"
+)
+
+// Example demonstrates the full attack lifecycle on a synthetic world.
+// It is compile-checked but not executed during tests (training takes a
+// few seconds); run examples/quickstart for the live version.
+func Example() {
+	// Generate a miniature world (or load real traces with
+	// LoadSNAPCheckIns / LoadSNAPEdges).
+	world, err := friendseeker.GenerateWorld(friendseeker.TinyWorld(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's 70/30 labelled-pair evaluation protocol.
+	split, err := world.FullView().SplitPairs(0.7, 3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the two-phase attack.
+	attack, err := friendseeker.New(friendseeker.Config{Sigma: 120, FeatureDim: 16, Epochs: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		log.Fatal(err)
+	}
+
+	// Decide every pair of the target dataset.
+	pairs, _ := world.FullView().AllPairs()
+	decisions, report, err := attack.Infer(world.Dataset, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score on the held-out pairs.
+	evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf, err := friendseeker.Evaluate(evalPreds, split.EvalLabels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iterations=%d F1=%.2f", report.Iterations, conf.F1())
+}

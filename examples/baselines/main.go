@@ -1,0 +1,92 @@
+// Baselines: side-by-side comparison of FriendSeeker against the four
+// methods of the paper's Section IV-A — co-location heuristics, centroid
+// distance, walk2friends and user-graph embedding — on one synthetic
+// world. This is a minimal, self-contained version of the Fig. 11
+// experiment (run `go run ./cmd/experiments -run fig11` for the full one).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/friendseeker/friendseeker"
+	"github.com/friendseeker/friendseeker/internal/baselines"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baselines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	world, err := friendseeker.GenerateWorld(friendseeker.TinyWorld(31))
+	if err != nil {
+		return err
+	}
+	split, err := world.FullView().SplitPairs(0.7, 3, 32)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %d users, %d check-ins; %d training pairs, %d held-out pairs\n\n",
+		world.Dataset.NumUsers(), world.Dataset.NumCheckIns(),
+		len(split.TrainPairs), len(split.EvalPairs))
+	fmt.Printf("%-24s %8s %8s %8s %8s\n", "method", "F1", "recall", "precis.", "seconds")
+
+	// FriendSeeker.
+	attack, err := friendseeker.New(friendseeker.Config{
+		Sigma: 120, FeatureDim: 16, Epochs: 20, Seed: 33,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		return err
+	}
+	pairs, _ := world.FullView().AllPairs()
+	decisions, _, err := attack.Infer(world.Dataset, pairs)
+	if err != nil {
+		return err
+	}
+	evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+	if err != nil {
+		return err
+	}
+	if err := report("friendseeker", evalPreds, split.EvalLabels, time.Since(start)); err != nil {
+		return err
+	}
+
+	// The four baselines share one training sample with the attack.
+	for _, m := range []baselines.Method{
+		baselines.NewCoLocation(41),
+		baselines.NewDistance(),
+		baselines.NewWalk2Friends(42),
+		baselines.NewUserGraphEmbedding(43),
+	} {
+		start := time.Now()
+		if err := m.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		preds, err := m.Predict(world.Dataset, split.EvalPairs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		if err := report(m.Name(), preds, split.EvalLabels, time.Since(start)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func report(name string, preds, labels []bool, took time.Duration) error {
+	conf, err := friendseeker.Evaluate(preds, labels)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %8.3f %8.3f %8.3f %8.1f\n",
+		name, conf.F1(), conf.Recall(), conf.Precision(), took.Seconds())
+	return nil
+}

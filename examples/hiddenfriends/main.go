@@ -1,0 +1,109 @@
+// Hiddenfriends: the paper's headline capability is revealing *cyber*
+// friendships — pairs that are friends online but share no physical
+// co-location, invisible to knowledge-based co-location attacks. This
+// example trains FriendSeeker, then breaks recall down by friendship kind
+// and co-location count, mirroring the paper's claim that FriendSeeker
+// identifies friends sharing no common location through social structure.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/friendseeker/friendseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hiddenfriends:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A denser brightkite-flavoured miniature world so phase 2 has social
+	// structure to traverse.
+	cfg := friendseeker.BrightkiteLikeWorld(7)
+	cfg.NumUsers = 100
+	cfg.NumCommunities = 6
+	cfg.NumPOIs = 400
+	cfg.SpanWeeks = 9
+	cfg.CyberGroups = 20
+	cfg.MaxCheckIns = 120
+	world, err := friendseeker.GenerateWorld(cfg)
+	if err != nil {
+		return err
+	}
+	real, cyber := world.RealEdges(), world.CyberEdges()
+	fmt.Printf("ground truth: %d real-world friendships, %d cyber friendships\n", len(real), len(cyber))
+
+	split, err := world.FullView().SplitPairs(0.7, 3, 8)
+	if err != nil {
+		return err
+	}
+	attack, err := friendseeker.New(friendseeker.Config{
+		Sigma:      240,
+		FeatureDim: 32,
+		Epochs:     24,
+		Seed:       9,
+	})
+	if err != nil {
+		return err
+	}
+	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		return err
+	}
+
+	pairs, _ := world.FullView().AllPairs()
+	decisions, report, err := attack.Infer(world.Dataset, pairs)
+	if err != nil {
+		return err
+	}
+
+	// Recall by friendship kind on the held-out pairs, and specifically
+	// for pairs with zero co-locations: the "hidden" population.
+	decided := make(map[friendseeker.Pair]bool, len(pairs))
+	for i, p := range pairs {
+		decided[p] = decisions[i]
+	}
+	phase1 := report.Phase1Predictions
+
+	type bucket struct{ found, foundP1, total int }
+	var realB, cyberB, zeroColoc bucket
+	for i, p := range split.EvalPairs {
+		if !split.EvalLabels[i] {
+			continue
+		}
+		target := &realB
+		if world.EdgeKinds[friendseeker.Edge(p)] == friendseeker.EdgeCyber {
+			target = &cyberB
+		}
+		target.total++
+		if decided[p] {
+			target.found++
+		}
+		if phase1[p] {
+			target.foundP1++
+		}
+		if world.Dataset.CommonPOIs(p.A, p.B) == 0 {
+			zeroColoc.total++
+			if decided[p] {
+				zeroColoc.found++
+			}
+		}
+	}
+	show := func(name string, b bucket) {
+		if b.total == 0 {
+			fmt.Printf("%-28s no held-out pairs\n", name)
+			return
+		}
+		fmt.Printf("%-28s %3d/%3d recovered (phase 1 alone: %d)\n",
+			name, b.found, b.total, b.foundP1)
+	}
+	show("real-world friends:", realB)
+	show("cyber friends:", cyberB)
+	show("zero-co-location friends:", zeroColoc)
+	fmt.Println("\nzero-co-location friends are invisible to co-location attacks by definition;")
+	fmt.Println("any recovered here come from presence patterns plus k-hop social structure.")
+	return nil
+}

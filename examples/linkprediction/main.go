@@ -1,0 +1,111 @@
+// Linkprediction: Section V-B of the paper argues that classic heuristic
+// link-prediction indices (common neighbours, Katz, local path, ...)
+// presuppose that "a majority of the graph is available", which an
+// attacker does not have. This example quantifies that argument: each
+// index's AUC is measured for predicting held-out friendships when 90%,
+// 50% and 20% of the social graph is observed. The degradation at low
+// observability is exactly the gap FriendSeeker's check-in-driven phase 1
+// fills.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/friendseeker/friendseeker"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/linkpred"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "linkprediction:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	world, err := friendseeker.GenerateWorld(friendseeker.TinyWorld(61))
+	if err != nil {
+		return err
+	}
+	truth := world.Truth
+	fmt.Printf("ground truth: %d users, %d friendships\n\n", truth.NumNodes(), truth.NumEdges())
+	fmt.Printf("%-26s", "index \\ observed graph")
+	shares := []float64{0.9, 0.5, 0.2}
+	for _, s := range shares {
+		fmt.Printf("  %4.0f%%", s*100)
+	}
+	fmt.Println()
+
+	type row struct {
+		name string
+		aucs []float64
+	}
+	var rows []row
+	for _, idx := range linkpred.All() {
+		rows = append(rows, row{name: idx.Name()})
+	}
+
+	for _, share := range shares {
+		observed, hidden := splitGraph(truth, share, 62)
+
+		// Evaluation sample: the hidden friendships against an equal
+		// number of random non-friend pairs.
+		r := rand.New(rand.NewSource(63))
+		users := world.Dataset.Users()
+		pairs := make([]friendseeker.Pair, 0, 2*len(hidden))
+		labels := make([]bool, 0, 2*len(hidden))
+		for _, e := range hidden {
+			pairs = append(pairs, friendseeker.Pair(e))
+			labels = append(labels, true)
+		}
+		for len(pairs) < 2*len(hidden) {
+			a := users[r.Intn(len(users))]
+			b := users[r.Intn(len(users))]
+			if a == b || truth.HasEdge(a, b) {
+				continue
+			}
+			pairs = append(pairs, friendseeker.MakePair(a, b))
+			labels = append(labels, false)
+		}
+
+		for i, idx := range linkpred.All() {
+			auc, err := linkpred.AUC(observed, idx, pairs, labels)
+			if err != nil {
+				return err
+			}
+			rows[i].aucs = append(rows[i].aucs, auc)
+		}
+	}
+
+	for _, r := range rows {
+		fmt.Printf("%-26s", r.name)
+		for _, a := range r.aucs {
+			fmt.Printf("  %.3f", a)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nAUC 0.5 = random guessing. Heuristics work with a dense observed graph")
+	fmt.Println("and collapse toward chance as the observed share shrinks — the regime")
+	fmt.Println("where FriendSeeker's check-in evidence takes over.")
+	return nil
+}
+
+// splitGraph keeps the given share of edges as the observed graph and
+// returns the rest as hidden positives.
+func splitGraph(truth *graph.Graph, share float64, seed int64) (*graph.Graph, []graph.Edge) {
+	edges := truth.Edges()
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	nObs := int(float64(len(edges)) * share)
+	observed := graph.NewGraph()
+	for _, u := range truth.Nodes() {
+		observed.AddNode(u)
+	}
+	for _, e := range edges[:nObs] {
+		_ = observed.AddEdge(e.A, e.B)
+	}
+	return observed, edges[nObs:]
+}

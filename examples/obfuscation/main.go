@@ -1,0 +1,103 @@
+// Obfuscation: the paper's Section IV-D evaluates whether common location
+// privacy countermeasures — hiding check-ins and blurring their locations —
+// protect friendship privacy. This example trains FriendSeeker on a clean
+// trace and attacks increasingly perturbed views of it, printing the F1
+// degradation curve for all three mechanisms.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/friendseeker/friendseeker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obfuscation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	world, err := friendseeker.GenerateWorld(friendseeker.TinyWorld(21))
+	if err != nil {
+		return err
+	}
+	split, err := world.FullView().SplitPairs(0.7, 3, 22)
+	if err != nil {
+		return err
+	}
+	attack, err := friendseeker.New(friendseeker.Config{
+		Sigma:      120,
+		FeatureDim: 16,
+		Epochs:     20,
+		Seed:       23,
+	})
+	if err != nil {
+		return err
+	}
+	// The attacker trains on its own (clean) corpus: the defender only
+	// controls what it publishes.
+	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		return err
+	}
+	pairs, _ := world.FullView().AllPairs()
+
+	score := func(ds *friendseeker.Dataset) (float64, error) {
+		decisions, _, err := attack.Infer(ds, pairs)
+		if err != nil {
+			return 0, err
+		}
+		evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+		if err != nil {
+			return 0, err
+		}
+		conf, err := friendseeker.Evaluate(evalPreds, split.EvalLabels)
+		if err != nil {
+			return 0, err
+		}
+		return conf.F1(), nil
+	}
+
+	clean, err := score(world.Dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s clean  10%%    30%%    50%%\n", "mechanism")
+
+	type mech struct {
+		name    string
+		perturb func(p float64, seed int64) (*friendseeker.Dataset, error)
+	}
+	const sigma = 120
+	mechanisms := []mech{
+		{"hiding", func(p float64, seed int64) (*friendseeker.Dataset, error) {
+			return friendseeker.HideCheckIns(world.Dataset, p, seed)
+		}},
+		{"in-grid blurring", func(p float64, seed int64) (*friendseeker.Dataset, error) {
+			return friendseeker.BlurCheckIns(world.Dataset, sigma, friendseeker.BlurInGrid, p, seed)
+		}},
+		{"cross-grid blurring", func(p float64, seed int64) (*friendseeker.Dataset, error) {
+			return friendseeker.BlurCheckIns(world.Dataset, sigma, friendseeker.BlurCrossGrid, p, seed)
+		}},
+	}
+	for mi, m := range mechanisms {
+		row := fmt.Sprintf("%-22s %.3f", m.name, clean)
+		for _, p := range []float64{0.1, 0.3, 0.5} {
+			perturbed, err := m.perturb(p, int64(100+mi))
+			if err != nil {
+				return err
+			}
+			f1, err := score(perturbed)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("  %.3f", f1)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\npaper shape: the attack degrades gracefully; cross-grid blurring is the")
+	fmt.Println("strongest defence, yet no mechanism provides full protection.")
+	return nil
+}

@@ -1,0 +1,152 @@
+package friendseeker
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip drives the facade exactly as the README's
+// quickstart does: generate, split, train, infer, score — plus the I/O
+// helpers.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	world, err := GenerateWorld(TinyWorld(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := world.FullView().SplitPairs(0.7, 3, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := New(Config{Sigma: 120, FeatureDim: 16, Epochs: 12, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := world.FullView().AllPairs()
+	decisions, report, err := attack.Infer(world.Dataset, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Iterations < 1 {
+		t.Error("no refinement iterations")
+	}
+	evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := Evaluate(evalPreds, split.EvalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.F1() <= 0.25 {
+		t.Errorf("facade end-to-end F1 = %.3f, want > 0.25 (chance)", conf.F1())
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	world, err := GenerateWorld(TinyWorld(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckInsCSV(&buf, world.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCheckInsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumCheckIns() != world.Dataset.NumCheckIns() {
+		t.Error("check-in round trip mismatch")
+	}
+	buf.Reset()
+	if err := WriteEdgesCSV(&buf, world.Truth); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadEdgesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != world.Truth.NumEdges() {
+		t.Error("edge round trip mismatch")
+	}
+
+	snap := "0\t2010-10-19T23:55:27Z\t30.2\t-97.7\t22847\n" +
+		"1\t2010-10-18T22:17:43Z\t30.3\t-97.8\t22848\n"
+	pois, cs, skipped, err := LoadSNAPCheckIns(strings.NewReader(snap))
+	if err != nil || skipped != 0 || len(pois) != 2 || len(cs) != 2 {
+		t.Errorf("snap check-ins: %d pois, %d cs, %d skipped, %v", len(pois), len(cs), skipped, err)
+	}
+	edges, _, err := LoadSNAPEdges(strings.NewReader("0\t1\n"))
+	if err != nil || len(edges) != 1 {
+		t.Errorf("snap edges: %v, %v", edges, err)
+	}
+}
+
+func TestFacadeObfuscation(t *testing.T) {
+	world, err := GenerateWorld(TinyWorld(57))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden, err := HideCheckIns(world.Dataset, 0.3, 58)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.NumCheckIns() >= world.Dataset.NumCheckIns() {
+		t.Error("hiding removed nothing")
+	}
+	for _, mode := range []BlurMode{BlurInGrid, BlurCrossGrid} {
+		blurred, err := BlurCheckIns(world.Dataset, 120, mode, 0.3, 59)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if blurred.NumCheckIns() != world.Dataset.NumCheckIns() {
+			t.Errorf("%v changed check-in count", mode)
+		}
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	p := MakePair(9, 4)
+	if p.A != 4 || p.B != 9 {
+		t.Errorf("MakePair = %+v", p)
+	}
+	ds, err := NewDataset([]POI{{ID: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumPOIs() != 1 {
+		t.Error("NewDataset")
+	}
+	if GowallaLikeWorld(1).Name != "gowalla-like" || BrightkiteLikeWorld(1).Name != "brightkite-like" {
+		t.Error("preset names")
+	}
+}
+
+func TestRunProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	world, err := GenerateWorld(TinyWorld(95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProtocol(world.FullView(), Config{
+		Sigma: 120, FeatureDim: 16, Epochs: 12, Seed: 96,
+	}, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score.F1 <= 0.2 {
+		t.Errorf("protocol F1 = %.3f", res.Score.F1)
+	}
+	if res.Attack == nil || !res.Attack.Trained() {
+		t.Error("protocol must return the trained attack")
+	}
+	if res.TrainReport == nil || res.InferReport == nil || res.Split == nil {
+		t.Error("protocol reports missing")
+	}
+}

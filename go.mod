@@ -1,0 +1,3 @@
+module github.com/friendseeker/friendseeker
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package baselines implements the four methods FriendSeeker is compared
+// against in Section IV-A:
+//
+//   - co-location based (Hsieh et al., CIKM'15): heuristic co-location
+//     features and a co-location graph capturing direct and indirect
+//     linkage;
+//   - distance based (Hsieh & Li, WWW'14): check-in-frequency-weighted
+//     user centroids and their Euclidean distance;
+//   - walk2friends (Backes et al., CCS'17): random-walk embedding of the
+//     user-location bipartite graph;
+//   - user-graph embedding (Yu et al., IMWUT'18): random-walk embedding of
+//     a meeting graph whose edges are weighted by meeting frequency and
+//     location significance.
+//
+// All four share the Method interface so the evaluation harness can sweep
+// them uniformly.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// ErrNotTrained is returned when Predict precedes Train.
+var ErrNotTrained = errors.New("baselines: method not trained")
+
+// Method is a pairwise friendship-inference method.
+type Method interface {
+	// Name identifies the method in result tables.
+	Name() string
+	// Train fits the method on a labelled pair sample drawn from the
+	// training dataset.
+	Train(ds *checkin.Dataset, pairs []checkin.Pair, labels []bool) error
+	// Predict decides friendship for each pair in the target dataset.
+	Predict(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, error)
+	// Score returns the method's raw score per pair (higher = more likely
+	// friends); used for threshold sweeps.
+	Score(ds *checkin.Dataset, pairs []checkin.Pair) ([]float64, error)
+}
+
+// poiPopularity returns, per POI, the number of distinct visitors.
+func poiPopularity(ds *checkin.Dataset) map[checkin.POIID]int {
+	out := make(map[checkin.POIID]int)
+	for p, us := range ds.Visitors() {
+		out[p] = len(us)
+	}
+	return out
+}
+
+// locationEntropy returns, per POI, the Shannon entropy of its visit
+// distribution over users: popular hubs have high entropy and therefore
+// low evidential weight (the "global factor" of the knowledge-based
+// literature).
+func locationEntropy(ds *checkin.Dataset) map[checkin.POIID]float64 {
+	visits := make(map[checkin.POIID]map[checkin.UserID]int)
+	totals := make(map[checkin.POIID]int)
+	for _, c := range ds.AllCheckIns() {
+		m, ok := visits[c.POI]
+		if !ok {
+			m = make(map[checkin.UserID]int)
+			visits[c.POI] = m
+		}
+		m[c.User]++
+		totals[c.POI]++
+	}
+	out := make(map[checkin.POIID]float64, len(visits))
+	for p, m := range visits {
+		h := 0.0
+		n := float64(totals[p])
+		for _, cnt := range m {
+			q := float64(cnt) / n
+			h -= q * math.Log2(q)
+		}
+		out[p] = h
+	}
+	return out
+}
+
+// meetingEvent is a timestamped co-presence of two users at one POI.
+type meetingEvent struct {
+	pair checkin.Pair
+	poi  checkin.POIID
+}
+
+// meetings enumerates co-presence events: two users checking in at the
+// same POI within the given window. Popular POIs (more than maxVisitors
+// distinct visitors) are skipped to bound the quadratic blow-up, mirroring
+// the standard practice in the compared papers.
+func meetings(ds *checkin.Dataset, window time.Duration, maxVisitors int) []meetingEvent {
+	type event struct {
+		u checkin.UserID
+		t time.Time
+	}
+	byPOI := make(map[checkin.POIID][]event)
+	for _, c := range ds.AllCheckIns() {
+		byPOI[c.POI] = append(byPOI[c.POI], event{u: c.User, t: c.Time})
+	}
+	var out []meetingEvent
+	for poi, evs := range byPOI {
+		if maxVisitors > 0 {
+			distinct := make(map[checkin.UserID]struct{}, len(evs))
+			for _, e := range evs {
+				distinct[e.u] = struct{}{}
+			}
+			if len(distinct) > maxVisitors {
+				continue
+			}
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
+		for i := 0; i < len(evs); i++ {
+			for j := i + 1; j < len(evs); j++ {
+				if evs[j].t.Sub(evs[i].t) > window {
+					break
+				}
+				if evs[i].u == evs[j].u {
+					continue
+				}
+				out = append(out, meetingEvent{
+					pair: checkin.MakePair(evs[i].u, evs[j].u),
+					poi:  poi,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// trainScoreThreshold finds the score threshold maximising F1 on the
+// labelled sample; used by methods whose decision is a 1-D score cut.
+func trainScoreThreshold(scores []float64, labels []bool) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("baselines: %d scores vs %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return 0, errors.New("baselines: empty training sample")
+	}
+	type sl struct {
+		s float64
+		y bool
+	}
+	items := make([]sl, len(scores))
+	totalPos := 0
+	for i := range scores {
+		items[i] = sl{s: scores[i], y: labels[i]}
+		if labels[i] {
+			totalPos++
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s > items[j].s })
+
+	bestF1, bestThreshold := -1.0, items[0].s+1
+	tp, fp := 0, 0
+	for i := 0; i < len(items); i++ {
+		if items[i].y {
+			tp++
+		} else {
+			fp++
+		}
+		// Threshold just below items[i].s includes everything down to i.
+		if i+1 < len(items) && items[i+1].s == items[i].s {
+			continue
+		}
+		fn := totalPos - tp
+		if tp == 0 {
+			continue
+		}
+		p := float64(tp) / float64(tp+fp)
+		r := float64(tp) / float64(tp+fn)
+		f1 := 2 * p * r / (p + r)
+		if f1 > bestF1 {
+			bestF1 = f1
+			if i+1 < len(items) {
+				bestThreshold = (items[i].s + items[i+1].s) / 2
+			} else {
+				bestThreshold = items[i].s - 1e-9
+			}
+		}
+	}
+	return bestThreshold, nil
+}

@@ -1,0 +1,243 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/metrics"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// fixture builds a train/test split of a tiny synthetic world with
+// labelled pair samples, shared across baseline tests.
+type fixture struct {
+	train, test *synth.View
+	trainPairs  []checkin.Pair
+	trainLabels []bool
+	testPairs   []checkin.Pair
+	testLabels  []bool
+}
+
+func newFixture(t *testing.T, seed int64) *fixture {
+	t.Helper()
+	w, err := synth.Generate(synth.Tiny(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := w.SplitUsers(0.7, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, tl, err := train.SamplePairs(3, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, el, err := test.SamplePairs(3, seed+3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{train: train, test: test, trainPairs: tp, trainLabels: tl, testPairs: ep, testLabels: el}
+}
+
+func f1Of(t *testing.T, preds []bool, labels []bool) float64 {
+	t.Helper()
+	c, err := metrics.Evaluate(preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.F1()
+}
+
+// runMethod trains and evaluates a method end to end, returning test F1.
+func runMethod(t *testing.T, m Method, fx *fixture) float64 {
+	t.Helper()
+	if err := m.Train(fx.train.Dataset, fx.trainPairs, fx.trainLabels); err != nil {
+		t.Fatalf("%s train: %v", m.Name(), err)
+	}
+	preds, err := m.Predict(fx.test.Dataset, fx.testPairs)
+	if err != nil {
+		t.Fatalf("%s predict: %v", m.Name(), err)
+	}
+	return f1Of(t, preds, fx.testLabels)
+}
+
+func TestMethodsBeatRandomBaseline(t *testing.T) {
+	fx := newFixture(t, 101)
+	// Random guessing at the positive rate p=0.25 would give F1 = 0.25.
+	// Every method must clearly beat it on the co-location-rich tiny world.
+	methods := []Method{
+		NewCoLocation(1),
+		NewDistance(),
+		NewWalk2Friends(2),
+		NewUserGraphEmbedding(3),
+	}
+	for _, m := range methods {
+		t.Run(m.Name(), func(t *testing.T) {
+			f1 := runMethod(t, m, fx)
+			if f1 <= 0.3 {
+				t.Errorf("%s F1 = %.3f, want > 0.3", m.Name(), f1)
+			}
+			t.Logf("%s F1 = %.3f", m.Name(), f1)
+		})
+	}
+}
+
+func TestPredictBeforeTrain(t *testing.T) {
+	fx := newFixture(t, 103)
+	methods := []Method{
+		NewCoLocation(1),
+		NewDistance(),
+		NewWalk2Friends(2),
+		NewUserGraphEmbedding(3),
+	}
+	for _, m := range methods {
+		if _, err := m.Predict(fx.test.Dataset, fx.testPairs); !errors.Is(err, ErrNotTrained) {
+			t.Errorf("%s: error = %v, want ErrNotTrained", m.Name(), err)
+		}
+		if _, err := m.Score(fx.test.Dataset, fx.testPairs); !errors.Is(err, ErrNotTrained) {
+			t.Errorf("%s Score: error = %v, want ErrNotTrained", m.Name(), err)
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	fx := newFixture(t, 105)
+	methods := []Method{
+		NewCoLocation(1),
+		NewDistance(),
+		NewWalk2Friends(2),
+		NewUserGraphEmbedding(3),
+	}
+	for _, m := range methods {
+		if err := m.Train(fx.train.Dataset, fx.trainPairs, fx.trainLabels[:1]); err == nil {
+			t.Errorf("%s: mismatched labels should fail", m.Name())
+		}
+	}
+}
+
+func TestTrainScoreThreshold(t *testing.T) {
+	// Perfectly separable scores: threshold must split them.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	th, err := trainScoreThreshold(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0.2 || th >= 0.8 {
+		t.Errorf("threshold = %v, want inside (0.2, 0.8)", th)
+	}
+	if _, err := trainScoreThreshold(nil, nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := trainScoreThreshold([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestTrainScoreThresholdTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.1}
+	labels := []bool{true, true, false, false}
+	th, err := trainScoreThreshold(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tied scores cannot be split; the best cut accepts all 0.5s.
+	preds := 0
+	for _, s := range scores {
+		if s >= th {
+			preds++
+		}
+	}
+	if preds != 3 {
+		t.Errorf("threshold %v accepts %d, want 3", th, preds)
+	}
+}
+
+func TestMeetings(t *testing.T) {
+	t0 := time.Date(2009, 1, 1, 12, 0, 0, 0, time.UTC)
+	pois := []checkin.POI{{ID: 1}, {ID: 2}}
+	cs := []checkin.CheckIn{
+		{User: 1, POI: 1, Time: t0},
+		{User: 2, POI: 1, Time: t0.Add(time.Hour)},      // meets user 1
+		{User: 3, POI: 1, Time: t0.Add(30 * time.Hour)}, // too late
+		{User: 1, POI: 2, Time: t0},
+		{User: 2, POI: 2, Time: t0.Add(2 * time.Hour)}, // second meeting
+	}
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := meetings(ds, 4*time.Hour, 0)
+	if len(evs) != 2 {
+		t.Fatalf("meetings = %d, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.pair != checkin.MakePair(1, 2) {
+			t.Errorf("unexpected meeting pair %+v", ev.pair)
+		}
+	}
+	// Popular-POI cap removes everything when maxVisitors = 1.
+	if evs := meetings(ds, 4*time.Hour, 1); len(evs) != 0 {
+		t.Errorf("capped meetings = %d, want 0", len(evs))
+	}
+}
+
+func TestLocationEntropy(t *testing.T) {
+	t0 := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)
+	pois := []checkin.POI{{ID: 1}, {ID: 2}}
+	cs := []checkin.CheckIn{
+		{User: 1, POI: 1, Time: t0},
+		{User: 2, POI: 1, Time: t0},
+		{User: 1, POI: 2, Time: t0},
+		{User: 1, POI: 2, Time: t0.Add(time.Hour)},
+	}
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent := locationEntropy(ds)
+	if ent[1] <= ent[2] {
+		t.Errorf("two-visitor POI entropy %v should exceed single-visitor %v", ent[1], ent[2])
+	}
+	if ent[2] != 0 {
+		t.Errorf("single-user POI entropy = %v, want 0", ent[2])
+	}
+}
+
+func TestDistanceSeparatesCommunities(t *testing.T) {
+	// Users of the same community live in the same city, so friend
+	// centroids are closer: the learned threshold should recover most
+	// same-community pairs.
+	fx := newFixture(t, 107)
+	m := NewDistance()
+	if err := m.Train(fx.train.Dataset, fx.trainPairs, fx.trainLabels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := m.Score(fx.test.Dataset, fx.testPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean score of positives must exceed mean of negatives.
+	var posSum, negSum float64
+	var nPos, nNeg int
+	for i, s := range scores {
+		if s < -1e8 {
+			continue
+		}
+		if fx.testLabels[i] {
+			posSum += s
+			nPos++
+		} else {
+			negSum += s
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		t.Fatal("degenerate sample")
+	}
+	if posSum/float64(nPos) <= negSum/float64(nNeg) {
+		t.Error("friend centroids should be closer than stranger centroids")
+	}
+}

@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/logreg"
+)
+
+// CoLocation is the knowledge-based baseline of Hsieh et al. (CIKM'15):
+// heuristic co-location features plus a co-location graph that captures
+// indirect social linkage (two users connected through a chain of
+// co-location partners).
+type CoLocation struct {
+	seed  int64
+	model *logreg.Model
+}
+
+// NewCoLocation returns the baseline with the given training seed.
+func NewCoLocation(seed int64) *CoLocation { return &CoLocation{seed: seed} }
+
+var _ Method = (*CoLocation)(nil)
+
+// Name implements Method.
+func (m *CoLocation) Name() string { return "co-location" }
+
+// coLocationFeatures is the per-pair feature extractor shared by Train and
+// Predict. Features: distinct common POIs; entropy-weighted common POIs
+// (rare venues count more); Jaccard similarity of POI sets; common
+// neighbours in the co-location graph (indirect linkage).
+type coLocationFeatures struct {
+	entropy map[checkin.POIID]float64
+	coGraph *graph.Graph
+	ds      *checkin.Dataset
+}
+
+func newCoLocationFeatures(ds *checkin.Dataset) *coLocationFeatures {
+	f := &coLocationFeatures{
+		entropy: locationEntropy(ds),
+		coGraph: graph.NewGraph(),
+		ds:      ds,
+	}
+	// Co-location graph over pairs sharing at least one (non-hub) POI.
+	for pair := range ds.CoLocatedPairs(60) {
+		_ = f.coGraph.AddEdge(pair.A, pair.B)
+	}
+	return f
+}
+
+func (f *coLocationFeatures) vector(p checkin.Pair) []float64 {
+	ta, errA := f.ds.Trajectory(p.A)
+	tb, errB := f.ds.Trajectory(p.B)
+	if errA != nil || errB != nil {
+		return []float64{0, 0, 0, 0}
+	}
+	sa, sb := ta.POISet(), tb.POISet()
+	common := 0
+	weighted := 0.0
+	for poi := range sa {
+		if _, ok := sb[poi]; ok {
+			common++
+			// Low-entropy venues are strong evidence.
+			weighted += 1.0 / (1.0 + f.entropy[poi])
+		}
+	}
+	union := len(sa) + len(sb) - common
+	jaccard := 0.0
+	if union > 0 {
+		jaccard = float64(common) / float64(union)
+	}
+	indirect := float64(f.coGraph.CommonNeighbors(p.A, p.B))
+	return []float64{float64(common), weighted, jaccard, math.Log1p(indirect)}
+}
+
+// Train implements Method.
+func (m *CoLocation) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels []bool) error {
+	if len(pairs) != len(labels) {
+		return fmt.Errorf("baselines: %d pairs vs %d labels", len(pairs), len(labels))
+	}
+	feats := newCoLocationFeatures(ds)
+	x := make([][]float64, len(pairs))
+	y := make([]int, len(pairs))
+	for i, p := range pairs {
+		x[i] = feats.vector(p)
+		if labels[i] {
+			y[i] = 1
+		}
+	}
+	model := logreg.NewDefault(m.seed)
+	if err := model.Fit(x, y); err != nil {
+		return fmt.Errorf("baselines: co-location train: %w", err)
+	}
+	m.model = model
+	return nil
+}
+
+// Score implements Method.
+func (m *CoLocation) Score(ds *checkin.Dataset, pairs []checkin.Pair) ([]float64, error) {
+	if m.model == nil {
+		return nil, ErrNotTrained
+	}
+	feats := newCoLocationFeatures(ds)
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		s, err := m.model.PredictProba(feats.vector(p))
+		if err != nil {
+			return nil, fmt.Errorf("baselines: co-location score: %w", err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Predict implements Method.
+func (m *CoLocation) Predict(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, error) {
+	scores, err := m.Score(ds, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= 0.5
+	}
+	return out, nil
+}

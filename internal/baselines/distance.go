@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// Distance is the distance-based baseline (Hsieh & Li, WWW'14): each
+// user's centre location is the check-in-frequency-weighted centroid of
+// the POIs they visit, and a pair is classified as friends when their
+// centres are closer than a threshold learned on the training sample.
+type Distance struct {
+	threshold float64
+	trained   bool
+}
+
+// NewDistance returns the baseline.
+func NewDistance() *Distance { return &Distance{} }
+
+var _ Method = (*Distance)(nil)
+
+// Name implements Method.
+func (m *Distance) Name() string { return "distance" }
+
+// userCenters computes frequency-weighted centroids for every user.
+func userCenters(ds *checkin.Dataset) map[checkin.UserID]geo.Point {
+	out := make(map[checkin.UserID]geo.Point, ds.NumUsers())
+	for _, u := range ds.Users() {
+		tr, err := ds.Trajectory(u)
+		if err != nil {
+			continue
+		}
+		var lat, lng float64
+		n := 0
+		for _, c := range tr.CheckIns {
+			p, err := ds.POI(c.POI)
+			if err != nil {
+				continue
+			}
+			lat += p.Center.Lat
+			lng += p.Center.Lng
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		out[u] = geo.Point{Lat: lat / float64(n), Lng: lng / float64(n)}
+	}
+	return out
+}
+
+// pairScore returns -distance so that higher means more likely friends,
+// matching the Method.Score convention.
+func pairScore(centers map[checkin.UserID]geo.Point, p checkin.Pair) float64 {
+	ca, okA := centers[p.A]
+	cb, okB := centers[p.B]
+	if !okA || !okB {
+		return -1e9
+	}
+	return -geo.EuclideanDegrees(ca, cb)
+}
+
+// Train implements Method: it learns the F1-maximising distance cut.
+func (m *Distance) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels []bool) error {
+	if len(pairs) != len(labels) {
+		return fmt.Errorf("baselines: %d pairs vs %d labels", len(pairs), len(labels))
+	}
+	centers := userCenters(ds)
+	scores := make([]float64, len(pairs))
+	for i, p := range pairs {
+		scores[i] = pairScore(centers, p)
+	}
+	th, err := trainScoreThreshold(scores, labels)
+	if err != nil {
+		return fmt.Errorf("baselines: distance train: %w", err)
+	}
+	m.threshold = th
+	m.trained = true
+	return nil
+}
+
+// Score implements Method.
+func (m *Distance) Score(ds *checkin.Dataset, pairs []checkin.Pair) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	centers := userCenters(ds)
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = pairScore(centers, p)
+	}
+	return out, nil
+}
+
+// Predict implements Method.
+func (m *Distance) Predict(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, error) {
+	scores, err := m.Score(ds, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= m.threshold
+	}
+	return out, nil
+}

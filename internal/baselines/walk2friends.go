@@ -1,0 +1,127 @@
+package baselines
+
+import (
+	"fmt"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/embed"
+)
+
+// userNode and poiNode map the two vertex populations of the bipartite
+// graph into disjoint embed.Node ranges.
+const poiNodeOffset = 1 << 40
+
+func userNode(u checkin.UserID) embed.Node { return embed.Node(u) }
+func poiNode(p checkin.POIID) embed.Node   { return embed.Node(p) + poiNodeOffset }
+
+// Walk2Friends is the walk2friends baseline (Backes et al., CCS'17):
+// random walks over the user-location bipartite graph (edge weight =
+// visit count), skip-gram embeddings, and a learned cosine-similarity
+// threshold.
+type Walk2Friends struct {
+	walkCfg embed.WalkConfig
+	sgCfg   embed.SkipGramConfig
+
+	threshold float64
+	trained   bool
+}
+
+// NewWalk2Friends returns the baseline with sensible defaults at the
+// repository's simulation scale (embedding dim 64, 8 walks of length 30).
+func NewWalk2Friends(seed int64) *Walk2Friends {
+	return &Walk2Friends{
+		walkCfg: embed.WalkConfig{WalksPerNode: 8, WalkLength: 30, Seed: seed},
+		sgCfg:   embed.SkipGramConfig{Dim: 64, Window: 4, Epochs: 2, Seed: seed + 1},
+	}
+}
+
+var _ Method = (*Walk2Friends)(nil)
+
+// Name implements Method.
+func (m *Walk2Friends) Name() string { return "walk2friends" }
+
+// embedDataset builds the bipartite graph and trains embeddings.
+func (m *Walk2Friends) embedDataset(ds *checkin.Dataset) (*embed.Embeddings, error) {
+	g := embed.NewWalkGraph()
+	for _, u := range ds.Users() {
+		tr, err := ds.Trajectory(u)
+		if err != nil {
+			continue
+		}
+		visits := make(map[checkin.POIID]float64)
+		for _, c := range tr.CheckIns {
+			visits[c.POI]++
+		}
+		for poi, w := range visits {
+			if err := g.AddEdge(userNode(u), poiNode(poi), w); err != nil {
+				return nil, fmt.Errorf("baselines: walk2friends graph: %w", err)
+			}
+		}
+	}
+	walks, err := embed.GenerateWalks(g, m.walkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: walk2friends walks: %w", err)
+	}
+	emb, err := embed.TrainSkipGram(walks, m.sgCfg)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: walk2friends embedding: %w", err)
+	}
+	return emb, nil
+}
+
+func similarityScores(emb *embed.Embeddings, pairs []checkin.Pair) []float64 {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		s, err := emb.Similarity(userNode(p.A), userNode(p.B))
+		if err != nil {
+			out[i] = -1 // out of vocabulary: minimal similarity
+			continue
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Train implements Method.
+func (m *Walk2Friends) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels []bool) error {
+	if len(pairs) != len(labels) {
+		return fmt.Errorf("baselines: %d pairs vs %d labels", len(pairs), len(labels))
+	}
+	emb, err := m.embedDataset(ds)
+	if err != nil {
+		return err
+	}
+	th, err := trainScoreThreshold(similarityScores(emb, pairs), labels)
+	if err != nil {
+		return fmt.Errorf("baselines: walk2friends train: %w", err)
+	}
+	m.threshold = th
+	m.trained = true
+	return nil
+}
+
+// Score implements Method. The target dataset is embedded from scratch:
+// as in the paper's attack model, train and target users need not overlap.
+func (m *Walk2Friends) Score(ds *checkin.Dataset, pairs []checkin.Pair) ([]float64, error) {
+	if !m.trained {
+		return nil, ErrNotTrained
+	}
+	emb, err := m.embedDataset(ds)
+	if err != nil {
+		return nil, err
+	}
+	return similarityScores(emb, pairs), nil
+}
+
+// Predict implements Method.
+func (m *Walk2Friends) Predict(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, error) {
+	scores, err := m.Score(ds, pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= m.threshold
+	}
+	return out, nil
+}

@@ -1,0 +1,340 @@
+// Package checkin defines the mobility data model of FriendSeeker:
+// points of interest, timestamped check-ins, per-user trajectories and the
+// indexed dataset the attack operates on (Definitions 1-5 and 7 of the
+// paper). It also provides the empirical queries behind the paper's data
+// analysis (co-locations, common POIs, Table II quadrants).
+package checkin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// UserID identifies a user. IDs need not be dense.
+type UserID int64
+
+// POIID identifies a point of interest.
+type POIID int64
+
+// POI is an exact place: a geographic centre and a coverage radius
+// (Definition 1).
+type POI struct {
+	ID     POIID
+	Center geo.Point
+	Radius float64 // meters
+}
+
+// CheckIn records that a user visited a POI at a point in time
+// (Definition 2).
+type CheckIn struct {
+	User UserID
+	POI  POIID
+	Time time.Time
+}
+
+// Trajectory is a user's check-in sequence ordered by time (Definition 3).
+type Trajectory struct {
+	User     UserID
+	CheckIns []CheckIn
+}
+
+// Span returns the first and last check-in times of the trajectory.
+func (t Trajectory) Span() (first, last time.Time, ok bool) {
+	if len(t.CheckIns) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return t.CheckIns[0].Time, t.CheckIns[len(t.CheckIns)-1].Time, true
+}
+
+// POISet returns the set of distinct POIs the trajectory visits.
+func (t Trajectory) POISet() map[POIID]struct{} {
+	s := make(map[POIID]struct{}, len(t.CheckIns))
+	for _, c := range t.CheckIns {
+		s[c.POI] = struct{}{}
+	}
+	return s
+}
+
+// Errors returned by dataset construction and queries.
+var (
+	ErrUnknownUser = errors.New("checkin: unknown user")
+	ErrUnknownPOI  = errors.New("checkin: unknown poi")
+	ErrEmpty       = errors.New("checkin: empty dataset")
+)
+
+// Dataset is an indexed collection of POIs and check-ins. It is immutable
+// after construction; derived views (obfuscated copies, splits) build new
+// datasets.
+type Dataset struct {
+	pois         map[POIID]POI
+	poiList      []POI
+	trajectories map[UserID]*Trajectory
+	users        []UserID
+	numCheckIns  int
+	span         [2]time.Time
+}
+
+// NewDataset indexes the given POIs and check-ins. Check-ins referencing
+// unknown POIs are rejected; users appear in the dataset iff they have at
+// least one check-in. Check-ins are sorted by time within each trajectory.
+func NewDataset(pois []POI, checkIns []CheckIn) (*Dataset, error) {
+	if len(pois) == 0 {
+		return nil, fmt.Errorf("new dataset: %w", ErrEmpty)
+	}
+	d := &Dataset{
+		pois:         make(map[POIID]POI, len(pois)),
+		trajectories: make(map[UserID]*Trajectory),
+	}
+	for _, p := range pois {
+		if _, dup := d.pois[p.ID]; dup {
+			return nil, fmt.Errorf("new dataset: duplicate poi %d", p.ID)
+		}
+		if !p.Center.Valid() {
+			return nil, fmt.Errorf("new dataset: poi %d: %w", p.ID, geo.ErrInvalidCoordinate)
+		}
+		d.pois[p.ID] = p
+	}
+	d.poiList = make([]POI, 0, len(pois))
+	for _, p := range pois {
+		d.poiList = append(d.poiList, p)
+	}
+	sort.Slice(d.poiList, func(i, j int) bool { return d.poiList[i].ID < d.poiList[j].ID })
+
+	for _, c := range checkIns {
+		if _, ok := d.pois[c.POI]; !ok {
+			return nil, fmt.Errorf("new dataset: check-in references poi %d: %w", c.POI, ErrUnknownPOI)
+		}
+		tr, ok := d.trajectories[c.User]
+		if !ok {
+			tr = &Trajectory{User: c.User}
+			d.trajectories[c.User] = tr
+		}
+		tr.CheckIns = append(tr.CheckIns, c)
+		d.numCheckIns++
+	}
+	for _, tr := range d.trajectories {
+		sort.Slice(tr.CheckIns, func(i, j int) bool {
+			if !tr.CheckIns[i].Time.Equal(tr.CheckIns[j].Time) {
+				return tr.CheckIns[i].Time.Before(tr.CheckIns[j].Time)
+			}
+			return tr.CheckIns[i].POI < tr.CheckIns[j].POI
+		})
+	}
+	d.users = make([]UserID, 0, len(d.trajectories))
+	for u := range d.trajectories {
+		d.users = append(d.users, u)
+	}
+	sort.Slice(d.users, func(i, j int) bool { return d.users[i] < d.users[j] })
+
+	first, last := time.Time{}, time.Time{}
+	for _, tr := range d.trajectories {
+		f, l, ok := tr.Span()
+		if !ok {
+			continue
+		}
+		if first.IsZero() || f.Before(first) {
+			first = f
+		}
+		if last.IsZero() || l.After(last) {
+			last = l
+		}
+	}
+	d.span = [2]time.Time{first, last}
+	return d, nil
+}
+
+// Users returns all user IDs in ascending order. The slice is a copy.
+func (d *Dataset) Users() []UserID {
+	out := make([]UserID, len(d.users))
+	copy(out, d.users)
+	return out
+}
+
+// NumUsers returns the number of users with at least one check-in.
+func (d *Dataset) NumUsers() int { return len(d.users) }
+
+// NumPOIs returns the number of POIs.
+func (d *Dataset) NumPOIs() int { return len(d.pois) }
+
+// NumCheckIns returns the total number of check-ins.
+func (d *Dataset) NumCheckIns() int { return d.numCheckIns }
+
+// Span returns the earliest and latest check-in times.
+func (d *Dataset) Span() (first, last time.Time) { return d.span[0], d.span[1] }
+
+// POIs returns all POIs sorted by ID. The slice is a copy.
+func (d *Dataset) POIs() []POI {
+	out := make([]POI, len(d.poiList))
+	copy(out, d.poiList)
+	return out
+}
+
+// POI looks up a POI by ID.
+func (d *Dataset) POI(id POIID) (POI, error) {
+	p, ok := d.pois[id]
+	if !ok {
+		return POI{}, fmt.Errorf("poi %d: %w", id, ErrUnknownPOI)
+	}
+	return p, nil
+}
+
+// POIPoints returns the centre of every POI, ordered by POI ID.
+func (d *Dataset) POIPoints() []geo.Point {
+	pts := make([]geo.Point, len(d.poiList))
+	for i, p := range d.poiList {
+		pts[i] = p.Center
+	}
+	return pts
+}
+
+// Trajectory returns the trajectory of a user. The returned value shares
+// the dataset's backing array; callers must not mutate it.
+func (d *Dataset) Trajectory(u UserID) (Trajectory, error) {
+	tr, ok := d.trajectories[u]
+	if !ok {
+		return Trajectory{}, fmt.Errorf("user %d: %w", u, ErrUnknownUser)
+	}
+	return *tr, nil
+}
+
+// CheckInCount returns the number of check-ins of a user (0 for unknown
+// users).
+func (d *Dataset) CheckInCount(u UserID) int {
+	tr, ok := d.trajectories[u]
+	if !ok {
+		return 0
+	}
+	return len(tr.CheckIns)
+}
+
+// AllCheckIns returns every check-in in the dataset in user-then-time
+// order. The slice is freshly allocated.
+func (d *Dataset) AllCheckIns() []CheckIn {
+	out := make([]CheckIn, 0, d.numCheckIns)
+	for _, u := range d.users {
+		out = append(out, d.trajectories[u].CheckIns...)
+	}
+	return out
+}
+
+// CommonPOIs returns the number of distinct POIs visited by both users
+// (the paper's co-location count at POI granularity, Definition 4).
+func (d *Dataset) CommonPOIs(a, b UserID) int {
+	ta, okA := d.trajectories[a]
+	tb, okB := d.trajectories[b]
+	if !okA || !okB {
+		return 0
+	}
+	sa, sb := ta, tb
+	if len(sa.CheckIns) > len(sb.CheckIns) {
+		sa, sb = sb, sa
+	}
+	small := Trajectory{CheckIns: sa.CheckIns}.POISet()
+	seen := make(map[POIID]struct{})
+	n := 0
+	for _, c := range sb.CheckIns {
+		if _, inSmall := small[c.POI]; !inSmall {
+			continue
+		}
+		if _, dup := seen[c.POI]; dup {
+			continue
+		}
+		seen[c.POI] = struct{}{}
+		n++
+	}
+	return n
+}
+
+// HasCoLocation reports whether the two users share at least one POI.
+func (d *Dataset) HasCoLocation(a, b UserID) bool {
+	return d.CommonPOIs(a, b) > 0
+}
+
+// FilterUsers returns a new dataset containing only check-ins whose user
+// satisfies keep. POIs are preserved as-is.
+func (d *Dataset) FilterUsers(keep func(UserID) bool) (*Dataset, error) {
+	var cs []CheckIn
+	for _, u := range d.users {
+		if !keep(u) {
+			continue
+		}
+		cs = append(cs, d.trajectories[u].CheckIns...)
+	}
+	return NewDataset(d.poiList, cs)
+}
+
+// FilterMinCheckIns drops users with fewer than min check-ins, mirroring
+// the paper's exclusion of users who "never check in or only check in once".
+func (d *Dataset) FilterMinCheckIns(min int) (*Dataset, error) {
+	return d.FilterUsers(func(u UserID) bool { return d.CheckInCount(u) >= min })
+}
+
+// WithCheckIns returns a new dataset with the same POI universe but a
+// different check-in collection. Obfuscation mechanisms use this to derive
+// perturbed views.
+func (d *Dataset) WithCheckIns(cs []CheckIn) (*Dataset, error) {
+	return NewDataset(d.poiList, cs)
+}
+
+// Pair is an unordered user pair, normalised so A < B.
+type Pair struct {
+	A, B UserID
+}
+
+// MakePair normalises (a,b) into a Pair with A < B.
+func MakePair(a, b UserID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// Visitors returns, for every POI, the set of distinct users that checked
+// in there. Keys are POI IDs with at least one visitor.
+func (d *Dataset) Visitors() map[POIID][]UserID {
+	sets := make(map[POIID]map[UserID]struct{})
+	for _, u := range d.users {
+		for _, c := range d.trajectories[u].CheckIns {
+			s, ok := sets[c.POI]
+			if !ok {
+				s = make(map[UserID]struct{})
+				sets[c.POI] = s
+			}
+			s[u] = struct{}{}
+		}
+	}
+	out := make(map[POIID][]UserID, len(sets))
+	for p, s := range sets {
+		us := make([]UserID, 0, len(s))
+		for u := range s {
+			us = append(us, u)
+		}
+		sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+		out[p] = us
+	}
+	return out
+}
+
+// CoLocatedPairs returns every unordered user pair sharing at least one
+// POI, with the number of distinct shared POIs. POIs visited by more than
+// maxVisitors users are skipped when maxVisitors > 0 (popular venues like
+// airports connect everyone and explode the pair count without signalling
+// friendship).
+func (d *Dataset) CoLocatedPairs(maxVisitors int) map[Pair]int {
+	out := make(map[Pair]int)
+	for _, us := range d.Visitors() {
+		if maxVisitors > 0 && len(us) > maxVisitors {
+			continue
+		}
+		for i := 0; i < len(us); i++ {
+			for j := i + 1; j < len(us); j++ {
+				out[MakePair(us[i], us[j])]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package checkin
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+var t0 = time.Date(2009, 3, 21, 0, 0, 0, 0, time.UTC)
+
+func testPOIs() []POI {
+	return []POI{
+		{ID: 1, Center: geo.Point{Lat: 31.0, Lng: 121.0}, Radius: 50},
+		{ID: 2, Center: geo.Point{Lat: 31.1, Lng: 121.1}, Radius: 50},
+		{ID: 3, Center: geo.Point{Lat: 31.2, Lng: 121.2}, Radius: 50},
+	}
+}
+
+func ci(u UserID, p POIID, hours int) CheckIn {
+	return CheckIn{User: u, POI: p, Time: t0.Add(time.Duration(hours) * time.Hour)}
+}
+
+func mustDataset(t *testing.T, pois []POI, cs []CheckIn) *Dataset {
+	t.Helper()
+	d, err := NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewDatasetValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		pois    []POI
+		cs      []CheckIn
+		wantErr error
+	}{
+		{"empty pois", nil, nil, ErrEmpty},
+		{"duplicate poi", []POI{{ID: 1}, {ID: 1}}, nil, nil},
+		{"invalid coordinate", []POI{{ID: 1, Center: geo.Point{Lat: 99}}}, nil, geo.ErrInvalidCoordinate},
+		{"unknown poi in checkin", testPOIs(), []CheckIn{ci(1, 99, 0)}, ErrUnknownPOI},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewDataset(tt.pois, tt.cs)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("error = %v, want wrapping %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDatasetIndexing(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{
+		ci(10, 1, 5), ci(10, 2, 1), ci(20, 1, 2),
+	})
+	if got := d.NumUsers(); got != 2 {
+		t.Errorf("NumUsers = %d, want 2", got)
+	}
+	if got := d.NumPOIs(); got != 3 {
+		t.Errorf("NumPOIs = %d, want 3", got)
+	}
+	if got := d.NumCheckIns(); got != 3 {
+		t.Errorf("NumCheckIns = %d, want 3", got)
+	}
+	tr, err := d.Trajectory(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.CheckIns) != 2 || !tr.CheckIns[0].Time.Before(tr.CheckIns[1].Time) {
+		t.Errorf("trajectory not sorted by time: %+v", tr.CheckIns)
+	}
+	if _, err := d.Trajectory(99); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("Trajectory(99) error = %v, want ErrUnknownUser", err)
+	}
+	first, last := d.Span()
+	if !first.Equal(t0.Add(time.Hour)) || !last.Equal(t0.Add(5*time.Hour)) {
+		t.Errorf("Span = (%v,%v)", first, last)
+	}
+}
+
+func TestCommonPOIs(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{
+		ci(10, 1, 0), ci(10, 1, 1), ci(10, 2, 2),
+		ci(20, 1, 3), ci(20, 3, 4),
+		ci(30, 3, 5),
+	})
+	tests := []struct {
+		a, b UserID
+		want int
+	}{
+		{10, 20, 1},
+		{20, 10, 1}, // symmetric
+		{10, 30, 0},
+		{20, 30, 1},
+		{10, 99, 0}, // unknown user
+	}
+	for _, tt := range tests {
+		if got := d.CommonPOIs(tt.a, tt.b); got != tt.want {
+			t.Errorf("CommonPOIs(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if !d.HasCoLocation(10, 20) || d.HasCoLocation(10, 30) {
+		t.Error("HasCoLocation mismatch")
+	}
+}
+
+func TestFilterMinCheckIns(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{
+		ci(10, 1, 0), ci(10, 2, 1),
+		ci(20, 1, 2), // only one check-in, should be dropped
+	})
+	f, err := d.FilterMinCheckIns(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumUsers() != 1 {
+		t.Errorf("NumUsers after filter = %d, want 1", f.NumUsers())
+	}
+	if f.CheckInCount(20) != 0 {
+		t.Error("user 20 should be gone")
+	}
+	// Original untouched.
+	if d.NumUsers() != 2 {
+		t.Error("filter mutated original dataset")
+	}
+}
+
+func TestVisitorsAndCoLocatedPairs(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{
+		ci(10, 1, 0), ci(20, 1, 1), ci(30, 1, 2), // POI 1: three visitors
+		ci(10, 2, 3), ci(20, 2, 4), // POI 2: two visitors
+	})
+	vis := d.Visitors()
+	if got := len(vis[1]); got != 3 {
+		t.Errorf("POI 1 visitors = %d, want 3", got)
+	}
+	pairs := d.CoLocatedPairs(0)
+	if got := pairs[MakePair(10, 20)]; got != 2 {
+		t.Errorf("pair (10,20) shared POIs = %d, want 2", got)
+	}
+	if got := pairs[MakePair(20, 30)]; got != 1 {
+		t.Errorf("pair (20,30) shared POIs = %d, want 1", got)
+	}
+	// Capping popular POIs removes POI 1's contribution entirely.
+	capped := d.CoLocatedPairs(2)
+	if got := capped[MakePair(20, 30)]; got != 0 {
+		t.Errorf("capped pair (20,30) = %d, want 0", got)
+	}
+	if got := capped[MakePair(10, 20)]; got != 1 {
+		t.Errorf("capped pair (10,20) = %d, want 1", got)
+	}
+}
+
+func TestMakePairNormalises(t *testing.T) {
+	p := MakePair(7, 3)
+	if p.A != 3 || p.B != 7 {
+		t.Errorf("MakePair(7,3) = %+v, want {3 7}", p)
+	}
+	if MakePair(3, 7) != p {
+		t.Error("MakePair not canonical")
+	}
+}
+
+func TestWithCheckIns(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{ci(10, 1, 0), ci(20, 2, 1)})
+	d2, err := d.WithCheckIns([]CheckIn{ci(10, 1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumCheckIns() != 1 || d2.NumUsers() != 1 {
+		t.Errorf("derived dataset = %d check-ins / %d users", d2.NumCheckIns(), d2.NumUsers())
+	}
+	if d2.NumPOIs() != d.NumPOIs() {
+		t.Error("POI universe must be preserved")
+	}
+}
+
+func TestAllCheckInsOrder(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{
+		ci(20, 1, 0), ci(10, 2, 5), ci(10, 1, 1),
+	})
+	all := d.AllCheckIns()
+	if len(all) != 3 {
+		t.Fatalf("len = %d", len(all))
+	}
+	// User-major order, time-sorted within user.
+	if all[0].User != 10 || all[1].User != 10 || all[2].User != 20 {
+		t.Errorf("order = %+v", all)
+	}
+	if !all[0].Time.Before(all[1].Time) {
+		t.Error("within-user order not chronological")
+	}
+}
+
+func TestPOILookup(t *testing.T) {
+	d := mustDataset(t, testPOIs(), []CheckIn{ci(10, 1, 0)})
+	p, err := d.POI(2)
+	if err != nil || p.ID != 2 {
+		t.Errorf("POI(2) = %+v, %v", p, err)
+	}
+	if _, err := d.POI(42); !errors.Is(err, ErrUnknownPOI) {
+		t.Errorf("POI(42) error = %v", err)
+	}
+	pts := d.POIPoints()
+	if len(pts) != 3 || pts[0] != (geo.Point{Lat: 31.0, Lng: 121.0}) {
+		t.Errorf("POIPoints = %v", pts)
+	}
+}
+
+func TestMakePairProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return true
+		}
+		p := MakePair(UserID(a), UserID(b))
+		q := MakePair(UserID(b), UserID(a))
+		return p == q && p.A < p.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPOIsSymmetryProperty(t *testing.T) {
+	// Random small datasets: CommonPOIs must be symmetric and bounded by
+	// each user's distinct POI count.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pois := make([]POI, 5)
+		for i := range pois {
+			pois[i] = POI{ID: POIID(i + 1)}
+		}
+		var cs []CheckIn
+		for i := 0; i < 30; i++ {
+			cs = append(cs, CheckIn{
+				User: UserID(1 + r.Intn(3)),
+				POI:  POIID(1 + r.Intn(5)),
+				Time: t0.Add(time.Duration(i) * time.Hour),
+			})
+		}
+		ds, err := NewDataset(pois, cs)
+		if err != nil {
+			return false
+		}
+		users := ds.Users()
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				a, b := users[i], users[j]
+				ab, ba := ds.CommonPOIs(a, b), ds.CommonPOIs(b, a)
+				if ab != ba {
+					return false
+				}
+				ta, _ := ds.Trajectory(a)
+				tb, _ := ds.Trajectory(b)
+				if ab > len(ta.POISet()) || ab > len(tb.POISet()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

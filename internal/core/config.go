@@ -1,0 +1,184 @@
+// Package core implements the FriendSeeker pipeline of Section III: the
+// real-world friends inference phase (JOC construction, supervised
+// autoencoder feature extraction, KNN classification) and the iterative
+// hidden friends inference phase (k-hop reachable subgraphs, social
+// proximity features, SVM classification, graph refinement until
+// convergence).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Defaults mirror the paper's experimental setup (Section IV-B): tau = 7
+// days, d = 128, k = 3, learning rate 0.005, alpha = 1, and the 1%
+// edge-change termination criterion.
+const (
+	DefaultTau               = 7 * 24 * time.Hour
+	DefaultSigma             = 100
+	DefaultFeatureDim        = 128
+	DefaultK                 = 3
+	DefaultAlpha             = 10.0
+	DefaultLearningRate      = 0.05
+	DefaultEpochs            = 30
+	DefaultBatchSize         = 32
+	DefaultKNNNeighbors      = 15
+	DefaultSVMC              = 2.0
+	DefaultMaxIterations     = 8
+	DefaultConvergeThreshold = 0.01
+	DefaultMaxPathsPerLength = 64
+	DefaultMaxSVMTrain       = 2500
+	DefaultHysteresis        = 0.1
+)
+
+// ErrNotTrained is returned when inference precedes training.
+var ErrNotTrained = errors.New("core: model not trained")
+
+// Config parameterises FriendSeeker. The zero value is completed with the
+// paper defaults by fillDefaults.
+type Config struct {
+	// Sigma is the maximum number of POIs per spatial grid (the quadtree
+	// split threshold of Definition 8). The paper sweeps 500-1500 on
+	// ~100-150k-POI datasets; defaults here are scaled to the synthetic
+	// world size.
+	Sigma int
+	// UniformGridSide, when positive, replaces the adaptive quadtree with
+	// the "simple" uniform side x side spatial grid that Definition 8
+	// discusses and rejects as inflexible. Provided for the
+	// adaptive-vs-uniform ablation; zero keeps the paper's quadtree.
+	UniformGridSide int
+	// Tau is the time-slot length (7 days is the paper's optimum).
+	Tau time.Duration
+	// FeatureDim is d, the presence-proximity feature width.
+	FeatureDim int
+	// K is the reachable-subgraph hop bound (3 is the paper's optimum).
+	K int
+	// Alpha balances reconstruction and classification losses in the
+	// supervised autoencoder. The paper uses alpha = 1 at SNAP scale; at
+	// the reduced synthetic scale the reconstruction term shrinks with the
+	// input width, so the default rebalances to 10 (see DESIGN.md).
+	Alpha float64
+	// HeadHidden lists hidden widths of the supervision head (default one
+	// 16-unit layer).
+	HeadHidden []int
+	// UseAdam switches the autoencoder optimiser from Algorithm 1's plain
+	// gradient descent to Adam (faster convergence at small scale).
+	UseAdam bool
+	// LearningRate and Epochs/BatchSize drive Algorithm 1.
+	LearningRate float64
+	Epochs       int
+	BatchSize    int
+	// KNNNeighbors is the K of the phase-1 KNN classifier C.
+	KNNNeighbors int
+	// SVMC and SVMGamma configure the phase-2 RBF SVM C'. Gamma 0 means
+	// 1/featureWidth.
+	SVMC     float64
+	SVMGamma float64
+	// MaxIterations bounds the phase-2 refinement loop;
+	// ConvergeThreshold is the edge-change fraction below which the loop
+	// stops (0.01 in the paper).
+	MaxIterations     int
+	ConvergeThreshold float64
+	// MaxPathsPerLength caps path enumeration per length in reachable
+	// subgraphs (0 = unlimited).
+	MaxPathsPerLength int
+	// MaxSVMTrain caps the phase-2 SVM training sample; the simplified
+	// SMO solver is quadratic, so huge pair samples are subsampled.
+	MaxSVMTrain int
+	// UsePathCounts appends per-length path counts to the social
+	// proximity feature (the A1 ablation toggles this).
+	UsePathCounts bool
+	// NoStandardize disables per-feature z-scoring of flattened JOCs
+	// before the autoencoder (standardisation is on by default).
+	NoStandardize bool
+	// KNNCosine switches the phase-1 KNN to cosine distance.
+	KNNCosine bool
+	// Phase1Threshold is the KNN vote share above which a pair enters the
+	// initial social graph (default 0.5). Lower values over-generate
+	// edges, giving phase 2 a denser graph to refine: phase 2 prunes the
+	// admitted close-range strangers while keeping structural paths alive.
+	Phase1Threshold float64
+	// Hysteresis damps the phase-2 graph dynamics: an absent edge is
+	// added only when C' scores above 0.5+Hysteresis and a present edge
+	// removed only below 0.5-Hysteresis. Zero keeps plain thresholding;
+	// the default is 0.1. Without damping the discrete re-decision loop
+	// can oscillate instead of converging on sparse graphs.
+	Hysteresis float64
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// fillDefaults returns a copy with unset fields defaulted.
+func (c Config) fillDefaults() Config {
+	if c.Sigma == 0 {
+		c.Sigma = DefaultSigma
+	}
+	if c.Tau == 0 {
+		c.Tau = DefaultTau
+	}
+	if c.FeatureDim == 0 {
+		c.FeatureDim = DefaultFeatureDim
+	}
+	if c.K == 0 {
+		c.K = DefaultK
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = DefaultLearningRate
+	}
+	if c.HeadHidden == nil {
+		c.HeadHidden = []int{16}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = DefaultEpochs
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.KNNNeighbors == 0 {
+		c.KNNNeighbors = DefaultKNNNeighbors
+	}
+	if c.SVMC == 0 {
+		c.SVMC = DefaultSVMC
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = DefaultMaxIterations
+	}
+	if c.ConvergeThreshold == 0 {
+		c.ConvergeThreshold = DefaultConvergeThreshold
+	}
+	if c.MaxPathsPerLength == 0 {
+		c.MaxPathsPerLength = DefaultMaxPathsPerLength
+	}
+	if c.MaxSVMTrain == 0 {
+		c.MaxSVMTrain = DefaultMaxSVMTrain
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.Phase1Threshold == 0 {
+		c.Phase1Threshold = 0.5
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	switch {
+	case c.Sigma < 1:
+		return fmt.Errorf("core: sigma must be >= 1, got %d", c.Sigma)
+	case c.Tau <= 0:
+		return fmt.Errorf("core: tau must be positive, got %v", c.Tau)
+	case c.FeatureDim < 1:
+		return fmt.Errorf("core: feature dim must be >= 1, got %d", c.FeatureDim)
+	case c.K < 2:
+		return fmt.Errorf("core: k must be >= 2, got %d", c.K)
+	case c.ConvergeThreshold <= 0 || c.ConvergeThreshold >= 1:
+		return fmt.Errorf("core: converge threshold must be in (0,1), got %v", c.ConvergeThreshold)
+	}
+	return nil
+}

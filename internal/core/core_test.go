@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/metrics"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// quickConfig keeps unit tests fast: coarse STD, small feature dim, few
+// epochs.
+func quickConfig(seed int64) Config {
+	return Config{
+		Sigma:         60,
+		Tau:           7 * 24 * time.Hour,
+		FeatureDim:    32,
+		K:             3,
+		Epochs:        30,
+		Alpha:         10,
+		LearningRate:  0.05,
+		KNNNeighbors:  9,
+		MaxIterations: 4,
+		UsePathCounts: true,
+		Seed:          seed,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative sigma", Config{Sigma: -1}},
+		{"negative tau", Config{Tau: -time.Hour}},
+		{"k too small", Config{K: 1}},
+		{"bad threshold", Config{ConvergeThreshold: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	fs, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fs.Config()
+	if cfg.Sigma != DefaultSigma || cfg.Tau != DefaultTau || cfg.K != DefaultK {
+		t.Errorf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestInferBeforeTrain(t *testing.T) {
+	fs, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Infer(nil, []checkin.Pair{{A: 1, B: 2}}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("error = %v, want ErrNotTrained", err)
+	}
+	if _, err := fs.LastTrainReport(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("report error = %v, want ErrNotTrained", err)
+	}
+	if fs.Trained() {
+		t.Error("Trained() before Train")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	fs, err := New(quickConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := synth.Generate(synth.Tiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, nil, nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if err := fs.Train(w.Dataset, []checkin.Pair{{A: 1, B: 2}}, nil); err == nil {
+		t.Error("label mismatch should fail")
+	}
+}
+
+// TestEndToEnd trains on 70% of the labelled pairs and evaluates on the
+// held-out 30%, the paper's protocol, checking the attack clearly beats
+// chance and that the refinement loop terminates.
+func TestEndToEnd(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := New(quickConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Trained() {
+		t.Fatal("not trained")
+	}
+	rep, err := fs.LastTrainReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InputDim != rep.SpatialCells*rep.TimeSlots*3 {
+		t.Errorf("input dim %d != %d*%d*3", rep.InputDim, rep.SpatialCells, rep.TimeSlots)
+	}
+	if len(rep.AutoencoderLoss) == 0 {
+		t.Error("no autoencoder loss recorded")
+	}
+	if rep.Phase2Iterations < 1 {
+		t.Error("phase-2 training never iterated")
+	}
+
+	inferPairs := split.InferencePairs()
+	preds, infRep, err := fs.Infer(w.Dataset, inferPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(inferPairs) {
+		t.Fatalf("%d predictions for %d pairs", len(preds), len(inferPairs))
+	}
+	evalPreds, err := split.EvalDecisions(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := metrics.Evaluate(evalPreds, split.EvalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random guessing at the 25% positive rate scores F1 = 0.25 at best;
+	// demand a clear margin.
+	if conf.F1() < 0.45 {
+		t.Errorf("end-to-end F1 = %.3f, want >= 0.45 (%s)", conf.F1(), conf)
+	}
+	t.Logf("end-to-end: %s, iterations=%d", conf, infRep.Iterations)
+
+	if infRep.Iterations < 1 || infRep.Iterations > fs.Config().MaxIterations {
+		t.Errorf("iterations = %d", infRep.Iterations)
+	}
+	if infRep.FinalGraph == nil || infRep.Phase1Graph == nil {
+		t.Fatal("reports missing graphs")
+	}
+	if len(infRep.DiffRatios) != infRep.Iterations {
+		t.Errorf("diff ratios %d != iterations %d", len(infRep.DiffRatios), infRep.Iterations)
+	}
+	if len(infRep.Phase1Predictions) != len(inferPairs) {
+		t.Errorf("phase-1 predictions = %d", len(infRep.Phase1Predictions))
+	}
+}
+
+// TestPhase2ImprovesOnPhase1 checks the paper's central claim at miniature
+// scale: iterating with social-proximity features does not hurt, and
+// typically helps, relative to phase-1 alone (Fig. 10 shape).
+func TestPhase2ImprovesOnPhase1(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 3, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := New(quickConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	inferPairs := split.InferencePairs()
+	p0All, err := fs.InferAfterIterations(w.Dataset, inferPairs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pNAll, _, err := fs.Infer(w.Dataset, inferPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, err := split.EvalDecisions(p0All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pN, err := split.EvalDecisions(pNAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := metrics.Evaluate(p0, split.EvalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cN, err := metrics.Evaluate(pN, split.EvalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("phase1 F1 = %.3f, converged F1 = %.3f", c0.F1(), cN.F1())
+	if cN.F1() < c0.F1()-0.05 {
+		t.Errorf("phase 2 degraded F1: %.3f -> %.3f", c0.F1(), cN.F1())
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []bool {
+		fs, err := New(quickConfig(25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+			t.Fatal(err)
+		}
+		preds, _, err := fs.Infer(w.Dataset, split.EvalPairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return preds
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at pair %d", i)
+		}
+	}
+}
+
+func TestSocialFeatureWidth(t *testing.T) {
+	tests := []struct {
+		k, d  int
+		count bool
+		want  int
+	}{
+		{3, 128, false, 256},
+		{3, 128, true, 258},
+		{4, 16, true, 51},
+		{2, 8, false, 8},
+	}
+	for _, tt := range tests {
+		if got := socialFeatureWidth(tt.k, tt.d, tt.count); got != tt.want {
+			t.Errorf("socialFeatureWidth(%d,%d,%v) = %d, want %d", tt.k, tt.d, tt.count, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/nn"
+)
+
+// embeddingCache memoises presence-proximity features per pair for one
+// dataset: phase 2 needs h for every edge of every reachable subgraph, and
+// edges recur across subgraphs and iterations.
+type embeddingCache struct {
+	div    *joc.Division
+	ae     *nn.SupervisedAutoencoder
+	ds     *checkin.Dataset
+	scaler *featureScaler
+
+	mu  sync.Mutex
+	mem map[checkin.Pair][]float64
+}
+
+func newEmbeddingCache(div *joc.Division, ae *nn.SupervisedAutoencoder, ds *checkin.Dataset, scaler *featureScaler) *embeddingCache {
+	return &embeddingCache{
+		div: div, ae: ae, ds: ds, scaler: scaler,
+		mem: make(map[checkin.Pair][]float64),
+	}
+}
+
+// get returns the d-dimensional presence feature of a pair, computing and
+// caching it on demand. Safe for concurrent use: concurrent misses may
+// compute the same (deterministic) value twice, but never corrupt the map.
+func (c *embeddingCache) get(p checkin.Pair) ([]float64, error) {
+	c.mu.Lock()
+	h, ok := c.mem[p]
+	c.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	v, err := c.div.BuildFlattened(c.ds, p.A, p.B)
+	if err != nil {
+		return nil, fmt.Errorf("core: joc for pair (%d,%d): %w", p.A, p.B, err)
+	}
+	c.scaler.apply(v)
+	h, err = c.ae.EncodeOne(v)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode pair (%d,%d): %w", p.A, p.B, err)
+	}
+	c.mu.Lock()
+	c.mem[p] = h
+	c.mu.Unlock()
+	return h, nil
+}
+
+// seed pre-populates the cache (training embeddings are computed in batch).
+func (c *embeddingCache) seed(p checkin.Pair, h []float64) {
+	c.mu.Lock()
+	c.mem[p] = h
+	c.mu.Unlock()
+}
+
+// socialFeatureWidth returns the width of the social-proximity feature
+// vector: (k-1) summed path blocks of d dims each, plus (k-1) path counts
+// when enabled.
+func socialFeatureWidth(k, d int, usePathCounts bool) int {
+	w := (k - 1) * d
+	if usePathCounts {
+		w += k - 1
+	}
+	return w
+}
+
+// socialProximityFeature encodes the k-hop reachable subgraph between a
+// pair following Fig. 6: each path's vector is the sum of the presence
+// features of its edges; vectors of same-length paths are added; the
+// per-length blocks (l = 2..k) are concatenated. Optionally the per-length
+// path counts are appended so multiplicity survives feature cancellation.
+func socialProximityFeature(sub *graph.ReachableSubgraph, cache *embeddingCache, k, d int, usePathCounts bool) ([]float64, error) {
+	out := make([]float64, 0, socialFeatureWidth(k, d, usePathCounts))
+	counts := make([]float64, 0, k-1)
+	for l := 2; l <= k; l++ {
+		block := make([]float64, d)
+		paths := sub.PathsByLen[l]
+		edges := 0
+		for _, p := range paths {
+			for _, e := range p.Edges() {
+				h, err := cache.get(checkin.Pair(e))
+				if err != nil {
+					return nil, err
+				}
+				if len(h) != d {
+					return nil, fmt.Errorf("core: edge embedding width %d, want %d", len(h), d)
+				}
+				for i, v := range h {
+					block[i] += v
+				}
+				edges++
+			}
+		}
+		// Normalise the block to the mean edge feature so the social
+		// feature shares the scale of the presence feature regardless of
+		// path multiplicity; multiplicity itself is carried by the count
+		// channel. Unnormalised sums make RBF distances between
+		// many-path and few-path pairs explode.
+		if edges > 0 {
+			for i := range block {
+				block[i] /= float64(edges)
+			}
+		}
+		out = append(out, block...)
+		counts = append(counts, math.Log1p(float64(len(paths))))
+	}
+	if usePathCounts {
+		out = append(out, counts...)
+	}
+	return out, nil
+}
+
+// compositeFeature concatenates the pair's own presence feature with its
+// social proximity feature, the input of classifier C'.
+func compositeFeature(pair checkin.Pair, g *graph.Graph, cache *embeddingCache, cfg Config) ([]float64, error) {
+	h, err := cache.get(pair)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := graph.KHopReachableSubgraph(g, pair.A, pair.B, cfg.K,
+		graph.WithMaxPathsPerLength(cfg.MaxPathsPerLength))
+	if err != nil {
+		return nil, fmt.Errorf("core: subgraph for pair (%d,%d): %w", pair.A, pair.B, err)
+	}
+	s, err := socialProximityFeature(sub, cache, cfg.K, cfg.FeatureDim, cfg.UsePathCounts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, len(h)+len(s))
+	out = append(out, h...)
+	out = append(out, s...)
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// stubCache builds an embeddingCache with pre-seeded vectors so feature
+// extraction can be tested without a trained autoencoder.
+func stubCache(d int, vecs map[checkin.Pair][]float64) *embeddingCache {
+	mem := make(map[checkin.Pair][]float64, len(vecs))
+	for p, v := range vecs {
+		if len(v) != d {
+			panic("stub vector width")
+		}
+		mem[p] = v
+	}
+	return &embeddingCache{mem: mem}
+}
+
+func TestSocialProximityFeatureSums(t *testing.T) {
+	// Graph: two length-2 paths 1-3-2 and 1-4-2, one length-3 path
+	// 1-5-6-2. Edge embeddings are unit vectors along distinct axes.
+	g := graph.NewGraph()
+	for _, e := range [][2]checkin.UserID{{1, 3}, {3, 2}, {1, 4}, {4, 2}, {1, 5}, {5, 6}, {6, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const d = 4
+	vecs := map[checkin.Pair][]float64{
+		checkin.MakePair(1, 3): {1, 0, 0, 0},
+		checkin.MakePair(3, 2): {0, 1, 0, 0},
+		checkin.MakePair(1, 4): {1, 0, 0, 0},
+		checkin.MakePair(4, 2): {0, 1, 0, 0},
+		checkin.MakePair(1, 5): {0, 0, 1, 0},
+		checkin.MakePair(5, 6): {0, 0, 1, 0},
+		checkin.MakePair(6, 2): {0, 0, 0, 1},
+	}
+	cache := stubCache(d, vecs)
+
+	sub, err := graph.KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumPaths(2) != 2 || sub.NumPaths(3) != 1 {
+		t.Fatalf("paths = {2:%d, 3:%d}", sub.NumPaths(2), sub.NumPaths(3))
+	}
+
+	feat, err := socialProximityFeature(sub, cache, 3, d, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != socialFeatureWidth(3, d, true) {
+		t.Fatalf("feature width = %d", len(feat))
+	}
+	// Length-2 block: 4 edges total (two paths x two edges), mean over
+	// edges: [2,2,0,0]/4 = [0.5, 0.5, 0, 0].
+	wantL2 := []float64{0.5, 0.5, 0, 0}
+	for i, w := range wantL2 {
+		if math.Abs(feat[i]-w) > 1e-12 {
+			t.Errorf("l2 block[%d] = %v, want %v", i, feat[i], w)
+		}
+	}
+	// Length-3 block: 3 edges, mean [0, 0, 2/3, 1/3].
+	wantL3 := []float64{0, 0, 2.0 / 3, 1.0 / 3}
+	for i, w := range wantL3 {
+		if math.Abs(feat[d+i]-w) > 1e-12 {
+			t.Errorf("l3 block[%d] = %v, want %v", i, feat[d+i], w)
+		}
+	}
+	// Count channel: log1p(2), log1p(1).
+	if math.Abs(feat[2*d]-math.Log1p(2)) > 1e-12 || math.Abs(feat[2*d+1]-math.Log1p(1)) > 1e-12 {
+		t.Errorf("count channel = %v", feat[2*d:])
+	}
+}
+
+func TestSocialProximityFeatureEmptySubgraph(t *testing.T) {
+	g := graph.NewGraph()
+	g.AddNode(1)
+	g.AddNode(2)
+	sub, err := graph.KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat, err := socialProximityFeature(sub, stubCache(4, nil), 3, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range feat {
+		if v != 0 {
+			t.Fatalf("empty subgraph feature[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFeatureScaler(t *testing.T) {
+	// Two samples: feature 0 varies, feature 1 constant.
+	x := tensorFrom(t, 2, 2, []float64{0, 5, 10, 5})
+	sc := fitScaler(x)
+	v := []float64{10, 5}
+	sc.apply(v)
+	if math.Abs(v[0]-1) > 1e-9 { // (10-5)/5
+		t.Errorf("scaled varying feature = %v, want 1", v[0])
+	}
+	if v[1] != 0 { // constant feature: mean 5, std fallback 1
+		t.Errorf("scaled constant feature = %v, want 0", v[1])
+	}
+	// nil scaler is a no-op.
+	var nilSc *featureScaler
+	w := []float64{3}
+	nilSc.apply(w)
+	if w[0] != 3 {
+		t.Error("nil scaler mutated input")
+	}
+}
+
+func TestEdgeDecisionHysteresis(t *testing.T) {
+	fs := &FriendSeeker{cfg: Config{Hysteresis: 0.1}}
+	tests := []struct {
+		score   float64
+		present bool
+		want    bool
+	}{
+		{0.65, false, true},  // clears add threshold
+		{0.55, false, false}, // inside band: stays absent
+		{0.45, true, true},   // inside band: stays present
+		{0.35, true, false},  // clears remove threshold
+	}
+	for _, tt := range tests {
+		if got := fs.edgeDecision(tt.score, tt.present); got != tt.want {
+			t.Errorf("edgeDecision(%v, %v) = %v, want %v", tt.score, tt.present, got, tt.want)
+		}
+	}
+}
+
+func TestSharedCellIndex(t *testing.T) {
+	idx := &sharedCellIndex{cells: map[checkin.UserID]map[int]struct{}{
+		1: {0: {}, 1: {}},
+		2: {1: {}},
+		3: {2: {}},
+	}}
+	if !idx.shares(1, 2) {
+		t.Error("users 1,2 share cell 1")
+	}
+	if idx.shares(1, 3) || idx.shares(2, 3) {
+		t.Error("user 3 shares nothing")
+	}
+	if idx.shares(1, 99) {
+		t.Error("unknown user shares nothing")
+	}
+}
+
+// tensorFrom builds a matrix for tests.
+func tensorFrom(t *testing.T, rows, cols int, data []float64) *tensor.Matrix {
+	t.Helper()
+	m, err := tensor.FromSlice(rows, cols, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/metrics"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func TestParallelForCoversEveryIndex(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 1000
+	var hits [n]int32
+	if err := parallelFor(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d processed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	sentinel := errors.New("boom")
+	err := parallelFor(100, func(i int) error {
+		if i == 37 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error = %v, want sentinel", err)
+	}
+	if err := parallelFor(0, func(int) error { return sentinel }); err != nil {
+		t.Errorf("n=0 should not invoke fn: %v", err)
+	}
+}
+
+// TestInferParallelMatchesSerial forces multi-worker inference and checks
+// the decisions match a single-worker run exactly (determinism under
+// concurrency).
+func TestInferParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	w, err := synth.Generate(synth.Tiny(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(87)
+	cfg.Epochs = 10
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := w.FullView().AllPairs()
+
+	runtime.GOMAXPROCS(1)
+	serial, _, err := fs.Infer(w.Dataset, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(1)
+	parallel, _, err := fs.Infer(w.Dataset, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel inference diverged at pair %d", i)
+		}
+	}
+	// Scores should still beat chance.
+	ev, err := split.EvalDecisionsFrom(pairs, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := metrics.Evaluate(ev, split.EvalLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.F1() <= 0.2 {
+		t.Errorf("parallel F1 = %.3f", c.F1())
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/knn"
+	"github.com/friendseeker/friendseeker/internal/nn"
+	"github.com/friendseeker/friendseeker/internal/svm"
+)
+
+// modelFormatVersion guards against loading incompatible files.
+const modelFormatVersion = 1
+
+// modelFile is the on-disk representation of a trained FriendSeeker.
+type modelFile struct {
+	Version     int
+	Config      Config
+	Division    *joc.Snapshot
+	Autoencoder *nn.AutoencoderSnapshot
+	ScalerMean  []float64
+	ScalerStd   []float64
+	Phase1      *knn.Snapshot
+	Phase2      *svm.Snapshot
+	TrainReport *TrainReport
+}
+
+// Save serialises the trained attack (STD, autoencoder weights, feature
+// scaler, KNN reference set, SVM support vectors) so Infer can run in a
+// later process without retraining. The format is Go gob.
+func (fs *FriendSeeker) Save(w io.Writer) error {
+	if !fs.trained {
+		return ErrNotTrained
+	}
+	aeSnap, err := fs.ae.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: snapshot autoencoder: %w", err)
+	}
+	knnSnap, err := fs.phase1.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: snapshot knn: %w", err)
+	}
+	svmSnap, err := fs.phase2.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: snapshot svm: %w", err)
+	}
+	mf := modelFile{
+		Version:     modelFormatVersion,
+		Config:      fs.cfg,
+		Division:    fs.div.Snapshot(),
+		Autoencoder: aeSnap,
+		Phase1:      knnSnap,
+		Phase2:      svmSnap,
+		TrainReport: fs.trainRep,
+	}
+	if fs.scaler != nil {
+		mf.ScalerMean = fs.scaler.mean
+		mf.ScalerStd = fs.scaler.std
+	}
+	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+		return fmt.Errorf("core: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load restores a trained attack previously written by Save.
+func Load(r io.Reader) (*FriendSeeker, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if mf.Version != modelFormatVersion {
+		return nil, fmt.Errorf("core: model format version %d, want %d", mf.Version, modelFormatVersion)
+	}
+	if mf.Division == nil || mf.Autoencoder == nil || mf.Phase1 == nil || mf.Phase2 == nil {
+		return nil, errors.New("core: model file missing components")
+	}
+	div, err := joc.Restore(mf.Division)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore division: %w", err)
+	}
+	ae, err := nn.RestoreAutoencoder(mf.Autoencoder)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore autoencoder: %w", err)
+	}
+	phase1, err := knn.Restore(mf.Phase1)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore knn: %w", err)
+	}
+	phase2, err := svm.Restore(mf.Phase2)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore svm: %w", err)
+	}
+	out, err := New(mf.Config)
+	if err != nil {
+		return nil, err
+	}
+	out.div = div
+	out.ae = ae
+	out.phase1 = phase1
+	out.phase2 = phase2
+	out.trainRep = mf.TrainReport
+	if len(mf.ScalerMean) > 0 {
+		if len(mf.ScalerMean) != len(mf.ScalerStd) {
+			return nil, errors.New("core: scaler mean/std length mismatch")
+		}
+		out.scaler = &featureScaler{mean: mf.ScalerMean, std: mf.ScalerStd}
+	}
+	out.trained = true
+	return out, nil
+}

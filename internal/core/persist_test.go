@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func TestSaveBeforeTrain(t *testing.T) {
+	fs, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Save error = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+// TestSaveLoadRoundTrip trains a model, saves it, loads it into a fresh
+// process state and checks the restored model produces identical
+// decisions.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	w, err := synth.Generate(synth.Tiny(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(83)
+	cfg.Epochs = 10
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Trained() {
+		t.Fatal("restored model not marked trained")
+	}
+	rep, err := restored.LastTrainReport()
+	if err != nil || rep == nil {
+		t.Fatalf("restored train report: %v", err)
+	}
+
+	origPreds, _, err := fs.Infer(w.Dataset, split.EvalPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restPreds, _, err := restored.Infer(w.Dataset, split.EvalPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range origPreds {
+		if origPreds[i] != restPreds[i] {
+			t.Fatalf("restored model diverges at pair %d", i)
+		}
+	}
+}

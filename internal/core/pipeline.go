@@ -1,0 +1,624 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/knn"
+	"github.com/friendseeker/friendseeker/internal/nn"
+	"github.com/friendseeker/friendseeker/internal/svm"
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// FriendSeeker is the two-phase friendship-inference attack. Train fits
+// the supervised autoencoder, the phase-1 KNN classifier C and the
+// phase-2 SVM classifier C' on a labelled pair sample; Infer runs both
+// phases against a target dataset.
+type FriendSeeker struct {
+	cfg Config
+
+	div      *joc.Division
+	ae       *nn.SupervisedAutoencoder
+	scaler   *featureScaler
+	phase1   *knn.Classifier
+	phase2   *svm.Model
+	trained  bool
+	trainRep *TrainReport
+}
+
+// featureScaler z-scores flattened JOCs with training statistics. Most
+// JOC cells are near-constant zero; standardisation lets the autoencoder
+// spend capacity on the cells that vary.
+type featureScaler struct {
+	mean, std []float64
+}
+
+func fitScaler(x *tensor.Matrix) *featureScaler {
+	sc := &featureScaler{
+		mean: make([]float64, x.Cols),
+		std:  make([]float64, x.Cols),
+	}
+	n := float64(x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			sc.mean[j] += v
+		}
+	}
+	for j := range sc.mean {
+		sc.mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - sc.mean[j]
+			sc.std[j] += d * d
+		}
+	}
+	for j := range sc.std {
+		sc.std[j] = math.Sqrt(sc.std[j] / n)
+		if sc.std[j] < 1e-9 {
+			sc.std[j] = 1
+		}
+	}
+	return sc
+}
+
+// apply transforms v in place.
+func (sc *featureScaler) apply(v []float64) {
+	if sc == nil {
+		return
+	}
+	for j := range v {
+		v[j] = (v[j] - sc.mean[j]) / sc.std[j]
+	}
+}
+
+// New returns an untrained FriendSeeker with defaults filled.
+func New(cfg Config) (*FriendSeeker, error) {
+	cfg = cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &FriendSeeker{cfg: cfg}, nil
+}
+
+// Config returns the effective (defaults-filled) configuration.
+func (fs *FriendSeeker) Config() Config { return fs.cfg }
+
+// Trained reports whether Train has completed.
+func (fs *FriendSeeker) Trained() bool { return fs.trained }
+
+// TrainReport summarises a training run.
+type TrainReport struct {
+	// InputDim is the flattened JOC width I*J*3.
+	InputDim int
+	// SpatialCells and TimeSlots are the STD dimensions.
+	SpatialCells, TimeSlots int
+	// AutoencoderLoss holds the per-epoch combined losses of Algorithm 1.
+	AutoencoderLoss []float64
+	// Phase2Iterations is the number of refinement rounds the training
+	// loop ran before the graph stabilised.
+	Phase2Iterations int
+	// Phase2DiffRatios records the edge-change fraction after each round.
+	Phase2DiffRatios []float64
+}
+
+// InferReport summarises an inference run.
+type InferReport struct {
+	// Iterations is the number of phase-2 rounds until convergence.
+	Iterations int
+	// DiffRatios records the per-round edge-change fraction.
+	DiffRatios []float64
+	// Phase1Graph and FinalGraph are the social graphs after phase 1 and
+	// at convergence.
+	Phase1Graph, FinalGraph *graph.Graph
+	// Phase1Predictions maps each queried pair to the phase-1 decision.
+	Phase1Predictions map[checkin.Pair]bool
+}
+
+// Train fits the attack on a labelled sample of pairs drawn from the
+// training dataset, per Section III: Algorithm 1 for the supervised
+// autoencoder, KNN over bottleneck features for C, then the iterative
+// graph-refinement loop to train C'.
+func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels []bool) error {
+	if len(pairs) == 0 {
+		return errors.New("core: empty training sample")
+	}
+	if len(pairs) != len(labels) {
+		return fmt.Errorf("core: %d pairs vs %d labels", len(pairs), len(labels))
+	}
+
+	var (
+		div *joc.Division
+		err error
+	)
+	if fs.cfg.UniformGridSide > 0 {
+		div, err = joc.NewUniformDivision(ds, fs.cfg.UniformGridSide, fs.cfg.UniformGridSide, fs.cfg.Tau)
+	} else {
+		div, err = joc.NewDivision(ds, fs.cfg.Sigma, fs.cfg.Tau)
+	}
+	if err != nil {
+		return fmt.Errorf("core: build STD: %w", err)
+	}
+	fs.div = div
+
+	// Phase 1a: JOCs and Algorithm 1.
+	inputDim := div.InputDim()
+	x := tensor.New(len(pairs), inputDim)
+	y01 := make([]float64, len(pairs))
+	yInt := make([]int, len(pairs))
+	for i, p := range pairs {
+		v, err := div.BuildFlattened(ds, p.A, p.B)
+		if err != nil {
+			return fmt.Errorf("core: train joc %d: %w", i, err)
+		}
+		copy(x.Row(i), v)
+		if labels[i] {
+			y01[i] = 1
+			yInt[i] = 1
+		}
+	}
+	if !fs.cfg.NoStandardize {
+		fs.scaler = fitScaler(x)
+		for i := 0; i < x.Rows; i++ {
+			fs.scaler.apply(x.Row(i))
+		}
+	}
+
+	d := fs.cfg.FeatureDim
+	if d > inputDim {
+		// Tiny STDs (coarse sigma or short spans) can undercut the
+		// requested bottleneck; shrink to keep the autoencoder contractive.
+		d = inputDim
+	}
+	ae, err := nn.NewSupervisedAutoencoder(nn.AutoencoderConfig{
+		InputDim:      inputDim,
+		BottleneckDim: d,
+		HeadHidden:    fs.cfg.HeadHidden,
+		Alpha:         fs.cfg.Alpha,
+		UseAdam:       fs.cfg.UseAdam,
+		LearningRate:  fs.cfg.LearningRate,
+		Epochs:        fs.cfg.Epochs,
+		BatchSize:     fs.cfg.BatchSize,
+		Seed:          fs.cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("core: build autoencoder: %w", err)
+	}
+	stats, err := ae.Fit(x, y01)
+	if err != nil {
+		return fmt.Errorf("core: train autoencoder: %w", err)
+	}
+	fs.ae = ae
+	fs.cfg.FeatureDim = d
+
+	// Phase 1b: KNN classifier C over bottleneck features.
+	h, err := ae.Encode(x)
+	if err != nil {
+		return fmt.Errorf("core: encode training pairs: %w", err)
+	}
+	embeds := make([][]float64, h.Rows)
+	for i := range embeds {
+		row := make([]float64, h.Cols)
+		copy(row, h.Row(i))
+		embeds[i] = row
+	}
+	k := fs.cfg.KNNNeighbors
+	if k > len(embeds) {
+		k = len(embeds)
+	}
+	knnOpts := []knn.Option{knn.WithDistanceWeighting()}
+	if fs.cfg.KNNCosine {
+		knnOpts = append(knnOpts, knn.WithCosineDistance())
+	}
+	c1, err := knn.New(k, knnOpts...)
+	if err != nil {
+		return fmt.Errorf("core: build knn: %w", err)
+	}
+	if err := c1.Fit(embeds, yInt); err != nil {
+		return fmt.Errorf("core: fit knn: %w", err)
+	}
+	fs.phase1 = c1
+
+	// Phase 2 training. The paper derives the initial social graph G(0)
+	// over *every* user pair of the training dataset, not just the
+	// labelled sample, so C' sees the same graph structure at training
+	// time that it will see at inference time. The graph universe is the
+	// candidate pair set (pairs sharing a spatial grid, plus all labelled
+	// pairs); physically-implausible pairs are phase-1 negatives by
+	// construction and only enter the graph if a later round adds them.
+	cache := newEmbeddingCache(div, ae, ds, fs.scaler)
+	labelled := make(map[checkin.Pair]int, len(pairs))
+	for i, p := range pairs {
+		cache.seed(pairs[i], embeds[i])
+		labelled[p] = i
+	}
+	idx := &sharedCellIndex{cells: div.UserSpatialCells(ds)}
+	universe := make([]checkin.Pair, 0, len(pairs)*2)
+	universe = append(universe, pairs...)
+	users := ds.Users()
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			p := checkin.MakePair(users[i], users[j])
+			if _, dup := labelled[p]; dup {
+				continue
+			}
+			if idx.shares(p.A, p.B) {
+				universe = append(universe, p)
+			}
+		}
+	}
+
+	g := graph.NewGraph()
+	for _, u := range users {
+		g.AddNode(u)
+	}
+	for _, p := range universe {
+		var score float64
+		if li, ok := labelled[p]; ok {
+			// Leave-one-out: in-sample KNN predictions are trivially
+			// perfect (the query is its own nearest neighbour), which
+			// would seed C' with a noise-free graph it never sees at
+			// inference time.
+			score, err = c1.PredictProbaLOO(li)
+		} else {
+			var h []float64
+			h, err = cache.get(p)
+			if err != nil {
+				return err
+			}
+			score, err = c1.PredictProba(h)
+		}
+		if err != nil {
+			return fmt.Errorf("core: phase-1 predict: %w", err)
+		}
+		if score >= fs.cfg.Phase1Threshold {
+			if err := g.AddEdge(p.A, p.B); err != nil {
+				return err
+			}
+		}
+	}
+
+	rep := &TrainReport{
+		InputDim:        inputDim,
+		SpatialCells:    div.NumSpatialCells(),
+		TimeSlots:       div.NumTimeSlots(),
+		AutoencoderLoss: stats.Loss,
+	}
+	r := rand.New(rand.NewSource(fs.cfg.Seed + 2))
+	var model *svm.Model
+	for iter := 0; iter < fs.cfg.MaxIterations; iter++ {
+		// Fit C' on the labelled pairs' composite features under the
+		// current graph.
+		feats := make([][]float64, len(pairs))
+		frozenG := g
+		if err := parallelFor(len(pairs), func(i int) error {
+			f, err := compositeFeature(pairs[i], frozenG, cache, fs.cfg)
+			if err != nil {
+				return fmt.Errorf("core: composite feature: %w", err)
+			}
+			feats[i] = f
+			return nil
+		}); err != nil {
+			return err
+		}
+		trainX, trainY := feats, yInt
+		if len(feats) > fs.cfg.MaxSVMTrain {
+			perm := r.Perm(len(feats))[:fs.cfg.MaxSVMTrain]
+			trainX = make([][]float64, len(perm))
+			trainY = make([]int, len(perm))
+			for j, i := range perm {
+				trainX[j] = feats[i]
+				trainY[j] = yInt[i]
+			}
+		}
+		model = svm.New(svm.Config{
+			Kernel: svm.RBF{Gamma: fs.gamma(len(feats[0]))},
+			C:      fs.cfg.SVMC,
+			Seed:   fs.cfg.Seed + int64(iter),
+		})
+		if err := model.Fit(trainX, trainY); err != nil {
+			return fmt.Errorf("core: fit svm (iter %d): %w", iter, err)
+		}
+
+		// Re-derive the graph over the whole universe with C', exactly as
+		// inference will.
+		next := graph.NewGraph()
+		for _, u := range users {
+			next.AddNode(u)
+		}
+		reach := make(map[checkin.UserID]map[checkin.UserID]int)
+		within := func(a, b checkin.UserID) bool {
+			d, ok := reach[a]
+			if !ok {
+				d = g.BFSDistances(a, fs.cfg.K)
+				reach[a] = d
+			}
+			_, ok = d[b]
+			return ok
+		}
+		// Serial pre-pass: which universe pairs need evaluation (the
+		// reachability memo is not thread-safe).
+		evaluate := make([]bool, len(universe))
+		for i, p := range universe {
+			_, isLabelled := labelled[p]
+			evaluate[i] = isLabelled || idx.shares(p.A, p.B) || within(p.A, p.B)
+		}
+		accept := make([]bool, len(universe))
+		if err := parallelFor(len(universe), func(i int) error {
+			if !evaluate[i] {
+				return nil
+			}
+			p := universe[i]
+			var f []float64
+			if li, ok := labelled[p]; ok {
+				f = feats[li]
+			} else {
+				var err error
+				f, err = compositeFeature(p, frozenG, cache, fs.cfg)
+				if err != nil {
+					return fmt.Errorf("core: composite feature: %w", err)
+				}
+			}
+			score, err := model.PredictProba(f)
+			if err != nil {
+				return fmt.Errorf("core: phase-2 predict: %w", err)
+			}
+			accept[i] = fs.edgeDecision(score, frozenG.HasEdge(p.A, p.B))
+			return nil
+		}); err != nil {
+			return err
+		}
+		for i, p := range universe {
+			if accept[i] {
+				if err := next.AddEdge(p.A, p.B); err != nil {
+					return err
+				}
+			}
+		}
+		diff := g.DiffRatio(next)
+		rep.Phase2DiffRatios = append(rep.Phase2DiffRatios, diff)
+		rep.Phase2Iterations = iter + 1
+		g = next
+		if diff < fs.cfg.ConvergeThreshold {
+			break
+		}
+	}
+	fs.phase2 = model
+	fs.trainRep = rep
+	fs.trained = true
+	return nil
+}
+
+// LastTrainReport returns the report of the most recent Train call.
+func (fs *FriendSeeker) LastTrainReport() (*TrainReport, error) {
+	if fs.trainRep == nil {
+		return nil, ErrNotTrained
+	}
+	return fs.trainRep, nil
+}
+
+// edgeDecision applies hysteresis thresholding to a C' score: flipping an
+// edge's state requires clearing the 0.5 midline by the configured margin,
+// which damps the discrete graph dynamics into a converging fixed-point
+// iteration.
+func (fs *FriendSeeker) edgeDecision(score float64, present bool) bool {
+	if present {
+		return score >= 0.5-fs.cfg.Hysteresis
+	}
+	return score >= 0.5+fs.cfg.Hysteresis
+}
+
+// gamma resolves the RBF gamma (configured or 1/width).
+func (fs *FriendSeeker) gamma(width int) float64 {
+	if fs.cfg.SVMGamma != 0 {
+		return fs.cfg.SVMGamma
+	}
+	if width == 0 {
+		return 1
+	}
+	return 1 / float64(width)
+}
+
+// sharedCellIndex precomputes, per user, the set of spatial grids the user
+// checks in at, and answers pairwise physical-plausibility queries: a pair
+// sharing no spatial grid cannot exhibit presence proximity, so phase 1
+// classifies it negative without paying for a JOC and encoding. Hidden
+// (cyber) friends among such pairs are exactly what phase 2 recovers
+// through graph structure.
+type sharedCellIndex struct {
+	cells map[checkin.UserID]map[int]struct{}
+}
+
+func (s *sharedCellIndex) shares(a, b checkin.UserID) bool {
+	ca, cb := s.cells[a], s.cells[b]
+	if len(ca) > len(cb) {
+		ca, cb = cb, ca
+	}
+	for c := range ca {
+		if _, ok := cb[c]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Infer runs the trained attack against a target dataset: phase 1 builds
+// the initial social graph from presence features; phase 2 iteratively
+// refines it with social-proximity features until fewer than
+// ConvergeThreshold of edges change, adding hidden (cyber) friends and
+// pruning close-range strangers. It returns the final decision per queried
+// pair, aligned with pairs.
+//
+// Candidate filtering (documented in DESIGN.md): pairs sharing no spatial
+// grid are phase-1 negatives without encoding, and pairs that additionally
+// have no path within K hops of the evolving graph stay negative without
+// an SVM evaluation. This bounds all-pairs inference while never skipping
+// a pair that either phase could possibly accept.
+func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, *InferReport, error) {
+	if !fs.trained {
+		return nil, nil, ErrNotTrained
+	}
+	if len(pairs) == 0 {
+		return nil, nil, errors.New("core: no pairs to infer")
+	}
+	fs.div.AdoptPOIs(ds)
+	cache := newEmbeddingCache(fs.div, fs.ae, ds, fs.scaler)
+	idx := &sharedCellIndex{cells: fs.div.UserSpatialCells(ds)}
+
+	// Phase 1: presence features + C. Candidate pairs are scored in
+	// parallel (index-addressed writes keep the result deterministic);
+	// the graph is assembled serially afterwards.
+	g := graph.NewGraph()
+	phase1Preds := make(map[checkin.Pair]bool, len(pairs))
+	candidate := make([]bool, len(pairs))
+	positive := make([]bool, len(pairs))
+	for i, p := range pairs {
+		g.AddNode(p.A)
+		g.AddNode(p.B)
+		candidate[i] = idx.shares(p.A, p.B)
+	}
+	err := parallelFor(len(pairs), func(i int) error {
+		if !candidate[i] {
+			return nil
+		}
+		h, err := cache.get(pairs[i])
+		if err != nil {
+			return err
+		}
+		score, err := fs.phase1.PredictProba(h)
+		if err != nil {
+			return fmt.Errorf("core: phase-1 predict: %w", err)
+		}
+		positive[i] = score >= fs.cfg.Phase1Threshold
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, p := range pairs {
+		phase1Preds[p] = positive[i]
+		if positive[i] {
+			if err := g.AddEdge(p.A, p.B); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	rep := &InferReport{
+		Phase1Graph:       g.Clone(),
+		Phase1Predictions: phase1Preds,
+	}
+
+	// Phase 2: iterate C' over composite features. Per iteration, the
+	// serial pre-pass decides which pairs need evaluation (reachability is
+	// memoised per source), the expensive feature + SVM work fans out in
+	// parallel, and the graph update is serial.
+	decisions := make([]bool, len(pairs))
+	for iter := 0; iter < fs.cfg.MaxIterations; iter++ {
+		reach := make(map[checkin.UserID]map[checkin.UserID]int)
+		within := func(a, b checkin.UserID) bool {
+			d, ok := reach[a]
+			if !ok {
+				d = g.BFSDistances(a, fs.cfg.K)
+				reach[a] = d
+			}
+			_, ok = d[b]
+			return ok
+		}
+		evaluate := make([]bool, len(pairs))
+		for i, p := range pairs {
+			evaluate[i] = candidate[i] || within(p.A, p.B)
+			if !evaluate[i] {
+				decisions[i] = false
+			}
+		}
+
+		frozen := g // read-only within the parallel section
+		err := parallelFor(len(pairs), func(i int) error {
+			if !evaluate[i] {
+				return nil
+			}
+			p := pairs[i]
+			f, err := compositeFeature(p, frozen, cache, fs.cfg)
+			if err != nil {
+				return err
+			}
+			score, err := fs.phase2.PredictProba(f)
+			if err != nil {
+				return fmt.Errorf("core: phase-2 predict: %w", err)
+			}
+			decisions[i] = fs.edgeDecision(score, frozen.HasEdge(p.A, p.B))
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+
+		next := graph.NewGraph()
+		for _, p := range pairs {
+			next.AddNode(p.A)
+			next.AddNode(p.B)
+		}
+		for i, p := range pairs {
+			if decisions[i] {
+				if err := next.AddEdge(p.A, p.B); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		diff := g.DiffRatio(next)
+		rep.DiffRatios = append(rep.DiffRatios, diff)
+		rep.Iterations = iter + 1
+		g = next
+		if diff < fs.cfg.ConvergeThreshold {
+			break
+		}
+	}
+	rep.FinalGraph = g
+	return decisions, rep, nil
+}
+
+// InferAfterIterations is Infer with an explicit round budget, used by the
+// Fig. 10 experiment (accuracy as a function of iteration count). A budget
+// of 0 returns the phase-1 decisions.
+func (fs *FriendSeeker) InferAfterIterations(ds *checkin.Dataset, pairs []checkin.Pair, rounds int) ([]bool, error) {
+	if !fs.trained {
+		return nil, ErrNotTrained
+	}
+	saved := fs.cfg
+	fs.cfg.MaxIterations = rounds
+	// Force every requested round to run by disabling early convergence
+	// (threshold cannot be zero, so use a tiny epsilon).
+	fs.cfg.ConvergeThreshold = 1e-12
+	defer func() { fs.cfg = saved }()
+
+	if rounds == 0 {
+		fs.div.AdoptPOIs(ds)
+		cache := newEmbeddingCache(fs.div, fs.ae, ds, fs.scaler)
+		idx := &sharedCellIndex{cells: fs.div.UserSpatialCells(ds)}
+		out := make([]bool, len(pairs))
+		for i, p := range pairs {
+			if !idx.shares(p.A, p.B) {
+				continue
+			}
+			h, err := cache.get(p)
+			if err != nil {
+				return nil, err
+			}
+			score, err := fs.phase1.PredictProba(h)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = score >= fs.cfg.Phase1Threshold
+		}
+		return out, nil
+	}
+	decisions, _, err := fs.Infer(ds, pairs)
+	return decisions, err
+}

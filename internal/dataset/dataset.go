@@ -1,0 +1,278 @@
+// Package dataset reads and writes check-in traces and social graphs.
+// It supports the SNAP text format of the original Gowalla/Brightkite
+// snapshots the paper evaluates on ("user<TAB>time<TAB>lat<TAB>lng<TAB>
+// location-id" plus an edge list), so users holding the real data can run
+// the identical pipeline, and a CSV round-trip format for synthetic worlds.
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+// ErrNoRecords reports an input with no parseable records.
+var ErrNoRecords = errors.New("dataset: no records")
+
+// LoadSNAPCheckIns parses the SNAP "totalCheckins" format:
+//
+//	[user]	[check-in time]	[latitude]	[longitude]	[location id]
+//
+// POIs are derived from location IDs with their first observed coordinate
+// (SNAP files occasionally repeat a location with jittered coordinates).
+// Malformed lines are skipped and counted.
+func LoadSNAPCheckIns(r io.Reader) (pois []checkin.POI, checkIns []checkin.CheckIn, skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	seen := make(map[checkin.POIID]struct{})
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			skipped++
+			continue
+		}
+		uid, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			skipped++
+			continue
+		}
+		ts, err := time.Parse(time.RFC3339, fields[1])
+		if err != nil {
+			skipped++
+			continue
+		}
+		lat, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			skipped++
+			continue
+		}
+		lng, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			skipped++
+			continue
+		}
+		locRaw := fields[4]
+		loc, err := strconv.ParseInt(locRaw, 10, 64)
+		if err != nil {
+			// Brightkite uses hex location ids; hash them stably.
+			loc = int64(fnv64(locRaw))
+		}
+		p := geo.Point{Lat: lat, Lng: lng}
+		if !p.Valid() {
+			skipped++
+			continue
+		}
+		pid := checkin.POIID(loc)
+		if _, dup := seen[pid]; !dup {
+			seen[pid] = struct{}{}
+			pois = append(pois, checkin.POI{ID: pid, Center: p, Radius: 50})
+		}
+		checkIns = append(checkIns, checkin.CheckIn{
+			User: checkin.UserID(uid), POI: pid, Time: ts,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, skipped, fmt.Errorf("dataset: scan snap check-ins: %w", err)
+	}
+	if len(checkIns) == 0 {
+		return nil, nil, skipped, ErrNoRecords
+	}
+	return pois, checkIns, skipped, nil
+}
+
+// fnv64 hashes a string with FNV-1a, for non-numeric location ids.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	// Keep within int63 so POIID stays positive.
+	return h >> 1
+}
+
+// LoadSNAPEdges parses the SNAP edge-list format: one "a<TAB>b" pair per
+// line. Duplicate and reversed pairs collapse; self-loops are skipped.
+func LoadSNAPEdges(r io.Reader) ([]graph.Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	seen := make(map[graph.Edge]struct{})
+	var out []graph.Edge
+	skipped := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			skipped++
+			continue
+		}
+		a, errA := strconv.ParseInt(fields[0], 10, 64)
+		b, errB := strconv.ParseInt(fields[1], 10, 64)
+		if errA != nil || errB != nil || a == b {
+			skipped++
+			continue
+		}
+		e := graph.NewEdge(checkin.UserID(a), checkin.UserID(b))
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("dataset: scan snap edges: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, skipped, ErrNoRecords
+	}
+	return out, skipped, nil
+}
+
+// WriteCheckInsCSV writes a dataset's POIs and check-ins as CSV with the
+// header "user,time,lat,lng,poi" (one row per check-in; POI coordinates
+// inline so one file round-trips).
+func WriteCheckInsCSV(w io.Writer, ds *checkin.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"user", "time", "lat", "lng", "poi"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, c := range ds.AllCheckIns() {
+		p, err := ds.POI(c.POI)
+		if err != nil {
+			return fmt.Errorf("dataset: write check-ins: %w", err)
+		}
+		rec := []string{
+			strconv.FormatInt(int64(c.User), 10),
+			c.Time.UTC().Format(time.RFC3339),
+			strconv.FormatFloat(p.Center.Lat, 'f', -1, 64),
+			strconv.FormatFloat(p.Center.Lng, 'f', -1, 64),
+			strconv.FormatInt(int64(c.POI), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckInsCSV reads the WriteCheckInsCSV format back into a dataset.
+func ReadCheckInsCSV(r io.Reader) (*checkin.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, ErrNoRecords
+	}
+	var (
+		pois     []checkin.POI
+		checkIns []checkin.CheckIn
+		seen     = make(map[checkin.POIID]struct{})
+	)
+	for i, rec := range rows[1:] {
+		uid, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d user: %w", i+2, err)
+		}
+		ts, err := time.Parse(time.RFC3339, rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d time: %w", i+2, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d lat: %w", i+2, err)
+		}
+		lng, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d lng: %w", i+2, err)
+		}
+		pid, err := strconv.ParseInt(rec[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d poi: %w", i+2, err)
+		}
+		id := checkin.POIID(pid)
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			pois = append(pois, checkin.POI{ID: id, Center: geo.Point{Lat: lat, Lng: lng}, Radius: 50})
+		}
+		checkIns = append(checkIns, checkin.CheckIn{User: checkin.UserID(uid), POI: id, Time: ts})
+	}
+	ds, err := checkin.NewDataset(pois, checkIns)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: assemble: %w", err)
+	}
+	return ds, nil
+}
+
+// WriteEdgesCSV writes a social graph as "a,b" rows with a header.
+func WriteEdgesCSV(w io.Writer, g *graph.Graph) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"a", "b"}); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for _, e := range g.Edges() {
+		rec := []string{
+			strconv.FormatInt(int64(e.A), 10),
+			strconv.FormatInt(int64(e.B), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write edge: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadEdgesCSV reads the WriteEdgesCSV format back into a graph.
+func ReadEdgesCSV(r io.Reader) (*graph.Graph, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read edges csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, ErrNoRecords
+	}
+	g := graph.NewGraph()
+	for i, rec := range rows[1:] {
+		a, errA := strconv.ParseInt(rec[0], 10, 64)
+		b, errB := strconv.ParseInt(rec[1], 10, 64)
+		if errA != nil || errB != nil {
+			return nil, fmt.Errorf("dataset: edge row %d malformed", i+2)
+		}
+		if err := g.AddEdge(checkin.UserID(a), checkin.UserID(b)); err != nil {
+			return nil, fmt.Errorf("dataset: edge row %d: %w", i+2, err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+const snapSample = `0	2010-10-19T23:55:27Z	30.2359091167	-97.7951395833	22847
+0	2010-10-18T22:17:43Z	30.2691029532	-97.7493953705	420315
+1	2010-10-17T23:42:03Z	30.2557309927	-97.7633857727	316637
+2	2010-10-17T19:26:05Z	30.2634181234	-97.7575966669	16516
+bogus line without enough fields
+3	not-a-time	30.0	-97.0	99
+4	2010-10-16T18:50:42Z	999.0	-97.0	77
+`
+
+func TestLoadSNAPCheckIns(t *testing.T) {
+	pois, cs, skipped, err := LoadSNAPCheckIns(strings.NewReader(snapSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 4 {
+		t.Errorf("check-ins = %d, want 4", len(cs))
+	}
+	if len(pois) != 4 {
+		t.Errorf("pois = %d, want 4", len(pois))
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if cs[0].User != 0 || int64(cs[0].POI) != 22847 {
+		t.Errorf("first check-in = %+v", cs[0])
+	}
+}
+
+func TestLoadSNAPCheckInsHexLocations(t *testing.T) {
+	// Brightkite-style hex location ids must hash to stable POI ids.
+	in := "0\t2010-10-17T01:48:53Z\t39.74\t-104.98\tded5235fa96bbe36bcfcad100f6f5647\n" +
+		"1\t2010-10-16T06:02:04Z\t39.74\t-104.98\tded5235fa96bbe36bcfcad100f6f5647\n"
+	pois, cs, skipped, err := LoadSNAPCheckIns(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(cs) != 2 || len(pois) != 1 {
+		t.Errorf("hex parse: pois=%d cs=%d skipped=%d", len(pois), len(cs), skipped)
+	}
+	if cs[0].POI != cs[1].POI {
+		t.Error("same hex location produced different POI ids")
+	}
+	if cs[0].POI <= 0 {
+		t.Error("hashed POI id must be positive")
+	}
+}
+
+func TestLoadSNAPCheckInsEmpty(t *testing.T) {
+	if _, _, _, err := LoadSNAPCheckIns(strings.NewReader("\n\n")); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("error = %v, want ErrNoRecords", err)
+	}
+}
+
+func TestLoadSNAPEdges(t *testing.T) {
+	in := "0\t1\n1\t0\n1\t2\n2\t2\nmalformed\n"
+	edges, skipped, err := LoadSNAPEdges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Errorf("edges = %v, want 2 canonical edges", edges)
+	}
+	if skipped != 2 { // self-loop + malformed
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if _, _, err := LoadSNAPEdges(strings.NewReader("")); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("empty error = %v", err)
+	}
+}
+
+func TestCheckInsCSVRoundTrip(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckInsCSV(&buf, w.Dataset); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckInsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumCheckIns() != w.Dataset.NumCheckIns() {
+		t.Errorf("check-ins %d -> %d", w.Dataset.NumCheckIns(), back.NumCheckIns())
+	}
+	if back.NumUsers() != w.Dataset.NumUsers() {
+		t.Errorf("users %d -> %d", w.Dataset.NumUsers(), back.NumUsers())
+	}
+	// Per-user counts identical.
+	for _, u := range w.Dataset.Users() {
+		if back.CheckInCount(u) != w.Dataset.CheckInCount(u) {
+			t.Fatalf("user %d count changed", u)
+		}
+	}
+	// POIs referenced by check-ins survive; unvisited POIs are not
+	// serialised (CSV carries only visited locations).
+	orig := w.Dataset.AllCheckIns()
+	got := back.AllCheckIns()
+	for i := range orig {
+		if orig[i].User != got[i].User || orig[i].POI != got[i].POI || !orig[i].Time.Equal(got[i].Time) {
+			t.Fatalf("check-in %d changed: %+v -> %+v", i, orig[i], got[i])
+		}
+	}
+}
+
+func TestEdgesCSVRoundTrip(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgesCSV(&buf, w.Truth); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != w.Truth.NumEdges() {
+		t.Fatalf("edges %d -> %d", w.Truth.NumEdges(), back.NumEdges())
+	}
+	for _, e := range w.Truth.Edges() {
+		if !back.HasEdge(e.A, e.B) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestReadCheckInsCSVErrors(t *testing.T) {
+	if _, err := ReadCheckInsCSV(strings.NewReader("user,time,lat,lng,poi\n")); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("header-only error = %v", err)
+	}
+	bad := "user,time,lat,lng,poi\nx,2010-10-19T23:55:27Z,1,2,3\n"
+	if _, err := ReadCheckInsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad user id should fail")
+	}
+	bad = "user,time,lat,lng,poi\n1,not-a-time,1,2,3\n"
+	if _, err := ReadCheckInsCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad time should fail")
+	}
+}
+
+func TestReadEdgesCSVErrors(t *testing.T) {
+	if _, err := ReadEdgesCSV(strings.NewReader("a,b\n")); !errors.Is(err, ErrNoRecords) {
+		t.Errorf("header-only error = %v", err)
+	}
+	if _, err := ReadEdgesCSV(strings.NewReader("a,b\n1,1\n")); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if _, err := ReadEdgesCSV(strings.NewReader("a,b\nx,2\n")); err == nil {
+		t.Error("malformed id should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// The SNAP snapshots are worldwide; the paper's experiments (and any
+// tractable run of this library on the real data) operate on dense
+// sub-regions with active users. These helpers carve such subsets out of
+// a full dataset.
+
+// FilterRegion keeps only check-ins at POIs inside the rectangle. Users
+// left without check-ins disappear; POIs outside the region are dropped
+// from the universe.
+func FilterRegion(ds *checkin.Dataset, region geo.Rect) (*checkin.Dataset, error) {
+	inside := make(map[checkin.POIID]bool, ds.NumPOIs())
+	var pois []checkin.POI
+	for _, p := range ds.POIs() {
+		if region.Contains(p.Center) {
+			inside[p.ID] = true
+			pois = append(pois, p)
+		}
+	}
+	if len(pois) == 0 {
+		return nil, errors.New("dataset: region contains no POIs")
+	}
+	var kept []checkin.CheckIn
+	for _, c := range ds.AllCheckIns() {
+		if inside[c.POI] {
+			kept = append(kept, c)
+		}
+	}
+	out, err := checkin.NewDataset(pois, kept)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: filter region: %w", err)
+	}
+	return out, nil
+}
+
+// TopUsers keeps the n users with the most check-ins (ties broken by
+// user id for determinism).
+func TopUsers(ds *checkin.Dataset, n int) (*checkin.Dataset, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dataset: top users n must be >= 1, got %d", n)
+	}
+	users := ds.Users()
+	sort.Slice(users, func(i, j int) bool {
+		ci, cj := ds.CheckInCount(users[i]), ds.CheckInCount(users[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return users[i] < users[j]
+	})
+	if n > len(users) {
+		n = len(users)
+	}
+	keep := make(map[checkin.UserID]bool, n)
+	for _, u := range users[:n] {
+		keep[u] = true
+	}
+	out, err := ds.FilterUsers(func(u checkin.UserID) bool { return keep[u] })
+	if err != nil {
+		return nil, fmt.Errorf("dataset: top users: %w", err)
+	}
+	return out, nil
+}
+
+// DensestRegion scans a coarse grid over the dataset's POI bounding box
+// and returns the cellSize x cellSize degree window (expanded from the
+// densest grid cell) holding the most check-ins — the "extract the most
+// active city" preprocessing step for worldwide SNAP data.
+func DensestRegion(ds *checkin.Dataset, cellSize float64) (geo.Rect, error) {
+	if cellSize <= 0 {
+		return geo.Rect{}, fmt.Errorf("dataset: cell size must be positive, got %v", cellSize)
+	}
+	points := ds.POIPoints()
+	bounds, err := geo.BoundingRect(points)
+	if err != nil {
+		return geo.Rect{}, err
+	}
+
+	// Count check-ins per coarse cell.
+	poiCell := make(map[checkin.POIID][2]int, ds.NumPOIs())
+	for _, p := range ds.POIs() {
+		r := int((p.Center.Lat - bounds.MinLat) / cellSize)
+		c := int((p.Center.Lng - bounds.MinLng) / cellSize)
+		poiCell[p.ID] = [2]int{r, c}
+	}
+	counts := make(map[[2]int]int)
+	for _, c := range ds.AllCheckIns() {
+		counts[poiCell[c.POI]]++
+	}
+	if len(counts) == 0 {
+		return geo.Rect{}, errors.New("dataset: no check-ins")
+	}
+	best, bestN := [2]int{}, -1
+	// Deterministic scan order.
+	keys := make([][2]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		if counts[k] > bestN {
+			best, bestN = k, counts[k]
+		}
+	}
+	minLat := bounds.MinLat + float64(best[0])*cellSize
+	minLng := bounds.MinLng + float64(best[1])*cellSize
+	return geo.NewRect(minLat, minLng, minLat+cellSize, minLng+cellSize)
+}

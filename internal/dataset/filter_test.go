@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+var t0 = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// cityDataset: a dense cluster near (30,120) and a sparse one near (40,0).
+func cityDataset(t *testing.T) *checkin.Dataset {
+	t.Helper()
+	pois := []checkin.POI{
+		{ID: 1, Center: geo.Point{Lat: 30.1, Lng: 120.1}},
+		{ID: 2, Center: geo.Point{Lat: 30.2, Lng: 120.2}},
+		{ID: 3, Center: geo.Point{Lat: 40.0, Lng: 0.0}},
+	}
+	var cs []checkin.CheckIn
+	for i := 0; i < 10; i++ {
+		cs = append(cs,
+			checkin.CheckIn{User: 1, POI: 1, Time: t0.Add(time.Duration(i) * time.Hour)},
+			checkin.CheckIn{User: 2, POI: 2, Time: t0.Add(time.Duration(i) * time.Hour)},
+		)
+	}
+	cs = append(cs,
+		checkin.CheckIn{User: 3, POI: 3, Time: t0},
+		checkin.CheckIn{User: 3, POI: 3, Time: t0.Add(time.Hour)},
+		checkin.CheckIn{User: 1, POI: 3, Time: t0.Add(2 * time.Hour)},
+	)
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFilterRegion(t *testing.T) {
+	ds := cityDataset(t)
+	region, err := geo.NewRect(29, 119, 31, 121)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FilterRegion(ds, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumPOIs() != 2 {
+		t.Errorf("POIs = %d, want 2", out.NumPOIs())
+	}
+	if out.NumCheckIns() != 20 {
+		t.Errorf("check-ins = %d, want 20", out.NumCheckIns())
+	}
+	// User 3 only visited the excluded POI.
+	if out.CheckInCount(3) != 0 {
+		t.Error("user 3 should be gone")
+	}
+	empty, err := geo.NewRect(-10, -10, -5, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FilterRegion(ds, empty); err == nil {
+		t.Error("empty region should fail")
+	}
+}
+
+func TestTopUsers(t *testing.T) {
+	ds := cityDataset(t)
+	out, err := TopUsers(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumUsers() != 2 {
+		t.Fatalf("users = %d, want 2", out.NumUsers())
+	}
+	// Users 1 (11 check-ins) and 2 (10) beat user 3 (2).
+	if out.CheckInCount(1) == 0 || out.CheckInCount(2) == 0 || out.CheckInCount(3) != 0 {
+		t.Errorf("kept wrong users: 1=%d 2=%d 3=%d",
+			out.CheckInCount(1), out.CheckInCount(2), out.CheckInCount(3))
+	}
+	if _, err := TopUsers(ds, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	all, err := TopUsers(ds, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.NumUsers() != ds.NumUsers() {
+		t.Error("n > users should keep everyone")
+	}
+}
+
+func TestDensestRegion(t *testing.T) {
+	ds := cityDataset(t)
+	region, err := DensestRegion(ds, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dense cluster is near (30,120): the densest 1x1-degree window
+	// must contain POI 1.
+	if !region.Contains(geo.Point{Lat: 30.1, Lng: 120.1}) {
+		t.Errorf("densest region %+v misses the dense cluster", region)
+	}
+	if region.Contains(geo.Point{Lat: 40, Lng: 0}) {
+		t.Error("densest region should not include the sparse cluster")
+	}
+	if _, err := DensestRegion(ds, 0); err == nil {
+		t.Error("zero cell size should fail")
+	}
+	// Round trip: cropping to the densest region keeps the cluster.
+	out, err := FilterRegion(ds, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCheckIns() < 10 {
+		t.Errorf("cropped check-ins = %d", out.NumCheckIns())
+	}
+}

@@ -1,0 +1,208 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWalkGraphValidation(t *testing.T) {
+	g := NewWalkGraph()
+	if err := g.AddEdge(1, 1, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddEdge(1, 2, 0); err == nil {
+		t.Error("zero weight should fail")
+	}
+	if err := g.AddEdge(1, 2, -3); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	// Parallel adds accumulate.
+	if err := g.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(1) != 1 {
+		t.Errorf("Degree(1) = %d, want 1 (accumulated)", g.Degree(1))
+	}
+}
+
+func TestGenerateWalksEmpty(t *testing.T) {
+	if _, err := GenerateWalks(NewWalkGraph(), WalkConfig{}); err == nil {
+		t.Error("empty graph should fail")
+	}
+}
+
+func TestGenerateWalksShape(t *testing.T) {
+	g := NewWalkGraph()
+	if err := g.AddEdge(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	walks, err := GenerateWalks(g, WalkConfig{WalksPerNode: 4, WalkLength: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) != 3*4 {
+		t.Fatalf("walks = %d, want 12", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 10 {
+			t.Errorf("walk length = %d, want 10", len(w))
+		}
+		// Every consecutive pair must be an edge of the path graph 1-2-3.
+		for i := 0; i+1 < len(w); i++ {
+			a, b := w[i], w[i+1]
+			ok := (a == 1 && b == 2) || (a == 2 && b == 1) || (a == 2 && b == 3) || (a == 3 && b == 2)
+			if !ok {
+				t.Fatalf("illegal transition %d -> %d", a, b)
+			}
+		}
+	}
+}
+
+func TestWalksFollowWeights(t *testing.T) {
+	// From node 1, the edge to 2 has weight 99 and to 3 weight 1: the
+	// overwhelming majority of first steps must go to 2.
+	g := NewWalkGraph()
+	if err := g.AddEdge(1, 2, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	walks, err := GenerateWalks(g, WalkConfig{WalksPerNode: 300, WalkLength: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to2 := 0
+	total := 0
+	for _, w := range walks {
+		if w[0] != 1 || len(w) < 2 {
+			continue
+		}
+		total++
+		if w[1] == 2 {
+			to2++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no walks from node 1")
+	}
+	if share := float64(to2) / float64(total); share < 0.9 {
+		t.Errorf("share of steps to heavy edge = %v, want >= 0.9", share)
+	}
+}
+
+func TestWalksDeterministic(t *testing.T) {
+	g := NewWalkGraph()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		a, b := Node(r.Intn(20)), Node(r.Intn(20))
+		if a != b {
+			_ = g.AddEdge(a, b, 1+r.Float64())
+		}
+	}
+	w1, err := GenerateWalks(g, WalkConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := GenerateWalks(g, WalkConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != len(w2) {
+		t.Fatal("walk counts differ")
+	}
+	for i := range w1 {
+		for j := range w1[i] {
+			if w1[i][j] != w2[i][j] {
+				t.Fatalf("walks differ at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestTrainSkipGramValidation(t *testing.T) {
+	if _, err := TrainSkipGram(nil, SkipGramConfig{}); err == nil {
+		t.Error("empty corpus should fail")
+	}
+	if _, err := TrainSkipGram([][]Node{{1, 1, 1}}, SkipGramConfig{}); err == nil {
+		t.Error("single-node vocabulary should fail")
+	}
+}
+
+// TestSkipGramCommunityStructure checks that nodes co-occurring in walks
+// end up closer than nodes that never co-occur: two disjoint cliques must
+// embed into two separable clusters.
+func TestSkipGramCommunityStructure(t *testing.T) {
+	g := NewWalkGraph()
+	// Clique A: nodes 0-4; clique B: nodes 10-14. No inter-clique edges.
+	for _, base := range []Node{0, 10} {
+		for i := Node(0); i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				if err := g.AddEdge(base+i, base+j, 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	walks, err := GenerateWalks(g, WalkConfig{WalksPerNode: 20, WalkLength: 20, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := TrainSkipGram(walks, SkipGramConfig{Dim: 16, Window: 4, Epochs: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Len() != 10 || emb.Dim() != 16 {
+		t.Fatalf("vocab %d dim %d", emb.Len(), emb.Dim())
+	}
+	within, err := emb.Similarity(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	across, err := emb.Similarity(0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if within <= across {
+		t.Errorf("within-clique similarity %v <= cross-clique %v", within, across)
+	}
+	if _, err := emb.Similarity(0, 999); err == nil {
+		t.Error("out-of-vocab similarity should fail")
+	}
+	if _, ok := emb.Vector(0); !ok {
+		t.Error("vector for node 0 missing")
+	}
+	if emb.Has(999) {
+		t.Error("Has(999) should be false")
+	}
+}
+
+func BenchmarkSkipGram(b *testing.B) {
+	g := NewWalkGraph()
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		a, c := Node(r.Intn(100)), Node(r.Intn(100))
+		if a != c {
+			_ = g.AddEdge(a, c, 1)
+		}
+	}
+	walks, err := GenerateWalks(g, WalkConfig{WalksPerNode: 5, WalkLength: 20, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainSkipGram(walks, SkipGramConfig{Dim: 32, Epochs: 1, Seed: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

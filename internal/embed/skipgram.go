@@ -1,0 +1,231 @@
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// SkipGramConfig controls skip-gram-with-negative-sampling training.
+type SkipGramConfig struct {
+	// Dim is the embedding width (default 64).
+	Dim int
+	// Window is the context half-width (default 5).
+	Window int
+	// Negatives is the number of negative samples per positive pair
+	// (default 5).
+	Negatives int
+	// Epochs over the corpus (default 3).
+	Epochs int
+	// LearningRate is the initial SGD step (default 0.025), linearly
+	// decayed to 1e-4 of itself.
+	LearningRate float64
+	// Seed drives initialisation and sampling.
+	Seed int64
+}
+
+func (c *SkipGramConfig) fillDefaults() {
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.Window == 0 {
+		c.Window = 5
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 3
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.025
+	}
+}
+
+// Embeddings maps nodes to learned vectors.
+type Embeddings struct {
+	dim     int
+	vectors map[Node][]float64
+}
+
+// Dim returns the embedding width.
+func (e *Embeddings) Dim() int { return e.dim }
+
+// Vector returns the embedding of n.
+func (e *Embeddings) Vector(n Node) ([]float64, bool) {
+	v, ok := e.vectors[n]
+	return v, ok
+}
+
+// Has reports whether n has an embedding.
+func (e *Embeddings) Has(n Node) bool {
+	_, ok := e.vectors[n]
+	return ok
+}
+
+// Len returns the vocabulary size.
+func (e *Embeddings) Len() int { return len(e.vectors) }
+
+// Similarity returns the cosine similarity between two nodes' vectors, or
+// an error when either is out of vocabulary.
+func (e *Embeddings) Similarity(a, b Node) (float64, error) {
+	va, ok := e.vectors[a]
+	if !ok {
+		return 0, fmt.Errorf("embed: node %d out of vocabulary", a)
+	}
+	vb, ok := e.vectors[b]
+	if !ok {
+		return 0, fmt.Errorf("embed: node %d out of vocabulary", b)
+	}
+	return tensor.CosineSimilarity(va, vb)
+}
+
+// TrainSkipGram learns embeddings from a walk corpus with negative
+// sampling. The unigram^(3/4) noise distribution of word2vec is used.
+func TrainSkipGram(walks [][]Node, cfg SkipGramConfig) (*Embeddings, error) {
+	if len(walks) == 0 {
+		return nil, errors.New("embed: empty corpus")
+	}
+	cfg.fillDefaults()
+
+	// Vocabulary and frequencies.
+	freq := make(map[Node]float64)
+	totalTokens := 0
+	for _, w := range walks {
+		for _, n := range w {
+			freq[n]++
+			totalTokens++
+		}
+	}
+	if len(freq) < 2 {
+		return nil, errors.New("embed: corpus has fewer than two distinct nodes")
+	}
+	vocab := make([]Node, 0, len(freq))
+	for n := range freq {
+		vocab = append(vocab, n)
+	}
+	sort.Slice(vocab, func(i, j int) bool { return vocab[i] < vocab[j] })
+	index := make(map[Node]int, len(vocab))
+	for i, n := range vocab {
+		index[n] = i
+	}
+
+	// Noise distribution: p(n) proportional to freq^0.75, as cumulative
+	// table for binary-search sampling.
+	noiseCum := make([]float64, len(vocab))
+	acc := 0.0
+	for i, n := range vocab {
+		acc += math.Pow(freq[n], 0.75)
+		noiseCum[i] = acc
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sampleNoise := func() int {
+		x := r.Float64() * acc
+		lo, hi := 0, len(noiseCum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if noiseCum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	// Input and output embedding tables.
+	in := make([][]float64, len(vocab))
+	out := make([][]float64, len(vocab))
+	for i := range vocab {
+		in[i] = make([]float64, cfg.Dim)
+		out[i] = make([]float64, cfg.Dim)
+		for j := range in[i] {
+			in[i][j] = (r.Float64() - 0.5) / float64(cfg.Dim)
+		}
+	}
+
+	sigmoid := func(x float64) float64 {
+		if x > 8 {
+			return 1
+		}
+		if x < -8 {
+			return 0
+		}
+		return 1 / (1 + math.Exp(-x))
+	}
+
+	totalSteps := cfg.Epochs * totalTokens
+	step := 0
+	grad := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, walk := range walks {
+			for pos, center := range walk {
+				lr := cfg.LearningRate * (1 - float64(step)/float64(totalSteps+1))
+				if lr < cfg.LearningRate*1e-4 {
+					lr = cfg.LearningRate * 1e-4
+				}
+				step++
+				ci := index[center]
+				lo := pos - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := pos + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					ctx := index[walk[cpos]]
+					for j := range grad {
+						grad[j] = 0
+					}
+					// Positive pair.
+					vi, vo := in[ci], out[ctx]
+					dot := 0.0
+					for j := range vi {
+						dot += vi[j] * vo[j]
+					}
+					g := (sigmoid(dot) - 1) * lr
+					for j := range vi {
+						grad[j] += g * vo[j]
+						vo[j] -= g * vi[j]
+					}
+					// Negative samples.
+					for s := 0; s < cfg.Negatives; s++ {
+						ni := sampleNoise()
+						if ni == ctx {
+							continue
+						}
+						vn := out[ni]
+						dot = 0
+						for j := range vi {
+							dot += vi[j] * vn[j]
+						}
+						g = sigmoid(dot) * lr
+						for j := range vi {
+							grad[j] += g * vn[j]
+							vn[j] -= g * vi[j]
+						}
+					}
+					for j := range vi {
+						vi[j] -= grad[j]
+					}
+				}
+			}
+		}
+	}
+
+	vectors := make(map[Node][]float64, len(vocab))
+	for i, n := range vocab {
+		vectors[n] = in[i]
+	}
+	return &Embeddings{dim: cfg.Dim, vectors: vectors}, nil
+}

@@ -1,0 +1,161 @@
+// Package embed provides the graph-embedding substrate used by the
+// learning-based baselines FriendSeeker is evaluated against:
+// weighted random-walk corpus generation over arbitrary node spaces and a
+// skip-gram-with-negative-sampling (word2vec) trainer. walk2friends
+// (Backes et al., CCS'17) walks a user-location bipartite graph; the
+// user-graph embedding baseline (Yu et al., IMWUT'18) walks a weighted
+// meeting graph.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Node is an opaque node identifier in a walk graph. Callers map users and
+// POIs into disjoint ranges.
+type Node int64
+
+// WalkGraph is a weighted undirected multigraph interface for random walks.
+type WalkGraph struct {
+	adj map[Node][]weightedEdge
+}
+
+type weightedEdge struct {
+	to     Node
+	weight float64
+	cum    float64 // cumulative weight for sampling, built lazily
+}
+
+// NewWalkGraph returns an empty walk graph.
+func NewWalkGraph() *WalkGraph {
+	return &WalkGraph{adj: make(map[Node][]weightedEdge)}
+}
+
+// AddEdge adds an undirected edge with the given positive weight. Parallel
+// calls with the same endpoints accumulate weight.
+func (g *WalkGraph) AddEdge(a, b Node, weight float64) error {
+	if weight <= 0 {
+		return fmt.Errorf("embed: non-positive edge weight %v", weight)
+	}
+	if a == b {
+		return fmt.Errorf("embed: self-loop on node %d", a)
+	}
+	g.addHalf(a, b, weight)
+	g.addHalf(b, a, weight)
+	return nil
+}
+
+func (g *WalkGraph) addHalf(from, to Node, w float64) {
+	edges := g.adj[from]
+	for i := range edges {
+		if edges[i].to == to {
+			edges[i].weight += w
+			g.adj[from] = edges
+			return
+		}
+	}
+	g.adj[from] = append(edges, weightedEdge{to: to, weight: w})
+}
+
+// Nodes returns all nodes in ascending order.
+func (g *WalkGraph) Nodes() []Node {
+	out := make([]Node, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the node count.
+func (g *WalkGraph) NumNodes() int { return len(g.adj) }
+
+// Degree returns the number of distinct neighbours of n.
+func (g *WalkGraph) Degree(n Node) int { return len(g.adj[n]) }
+
+// freeze precomputes cumulative weights per adjacency list for O(log deg)
+// weighted sampling.
+func (g *WalkGraph) freeze() {
+	for n, edges := range g.adj {
+		cum := 0.0
+		for i := range edges {
+			cum += edges[i].weight
+			edges[i].cum = cum
+		}
+		g.adj[n] = edges
+	}
+}
+
+// step samples a weighted neighbour of n, or (0,false) for isolated nodes.
+func (g *WalkGraph) step(n Node, r *rand.Rand) (Node, bool) {
+	edges := g.adj[n]
+	if len(edges) == 0 {
+		return 0, false
+	}
+	total := edges[len(edges)-1].cum
+	x := r.Float64() * total
+	lo, hi := 0, len(edges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if edges[mid].cum < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return edges[lo].to, true
+}
+
+// WalkConfig controls corpus generation.
+type WalkConfig struct {
+	// WalksPerNode is the number of walks started from every node
+	// (default 10).
+	WalksPerNode int
+	// WalkLength is the number of nodes per walk (default 40).
+	WalkLength int
+	// Seed drives the walker.
+	Seed int64
+}
+
+func (c *WalkConfig) fillDefaults() {
+	if c.WalksPerNode == 0 {
+		c.WalksPerNode = 10
+	}
+	if c.WalkLength == 0 {
+		c.WalkLength = 40
+	}
+}
+
+// GenerateWalks produces a random-walk corpus: WalksPerNode walks of
+// WalkLength nodes from every node, following weighted transitions.
+func GenerateWalks(g *WalkGraph, cfg WalkConfig) ([][]Node, error) {
+	if g.NumNodes() == 0 {
+		return nil, errors.New("embed: empty walk graph")
+	}
+	cfg.fillDefaults()
+	g.freeze()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nodes := g.Nodes()
+
+	walks := make([][]Node, 0, len(nodes)*cfg.WalksPerNode)
+	for w := 0; w < cfg.WalksPerNode; w++ {
+		for _, start := range nodes {
+			walk := make([]Node, 0, cfg.WalkLength)
+			cur := start
+			walk = append(walk, cur)
+			for len(walk) < cfg.WalkLength {
+				next, ok := g.step(cur, r)
+				if !ok {
+					break
+				}
+				walk = append(walk, next)
+				cur = next
+			}
+			walks = append(walks, walk)
+		}
+	}
+	return walks, nil
+}

@@ -1,0 +1,240 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/friendseeker/friendseeker/internal/metrics"
+)
+
+// friendSeekerName labels the paper's method in comparison tables.
+const friendSeekerName = "friendseeker"
+
+// allPredictions gathers FriendSeeker and baseline predictions on a
+// dataset's eval pairs, keyed by method name.
+func (s *Suite) allPredictions(name string) (map[string][]bool, error) {
+	a, err := s.attack(name)
+	if err != nil {
+		return nil, err
+	}
+	basePreds, err := s.baselinePredictions(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]bool, len(basePreds)+1)
+	out[friendSeekerName] = a.evalPreds
+	for k, v := range basePreds {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// methodOrder fixes the row order of comparison tables.
+var methodOrder = []string{
+	friendSeekerName, "user-graph-embedding", "walk2friends", "co-location", "distance",
+}
+
+// Fig11 compares FriendSeeker against the four baselines.
+func (s *Suite) Fig11() (*Table, error) {
+	t := &Table{
+		ID:     "fig11",
+		Title:  "FriendSeeker vs baseline models (F1 on held-out pairs)",
+		Header: []string{"Dataset", "Method", "F1", "Recall", "Precision"},
+		Notes: []string{
+			"paper shape: friendseeker > embedding-based baselines (user-graph embedding, walk2friends) > " +
+				"knowledge-based baselines (co-location, distance); the gain over the best baseline is ~5-10%",
+		},
+	}
+	for _, name := range s.datasets {
+		preds, err := s.allPredictions(name)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		_, labels := b.evalPairsOf()
+		for _, method := range methodOrder {
+			p, ok := preds[method]
+			if !ok {
+				return nil, fmt.Errorf("fig11: missing predictions for %s", method)
+			}
+			score, err := scoreOf(p, labels)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				name, method, f3(score.F1), f3(score.Recall), f3(score.Precision),
+			})
+		}
+	}
+	return t, nil
+}
+
+// bucketedF1 computes per-bucket F1 for each method, where bucketOf maps
+// an eval-pair index to a bucket id (-1 to skip).
+func bucketedF1(preds map[string][]bool, labels []bool, nBuckets int, bucketOf func(i int) int) map[string][]metrics.Score {
+	out := make(map[string][]metrics.Score, len(preds))
+	for method, p := range preds {
+		confs := make([]metrics.Confusion, nBuckets)
+		for i := range labels {
+			bkt := bucketOf(i)
+			if bkt < 0 || bkt >= nBuckets {
+				continue
+			}
+			confs[bkt].Add(p[i], labels[i])
+		}
+		scores := make([]metrics.Score, nBuckets)
+		for i := range confs {
+			scores[i] = metrics.ScoreOf(&confs[i])
+		}
+		out[method] = scores
+	}
+	return out
+}
+
+// Fig12 reports F1 as a function of the pair's number of co-locations
+// (0..5+), the sparse-co-location regime the paper highlights.
+func (s *Suite) Fig12() (*Table, error) {
+	t := &Table{
+		ID:     "fig12",
+		Title:  "F1 vs number of co-locations (distinct shared POIs)",
+		Header: []string{"Dataset", "Method", "0", "1", "2", "3", "4", "5+"},
+		Notes: []string{
+			"paper shape: learning-based methods beat knowledge-based ones on low-co-location pairs and " +
+				"friendseeker leads by ~10%; the co-location baseline is undefined (F1=0) at zero co-locations",
+			"paper: friendseeker identifies 68.13% of friends sharing no common location",
+		},
+	}
+	const nBuckets = 6
+	for _, name := range s.datasets {
+		preds, err := s.allPredictions(name)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		pairs, labels := b.evalPairsOf()
+		ds := b.world.Dataset
+		bucketOf := func(i int) int {
+			n := ds.CommonPOIs(pairs[i].A, pairs[i].B)
+			if n >= 5 {
+				return 5
+			}
+			return n
+		}
+		scores := bucketedF1(preds, labels, nBuckets, bucketOf)
+		for _, method := range methodOrder {
+			row := []string{name, method}
+			for _, sc := range scores[method] {
+				row = append(row, f3(sc.F1))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// checkInBuckets are the Fig. 13 pair check-in volume bins.
+var checkInBuckets = []struct {
+	label string
+	lo    int
+	hi    int // exclusive; -1 = unbounded
+}{
+	{"<25", 0, 25},
+	{"25-49", 25, 50},
+	{"50-99", 50, 100},
+	{"100-199", 100, 200},
+	{">=200", 200, -1},
+}
+
+// Fig13 reports F1 as a function of the pair's combined check-in volume,
+// plus the pair-volume distribution.
+func (s *Suite) Fig13() (*Table, error) {
+	header := []string{"Dataset", "Method"}
+	for _, b := range checkInBuckets {
+		header = append(header, b.label)
+	}
+	t := &Table{
+		ID:     "fig13",
+		Title:  "F1 vs combined check-in count of the pair",
+		Header: header,
+		Notes: []string{
+			"paper shape: every method degrades on sparse users but friendseeker stays best in every bucket; " +
+				"the paper reports 29.6% of discovered friends have fewer than 25 check-ins",
+			"the final row per dataset gives the share of eval pairs per bucket (the Fig. 13 histogram)",
+		},
+	}
+	for _, name := range s.datasets {
+		preds, err := s.allPredictions(name)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		pairs, labels := b.evalPairsOf()
+		ds := b.world.Dataset
+		bucketOf := func(i int) int {
+			n := ds.CheckInCount(pairs[i].A) + ds.CheckInCount(pairs[i].B)
+			for bi, bkt := range checkInBuckets {
+				if n >= bkt.lo && (bkt.hi < 0 || n < bkt.hi) {
+					return bi
+				}
+			}
+			return -1
+		}
+		scores := bucketedF1(preds, labels, len(checkInBuckets), bucketOf)
+		for _, method := range methodOrder {
+			row := []string{name, method}
+			for _, sc := range scores[method] {
+				row = append(row, f3(sc.F1))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		// Distribution row.
+		counts := make([]int, len(checkInBuckets))
+		for i := range pairs {
+			if bi := bucketOf(i); bi >= 0 {
+				counts[bi]++
+			}
+		}
+		row := []string{name, "(pair share)"}
+		for _, c := range counts {
+			row = append(row, pct(float64(c)/float64(len(pairs))))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// hiddenFriendStats is used by the examples and tests: among true friends
+// in eval pairs with zero co-locations, the fraction FriendSeeker finds.
+func (s *Suite) hiddenFriendRecall(name string) (float64, int, error) {
+	a, err := s.attack(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := s.bundle(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	pairs, labels := b.evalPairsOf()
+	found, total := 0, 0
+	for i, p := range pairs {
+		if !labels[i] || b.world.Dataset.CommonPOIs(p.A, p.B) > 0 {
+			continue
+		}
+		total++
+		if a.evalPreds[i] {
+			found++
+		}
+	}
+	if total == 0 {
+		return 0, 0, nil
+	}
+	return float64(found) / float64(total), total, nil
+}

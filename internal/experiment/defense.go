@@ -1,0 +1,147 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/obfuscate"
+)
+
+// obfuscator perturbs a dataset at a given proportion.
+type obfuscator func(ds *checkin.Dataset, proportion float64, seed int64) (*checkin.Dataset, error)
+
+// defenseTable runs one countermeasure sweep: the attacker (FriendSeeker
+// and all baselines) trains on the clean dataset, then attacks
+// increasingly perturbed views of it. This mirrors the paper's setting
+// where the defender perturbs published check-ins while the attacker's
+// training corpus is beyond the defender's control.
+func (s *Suite) defenseTable(id, title string, perturb obfuscator, extraNotes ...string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Dataset", "Method", "clean"},
+		Notes: append([]string{
+			"paper shape: knowledge-based methods collapse to ~10% F1 at 50% perturbation while friendseeker " +
+				"degrades gracefully and stays best at every ratio (~40% F1 even at 50%)",
+		}, extraNotes...),
+	}
+	ratios := s.obfuscationSweep()
+	for _, r := range ratios {
+		t.Header = append(t.Header, pct(r))
+	}
+	for _, name := range s.datasets {
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.attack(name)
+		if err != nil {
+			return nil, err
+		}
+		basePreds, err := s.baselinePredictions(name)
+		if err != nil {
+			return nil, err
+		}
+		_, labels := b.evalPairsOf()
+
+		// Clean scores first.
+		rows := make(map[string][]string, len(methodOrder))
+		cleanAll := map[string][]bool{friendSeekerName: a.evalPreds}
+		for k, v := range basePreds {
+			cleanAll[k] = v
+		}
+		for _, method := range methodOrder {
+			score, err := scoreOf(cleanAll[method], labels)
+			if err != nil {
+				return nil, err
+			}
+			rows[method] = []string{name, method, f3(score.F1)}
+		}
+
+		// Baselines need retrained instances to Predict on the perturbed
+		// view (Predict is stateless w.r.t. dataset, but the methods were
+		// consumed by baselinePredictions' cache; rebuild and retrain on
+		// the clean data once per sweep).
+		methods := s.methods()
+		for _, m := range methods {
+			if err := m.Train(b.world.Dataset, b.split.TrainPairs, b.split.TrainLabels); err != nil {
+				return nil, fmt.Errorf("%s: retrain %s: %w", id, m.Name(), err)
+			}
+		}
+
+		for ri, ratio := range ratios {
+			perturbed, err := perturb(b.world.Dataset, ratio, s.seed+101+int64(ri))
+			if err != nil {
+				return nil, fmt.Errorf("%s: perturb %.0f%%: %w", id, ratio*100, err)
+			}
+			// FriendSeeker attacks the perturbed view with its clean-data
+			// model.
+			decisions, _, err := a.fs.Infer(perturbed, b.allPairs)
+			if err != nil {
+				return nil, fmt.Errorf("%s: infer at %.0f%%: %w", id, ratio*100, err)
+			}
+			evalPreds, err := b.split.EvalDecisionsFrom(b.allPairs, decisions)
+			if err != nil {
+				return nil, err
+			}
+			score, err := scoreOf(evalPreds, labels)
+			if err != nil {
+				return nil, err
+			}
+			rows[friendSeekerName] = append(rows[friendSeekerName], f3(score.F1))
+
+			for _, m := range methods {
+				preds, err := m.Predict(perturbed, b.split.EvalPairs)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %s at %.0f%%: %w", id, m.Name(), ratio*100, err)
+				}
+				mscore, err := scoreOf(preds, labels)
+				if err != nil {
+					return nil, err
+				}
+				rows[m.Name()] = append(rows[m.Name()], f3(mscore.F1))
+			}
+		}
+		for _, method := range methodOrder {
+			t.Rows = append(t.Rows, rows[method])
+		}
+	}
+	return t, nil
+}
+
+// Fig14 evaluates the hiding countermeasure.
+func (s *Suite) Fig14() (*Table, error) {
+	return s.defenseTable("fig14", "F1 vs proportion of hidden check-ins",
+		func(ds *checkin.Dataset, p float64, seed int64) (*checkin.Dataset, error) {
+			return obfuscate.Hide(ds, p, seed)
+		},
+		"hiding never removes a user's last check-in (paper's protocol)",
+	)
+}
+
+// blurWith builds an obfuscator for a blur mode using a defender-side
+// spatial division at the suite's default sigma.
+func (s *Suite) blurWith(mode obfuscate.BlurMode) obfuscator {
+	return func(ds *checkin.Dataset, p float64, seed int64) (*checkin.Dataset, error) {
+		div, err := joc.NewDivision(ds, s.pipelineConfig("gowalla-like").Sigma, s.pipelineConfig("gowalla-like").Tau)
+		if err != nil {
+			return nil, err
+		}
+		return obfuscate.Blur(ds, div, mode, p, seed)
+	}
+}
+
+// Fig15 evaluates in-grid blurring.
+func (s *Suite) Fig15() (*Table, error) {
+	return s.defenseTable("fig15", "F1 vs proportion of in-grid blurred check-ins",
+		s.blurWith(obfuscate.BlurInGrid))
+}
+
+// Fig16 evaluates cross-grid blurring, the strongest defence in the paper.
+func (s *Suite) Fig16() (*Table, error) {
+	return s.defenseTable("fig16", "F1 vs proportion of cross-grid blurred check-ins",
+		s.blurWith(obfuscate.BlurCrossGrid),
+		"paper shape: cross-grid blurring hurts every attack more than hiding or in-grid blurring",
+	)
+}

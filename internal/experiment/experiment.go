@@ -1,0 +1,232 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section II-C statistics and Section IV results) on the
+// synthetic worlds, plus the ablations listed in DESIGN.md. Each
+// experiment returns a Table whose rows mirror the series the paper
+// plots; cmd/experiments prints them and bench_test.go wraps them as
+// benchmarks.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Scale selects the experiment workload size.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs miniature worlds with truncated sweeps; used by tests.
+	Quick Scale = iota + 1
+	// Standard runs the calibrated reproduction scale (the default for
+	// cmd/experiments and the benchmark harness).
+	Standard
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Standard:
+		return "standard"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Table is one regenerated paper artefact.
+type Table struct {
+	// ID is the experiment identifier (e.g. "table1", "fig7").
+	ID string
+	// Title describes the artefact.
+	Title string
+	// Header and Rows carry the formatted result grid.
+	Header []string
+	Rows   [][]string
+	// Notes record scale mappings, substitutions and expected shapes.
+	Notes []string
+}
+
+// Format renders the table for terminals.
+func (t *Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown section,
+// used to regenerate EXPERIMENTS.md.
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "*%s*\n\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrUnknownExperiment reports an unrecognised experiment id.
+var ErrUnknownExperiment = errors.New("experiment: unknown experiment id")
+
+// Suite runs experiments at one scale with shared, cached state: worlds
+// are generated once, and the expensive trained pipelines and baseline
+// predictions are reused across the figures that share them.
+type Suite struct {
+	scale    Scale
+	seed     int64
+	datasets []string
+
+	worlds  map[string]*worldBundle
+	attacks map[string]*attackBundle
+}
+
+// NewSuite returns a Suite. Equal (scale, seed) produce equal results.
+func NewSuite(scale Scale, seed int64) *Suite {
+	return &Suite{
+		scale:    scale,
+		seed:     seed,
+		datasets: append([]string(nil), datasetNames...),
+		worlds:   make(map[string]*worldBundle),
+		attacks:  make(map[string]*attackBundle),
+	}
+}
+
+// RestrictDatasets limits the suite to a subset of the dataset presets
+// (so long-running sweeps can be sharded); unknown names are rejected.
+func (s *Suite) RestrictDatasets(names []string) error {
+	for _, n := range names {
+		if _, err := s.worldConfig(n); err != nil {
+			return err
+		}
+	}
+	s.datasets = append([]string(nil), names...)
+	return nil
+}
+
+// Scale returns the suite's scale.
+func (s *Suite) Scale() Scale { return s.scale }
+
+// runner is one experiment entry point.
+type runner struct {
+	id    string
+	title string
+	fn    func(*Suite) (*Table, error)
+}
+
+// registry lists every experiment in paper order.
+var registry = []runner{
+	{"table1", "Table I: dataset statistics", (*Suite).Table1},
+	{"table2", "Table II: co-location x co-friend quadrants", (*Suite).Table2},
+	{"fig1", "Fig. 1: CDFs of common POIs and common friends", (*Suite).Fig1},
+	{"fig5", "Fig. 5: CDFs of k-length path counts", (*Suite).Fig5},
+	{"fig7", "Fig. 7: accuracy vs sigma (POIs per grid)", (*Suite).Fig7},
+	{"fig8", "Fig. 8: accuracy vs tau (time-slot length)", (*Suite).Fig8},
+	{"fig9", "Fig. 9: accuracy vs feature dimension d", (*Suite).Fig9},
+	{"fig10", "Fig. 10: accuracy vs iteration count", (*Suite).Fig10},
+	{"fig11", "Fig. 11: FriendSeeker vs baselines", (*Suite).Fig11},
+	{"fig12", "Fig. 12: F1 vs number of co-locations", (*Suite).Fig12},
+	{"fig13", "Fig. 13: F1 vs number of check-ins", (*Suite).Fig13},
+	{"fig14", "Fig. 14: F1 vs hiding proportion", (*Suite).Fig14},
+	{"fig15", "Fig. 15: F1 vs in-grid blurring proportion", (*Suite).Fig15},
+	{"fig16", "Fig. 16: F1 vs cross-grid blurring proportion", (*Suite).Fig16},
+	{"defense-targeted", "Extension: evidence-targeted hiding vs random hiding", (*Suite).DefenseTargeted},
+	{"ablation-pathcount", "Ablation A1: path-count channel", (*Suite).AblationPathCount},
+	{"ablation-k", "Ablation A2: reachable-subgraph hop bound k", (*Suite).AblationK},
+	{"ablation-alpha", "Ablation A3: supervised vs unsupervised autoencoder", (*Suite).AblationAlpha},
+	{"ablation-division", "Ablation A4: adaptive quadtree vs uniform spatial grids", (*Suite).AblationDivision},
+}
+
+// IDs returns every experiment id in paper order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Title returns the human title for an experiment id.
+func Title(id string) (string, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.title, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// Run executes one experiment by id.
+func (s *Suite) Run(id string) (*Table, error) {
+	for _, r := range registry {
+		if r.id == id {
+			return r.fn(s)
+		}
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return nil, fmt.Errorf("%w: %q (known: %s)", ErrUnknownExperiment, id, strings.Join(ids, ", "))
+}
+
+// RunAll executes every experiment in paper order.
+func (s *Suite) RunAll() ([]*Table, error) {
+	out := make([]*Table, 0, len(registry))
+	for _, r := range registry {
+		t, err := r.fn(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiment %s: %w", r.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// f3 formats a float at 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a proportion as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }

@@ -1,0 +1,248 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/metrics"
+)
+
+// Table1 regenerates Table I: per-dataset counts of POIs, users,
+// check-ins and social links.
+func (s *Suite) Table1() (*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Statistics of the two synthetic MSN trace datasets",
+		Header: []string{"Dataset", "# POIs", "# Users", "# Check-ins", "# Links"},
+		Notes: []string{
+			"paper: Brightkite 157,279 POIs / 14,897 users / 1,360,524 check-ins / 93,754 links; " +
+				"Gowalla 104,568 / 12,439 / 656,642 / 51,270 (SNAP snapshots, ~25-90x this scale)",
+			"shape to hold: the brightkite-like trace is denser in check-ins per user than the gowalla-like one",
+		},
+	}
+	for _, name := range s.datasets {
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		ds := b.world.Dataset
+		t.Rows = append(t.Rows, []string{
+			name,
+			strconv.Itoa(ds.NumPOIs()),
+			strconv.Itoa(ds.NumUsers()),
+			strconv.Itoa(ds.NumCheckIns()),
+			strconv.Itoa(b.world.Truth.NumEdges()),
+		})
+	}
+	return t, nil
+}
+
+// quadrants counts the Table II proportions: the share of friend and
+// non-friend pairs in each (co-location x co-friend) quadrant.
+type quadrants struct {
+	// [cl][cf] with 0 = yes, 1 = no; values are counts.
+	friends    [2][2]int
+	nonFriends [2][2]int
+}
+
+func computeQuadrants(ds *checkin.Dataset, truth *graph.Graph) quadrants {
+	var q quadrants
+	coloc := ds.CoLocatedPairs(0)
+	users := ds.Users()
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			p := checkin.MakePair(users[i], users[j])
+			clIdx := 1
+			if coloc[p] > 0 {
+				clIdx = 0
+			}
+			cfIdx := 1
+			if truth.HasCommonNeighbor(p.A, p.B) {
+				cfIdx = 0
+			}
+			if truth.HasEdge(p.A, p.B) {
+				q.friends[clIdx][cfIdx]++
+			} else {
+				q.nonFriends[clIdx][cfIdx]++
+			}
+		}
+	}
+	return q
+}
+
+func share(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// Table2 regenerates Table II: the proportion of friend and non-friend
+// pairs by whether they share co-locations (C-L) and common friends (C-F).
+func (s *Suite) Table2() (*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Proportion of pairs by co-location (C-L) and co-friend (C-F)",
+		Header: []string{"Dataset", "Population", "C-L&C-F", "C-F only", "C-L only", "neither"},
+		Notes: []string{
+			"paper (Gowalla friends): 52.49% / 13.01% / 27.71% / 6.79%; (Brightkite friends): 79.05% / 4.24% / 9.09% / 29.17%*",
+			"shape to hold: a material fraction of friends has common friends but no co-location (the hidden/cyber population), " +
+				"and most non-friends fall in 'neither'; brightkite-like friends co-locate more than gowalla-like",
+		},
+	}
+	for _, name := range s.datasets {
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		q := computeQuadrants(b.world.Dataset, b.world.Truth)
+		nf := q.friends[0][0] + q.friends[0][1] + q.friends[1][0] + q.friends[1][1]
+		nn := q.nonFriends[0][0] + q.nonFriends[0][1] + q.nonFriends[1][0] + q.nonFriends[1][1]
+		t.Rows = append(t.Rows,
+			[]string{name, "friends",
+				pct(share(q.friends[0][0], nf)), pct(share(q.friends[1][0], nf)),
+				pct(share(q.friends[0][1], nf)), pct(share(q.friends[1][1], nf))},
+			[]string{name, "non-friends",
+				pct(share(q.nonFriends[0][0], nn)), pct(share(q.nonFriends[1][0], nn)),
+				pct(share(q.nonFriends[0][1], nn)), pct(share(q.nonFriends[1][1], nn))},
+		)
+	}
+	return t, nil
+}
+
+// Fig1 regenerates the Fig. 1 CDFs: the distribution of common-POI and
+// common-friend counts for friend vs non-friend pairs.
+func (s *Suite) Fig1() (*Table, error) {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "CDFs of #common POIs (a) and #common friends (b), friends vs non-friends",
+		Header: []string{"Dataset", "x", "P(commonPOIs<=x) friends", "... non-friends", "P(commonFriends<=x) friends", "... non-friends"},
+		Notes: []string{
+			"paper shape: ~71% of friends and ~97% of non-friends share no location; ~20% of friends and ~92% of " +
+				"non-friends share no friend; friend CDFs lie strictly below non-friend CDFs",
+		},
+	}
+	xs := []float64{0, 1, 2, 3, 5, 10}
+	for _, name := range s.datasets {
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		ds, truth := b.world.Dataset, b.world.Truth
+		coloc := ds.CoLocatedPairs(0)
+		users := ds.Users()
+		var fPOI, nPOI, fCF, nCF []float64
+		for i := 0; i < len(users); i++ {
+			for j := i + 1; j < len(users); j++ {
+				p := checkin.MakePair(users[i], users[j])
+				cp := float64(coloc[p])
+				cf := float64(truth.CommonNeighbors(p.A, p.B))
+				if truth.HasEdge(p.A, p.B) {
+					fPOI = append(fPOI, cp)
+					fCF = append(fCF, cf)
+				} else {
+					nPOI = append(nPOI, cp)
+					nCF = append(nCF, cf)
+				}
+			}
+		}
+		cdfs := make([]*metrics.CDF, 4)
+		for i, samples := range [][]float64{fPOI, nPOI, fCF, nCF} {
+			c, err := metrics.NewCDF(samples)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig1 cdf: %w", err)
+			}
+			cdfs[i] = c
+		}
+		for _, x := range xs {
+			t.Rows = append(t.Rows, []string{
+				name, strconv.Itoa(int(x)),
+				f3(cdfs[0].At(x)), f3(cdfs[1].At(x)),
+				f3(cdfs[2].At(x)), f3(cdfs[3].At(x)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig5 regenerates the Fig. 5 CDFs: the number of k-length paths between
+// friends and non-friends on the ground-truth graph, for k = 2..5.
+func (s *Suite) Fig5() (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "CDFs of #k-length paths between pairs, friends vs non-friends",
+		Header: []string{"Dataset", "k", "x (#paths)", "P(<=x) friends", "P(<=x) non-friends"},
+		Notes: []string{
+			"paper shape: friends have clearly more short (k=2,3) paths; beyond k=3 the distributions converge " +
+				"(small-world effect), which motivates k=3 for the reachable subgraph",
+		},
+	}
+	const maxK = 5
+	sampleSize := 400
+	if s.scale == Quick {
+		sampleSize = 150
+	}
+	xs := []float64{0, 1, 2, 5, 10}
+	for _, name := range s.datasets {
+		b, err := s.bundle(name)
+		if err != nil {
+			return nil, err
+		}
+		truth := b.world.Truth
+		users := b.world.Dataset.Users()
+		r := rand.New(rand.NewSource(s.seed + 31))
+
+		// Sample friend pairs from edges and non-friend pairs at random.
+		edges := truth.Edges()
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		if len(edges) > sampleSize {
+			edges = edges[:sampleSize]
+		}
+		var nonFriends []checkin.Pair
+		for len(nonFriends) < sampleSize {
+			a := users[r.Intn(len(users))]
+			bb := users[r.Intn(len(users))]
+			if a == bb || truth.HasEdge(a, bb) {
+				continue
+			}
+			nonFriends = append(nonFriends, checkin.MakePair(a, bb))
+		}
+
+		counts := func(pairs []checkin.Pair) map[int][]float64 {
+			out := make(map[int][]float64, maxK-1)
+			for _, p := range pairs {
+				c := graph.CountPathsUpTo(truth, p.A, p.B, maxK, 200)
+				for k := 2; k <= maxK; k++ {
+					out[k] = append(out[k], float64(c[k]))
+				}
+			}
+			return out
+		}
+		fPairs := make([]checkin.Pair, len(edges))
+		for i, e := range edges {
+			fPairs[i] = checkin.Pair(e)
+		}
+		fCounts, nCounts := counts(fPairs), counts(nonFriends)
+
+		for k := 2; k <= maxK; k++ {
+			fc, err := metrics.NewCDF(fCounts[k])
+			if err != nil {
+				return nil, err
+			}
+			nc, err := metrics.NewCDF(nCounts[k])
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range xs {
+				t.Rows = append(t.Rows, []string{
+					name, strconv.Itoa(k), strconv.Itoa(int(x)),
+					f3(fc.At(x)), f3(nc.At(x)),
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,137 @@
+// Package geo provides the geographic primitives FriendSeeker builds on:
+// points, bounding boxes, great-circle distances, and the adaptive quadtree
+// spatial division used to discretise a region of interest into grids that
+// each contain at most sigma points of interest (Definition 8 of the paper).
+package geo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+const (
+	// EarthRadiusMeters is the mean Earth radius used by Haversine.
+	EarthRadiusMeters = 6371000.0
+
+	// MinLatitude and friends bound valid WGS84 coordinates.
+	MinLatitude  = -90.0
+	MaxLatitude  = 90.0
+	MinLongitude = -180.0
+	MaxLongitude = 180.0
+)
+
+// ErrInvalidCoordinate reports a latitude/longitude outside WGS84 bounds.
+var ErrInvalidCoordinate = errors.New("geo: coordinate out of range")
+
+// Point is a geographic coordinate in degrees.
+type Point struct {
+	Lat float64
+	Lng float64
+}
+
+// Valid reports whether p lies within WGS84 bounds.
+func (p Point) Valid() bool {
+	return p.Lat >= MinLatitude && p.Lat <= MaxLatitude &&
+		p.Lng >= MinLongitude && p.Lng <= MaxLongitude &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lng)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6f,%.6f)", p.Lat, p.Lng)
+}
+
+// Haversine returns the great-circle distance between two points in meters.
+func Haversine(a, b Point) float64 {
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLng := (b.Lng - a.Lng) * math.Pi / 180
+
+	sinLat := math.Sin(dLat / 2)
+	sinLng := math.Sin(dLng / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLng*sinLng
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// EuclideanDegrees returns the planar distance between two points in degree
+// space. The distance-based baseline (Hsieh & Li, WWW'14) uses planar
+// distances between user centroids; at city scale the distortion is
+// irrelevant to ranking.
+func EuclideanDegrees(a, b Point) float64 {
+	dLat := a.Lat - b.Lat
+	dLng := a.Lng - b.Lng
+	return math.Sqrt(dLat*dLat + dLng*dLng)
+}
+
+// Rect is a half-open axis-aligned bounding box: points with
+// MinLat <= lat < MaxLat and MinLng <= lng < MaxLng are inside. Half-open
+// boxes let a quadtree partition a region with no point in two leaves.
+type Rect struct {
+	MinLat, MinLng float64
+	MaxLat, MaxLng float64
+}
+
+// NewRect returns the rectangle spanning the given corners.
+func NewRect(minLat, minLng, maxLat, maxLng float64) (Rect, error) {
+	if minLat > maxLat || minLng > maxLng {
+		return Rect{}, fmt.Errorf("geo: inverted rect [%v,%v]x[%v,%v]", minLat, maxLat, minLng, maxLng)
+	}
+	return Rect{MinLat: minLat, MinLng: minLng, MaxLat: maxLat, MaxLng: maxLng}, nil
+}
+
+// Contains reports whether p is inside r (half-open semantics).
+func (r Rect) Contains(p Point) bool {
+	return p.Lat >= r.MinLat && p.Lat < r.MaxLat &&
+		p.Lng >= r.MinLng && p.Lng < r.MaxLng
+}
+
+// Center returns the midpoint of r.
+func (r Rect) Center() Point {
+	return Point{Lat: (r.MinLat + r.MaxLat) / 2, Lng: (r.MinLng + r.MaxLng) / 2}
+}
+
+// Quadrants splits r into four equal half-open quadrants in the order
+// SW, SE, NW, NE.
+func (r Rect) Quadrants() [4]Rect {
+	c := r.Center()
+	return [4]Rect{
+		{MinLat: r.MinLat, MinLng: r.MinLng, MaxLat: c.Lat, MaxLng: c.Lng}, // SW
+		{MinLat: r.MinLat, MinLng: c.Lng, MaxLat: c.Lat, MaxLng: r.MaxLng}, // SE
+		{MinLat: c.Lat, MinLng: r.MinLng, MaxLat: r.MaxLat, MaxLng: c.Lng}, // NW
+		{MinLat: c.Lat, MinLng: c.Lng, MaxLat: r.MaxLat, MaxLng: r.MaxLng}, // NE
+	}
+}
+
+// Width returns the longitudinal extent of r in degrees.
+func (r Rect) Width() float64 { return r.MaxLng - r.MinLng }
+
+// Height returns the latitudinal extent of r in degrees.
+func (r Rect) Height() float64 { return r.MaxLat - r.MinLat }
+
+// BoundingRect returns the smallest half-open rectangle containing every
+// point. The maximum edges are nudged outward by epsilon so boundary points
+// remain inside under half-open semantics.
+func BoundingRect(points []Point) (Rect, error) {
+	if len(points) == 0 {
+		return Rect{}, errors.New("geo: bounding rect of empty point set")
+	}
+	r := Rect{
+		MinLat: math.Inf(1), MinLng: math.Inf(1),
+		MaxLat: math.Inf(-1), MaxLng: math.Inf(-1),
+	}
+	for _, p := range points {
+		r.MinLat = math.Min(r.MinLat, p.Lat)
+		r.MinLng = math.Min(r.MinLng, p.Lng)
+		r.MaxLat = math.Max(r.MaxLat, p.Lat)
+		r.MaxLng = math.Max(r.MaxLng, p.Lng)
+	}
+	const eps = 1e-9
+	r.MaxLat += eps + (r.MaxLat-r.MinLat)*1e-9
+	r.MaxLng += eps + (r.MaxLng-r.MinLng)*1e-9
+	return r, nil
+}

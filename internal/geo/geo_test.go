@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversine(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   Point
+		wantM  float64
+		within float64
+	}{
+		{
+			name:   "same point",
+			a:      Point{Lat: 31.23, Lng: 121.47},
+			b:      Point{Lat: 31.23, Lng: 121.47},
+			wantM:  0,
+			within: 1e-6,
+		},
+		{
+			name:   "shanghai to hong kong",
+			a:      Point{Lat: 31.2304, Lng: 121.4737},
+			b:      Point{Lat: 22.3193, Lng: 114.1694},
+			wantM:  1_223_000,
+			within: 15_000,
+		},
+		{
+			name:   "one degree latitude at equator",
+			a:      Point{Lat: 0, Lng: 0},
+			b:      Point{Lat: 1, Lng: 0},
+			wantM:  111_195,
+			within: 200,
+		},
+		{
+			name:   "antipodal",
+			a:      Point{Lat: 0, Lng: 0},
+			b:      Point{Lat: 0, Lng: 180},
+			wantM:  math.Pi * EarthRadiusMeters,
+			within: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Haversine(tt.a, tt.b)
+			if math.Abs(got-tt.wantM) > tt.within {
+				t.Errorf("Haversine(%v,%v) = %v, want %v +/- %v", tt.a, tt.b, got, tt.wantM, tt.within)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	f := func(lat1, lng1, lat2, lng2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lng: clampLng(lng1)}
+		b := Point{Lat: clampLat(lat2), Lng: clampLng(lng2)}
+		d1 := Haversine(a, b)
+		d2 := Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 90)
+}
+
+func clampLng(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 180)
+}
+
+func TestPointValid(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"origin", Point{}, true},
+		{"north pole", Point{Lat: 90}, true},
+		{"over pole", Point{Lat: 90.1}, false},
+		{"dateline", Point{Lng: 180}, true},
+		{"past dateline", Point{Lng: -180.5}, false},
+		{"nan lat", Point{Lat: math.NaN()}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Valid(); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNewRectInverted(t *testing.T) {
+	if _, err := NewRect(1, 0, 0, 1); err == nil {
+		t.Error("NewRect with inverted latitudes should fail")
+	}
+	if _, err := NewRect(0, 1, 1, 0); err == nil {
+		t.Error("NewRect with inverted longitudes should fail")
+	}
+}
+
+func TestRectQuadrantsPartition(t *testing.T) {
+	r, err := NewRect(0, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quads := r.Quadrants()
+
+	// Quadrants must tile the parent: every interior point falls in
+	// exactly one quadrant.
+	f := func(latFrac, lngFrac float64) bool {
+		p := Point{
+			Lat: r.MinLat + math.Abs(math.Mod(latFrac, 1))*r.Height(),
+			Lng: r.MinLng + math.Abs(math.Mod(lngFrac, 1))*r.Width(),
+		}
+		if !r.Contains(p) {
+			return true // skip boundary artifacts of Mod
+		}
+		n := 0
+		for _, q := range quads {
+			if q.Contains(p) {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingRectContainsAll(t *testing.T) {
+	pts := []Point{
+		{Lat: 1, Lng: 2}, {Lat: -3, Lng: 7}, {Lat: 5.5, Lng: -1.25}, {Lat: 5.5, Lng: 7},
+	}
+	r, err := BoundingRect(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("bounding rect %+v does not contain %v", r, p)
+		}
+	}
+}
+
+func TestBoundingRectEmpty(t *testing.T) {
+	if _, err := BoundingRect(nil); err == nil {
+		t.Error("BoundingRect(nil) should fail")
+	}
+}
+
+func TestEuclideanDegrees(t *testing.T) {
+	got := EuclideanDegrees(Point{Lat: 0, Lng: 0}, Point{Lat: 3, Lng: 4})
+	if math.Abs(got-5) > 1e-12 {
+		t.Errorf("EuclideanDegrees = %v, want 5", got)
+	}
+}

@@ -1,0 +1,243 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultMaxDepth bounds quadtree recursion. 2^-20 of a city-scale region is
+// sub-meter, far below POI radius, so deeper splits add nothing.
+const DefaultMaxDepth = 20
+
+// ErrNoPoints reports an attempt to build a division over no points.
+var ErrNoPoints = errors.New("geo: cannot build quadtree over zero points")
+
+// Cell is one leaf grid of the spatial division. Cells partition the region:
+// every point used to build the tree belongs to exactly one cell.
+type Cell struct {
+	// ID is the dense index of the cell in [0, NumCells).
+	ID int
+	// Bounds is the half-open rectangle the cell covers.
+	Bounds Rect
+	// Count is the number of build points that fell in the cell.
+	Count int
+	// Depth is the quadtree depth of the leaf (root = 0).
+	Depth int
+}
+
+// Quadtree is an adaptive spatial division: the region of interest is
+// recursively split into four equal grids until each grid holds at most
+// sigma points (or max depth is hit). It realises the spatial axis of the
+// paper's spatial-temporal division (Definition 8): grid granularity adapts
+// to POI density so downtown areas get fine cells and countryside coarse
+// ones.
+type Quadtree struct {
+	root   *quadNode
+	cells  []Cell
+	sigma  int
+	region Rect
+}
+
+type quadNode struct {
+	bounds   Rect
+	children *[4]*quadNode // nil for leaves
+	leafID   int           // valid only for leaves
+	count    int
+	depth    int
+}
+
+// QuadtreeOption customises construction.
+type QuadtreeOption func(*quadtreeConfig)
+
+type quadtreeConfig struct {
+	maxDepth int
+}
+
+// WithMaxDepth overrides the recursion bound.
+func WithMaxDepth(d int) QuadtreeOption {
+	return func(c *quadtreeConfig) { c.maxDepth = d }
+}
+
+// BuildQuadtree builds an adaptive division over points with per-leaf
+// capacity sigma. Duplicate points are allowed; a leaf stops splitting at
+// max depth even if above capacity (all-duplicate hotspots terminate there).
+func BuildQuadtree(points []Point, sigma int, opts ...QuadtreeOption) (*Quadtree, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if sigma < 1 {
+		return nil, fmt.Errorf("geo: sigma must be >= 1, got %d", sigma)
+	}
+	cfg := quadtreeConfig{maxDepth: DefaultMaxDepth}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	region, err := BoundingRect(points)
+	if err != nil {
+		return nil, err
+	}
+
+	qt := &Quadtree{sigma: sigma, region: region}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	qt.root = qt.build(region, pts, 0, cfg.maxDepth)
+	qt.indexLeaves()
+	return qt, nil
+}
+
+func (q *Quadtree) build(bounds Rect, pts []Point, depth, maxDepth int) *quadNode {
+	n := &quadNode{bounds: bounds, count: len(pts), depth: depth}
+	if len(pts) <= q.sigma || depth >= maxDepth {
+		return n
+	}
+	quads := bounds.Quadrants()
+	buckets := make([][]Point, 4)
+	for _, p := range pts {
+		placed := false
+		for i, quad := range quads {
+			if quad.Contains(p) {
+				buckets[i] = append(buckets[i], p)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Floating-point edge: clamp to the NE quadrant, which owns
+			// the closed upper boundary of the root region.
+			buckets[3] = append(buckets[3], p)
+		}
+	}
+	// Degenerate split (all points identical): stop rather than recurse
+	// forever at the same coordinates.
+	for i := range buckets {
+		if len(buckets[i]) == len(pts) && quads[i] == bounds {
+			return n
+		}
+	}
+	children := new([4]*quadNode)
+	for i := range quads {
+		children[i] = q.build(quads[i], buckets[i], depth+1, maxDepth)
+	}
+	n.children = children
+	return n
+}
+
+func (q *Quadtree) indexLeaves() {
+	var walk func(n *quadNode)
+	walk = func(n *quadNode) {
+		if n.children == nil {
+			n.leafID = len(q.cells)
+			q.cells = append(q.cells, Cell{
+				ID:     n.leafID,
+				Bounds: n.bounds,
+				Count:  n.count,
+				Depth:  n.depth,
+			})
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(q.root)
+}
+
+// NumCells returns the number of leaf grids.
+func (q *Quadtree) NumCells() int { return len(q.cells) }
+
+// Sigma returns the per-leaf capacity the tree was built with.
+func (q *Quadtree) Sigma() int { return q.sigma }
+
+// Region returns the overall region of interest covered by the division.
+func (q *Quadtree) Region() Rect { return q.region }
+
+// Cells returns a copy of the leaf cells, ordered by ID.
+func (q *Quadtree) Cells() []Cell {
+	out := make([]Cell, len(q.cells))
+	copy(out, q.cells)
+	return out
+}
+
+// Cell returns the leaf cell with the given ID.
+func (q *Quadtree) Cell(id int) (Cell, error) {
+	if id < 0 || id >= len(q.cells) {
+		return Cell{}, fmt.Errorf("geo: cell id %d out of range [0,%d)", id, len(q.cells))
+	}
+	return q.cells[id], nil
+}
+
+// Locate returns the ID of the leaf cell containing p, or false when p lies
+// outside the region of interest.
+func (q *Quadtree) Locate(p Point) (int, bool) {
+	if !q.region.Contains(p) {
+		return 0, false
+	}
+	n := q.root
+	for n.children != nil {
+		moved := false
+		for _, c := range n.children {
+			if c.bounds.Contains(p) {
+				n = c
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			// Same floating-point edge handling as build: NE owns borders.
+			n = n.children[3]
+		}
+	}
+	return n.leafID, true
+}
+
+// LocateClamped is Locate but maps out-of-region points to the nearest cell
+// by clamping the coordinate into the region. Cross-grid blurring and noisy
+// traces can move a check-in slightly outside the training region; clamping
+// keeps such records usable instead of silently dropping them.
+func (q *Quadtree) LocateClamped(p Point) int {
+	cp := p
+	if cp.Lat < q.region.MinLat {
+		cp.Lat = q.region.MinLat
+	}
+	if cp.Lat >= q.region.MaxLat {
+		cp.Lat = q.region.MaxLat - 1e-12
+	}
+	if cp.Lng < q.region.MinLng {
+		cp.Lng = q.region.MinLng
+	}
+	if cp.Lng >= q.region.MaxLng {
+		cp.Lng = q.region.MaxLng - 1e-12
+	}
+	id, ok := q.Locate(cp)
+	if !ok {
+		// Region is non-empty by construction, so the clamped point must
+		// resolve; the fallback is the first cell for degenerate regions.
+		return 0
+	}
+	return id
+}
+
+// Neighbors returns the IDs of leaf cells that share a boundary segment or
+// corner with the given cell. Cross-grid blurring replaces a POI with one in
+// a randomly chosen neighbouring grid (§IV-D).
+func (q *Quadtree) Neighbors(id int) ([]int, error) {
+	cell, err := q.Cell(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	b := cell.Bounds
+	const eps = 1e-12
+	for _, c := range q.cells {
+		if c.ID == id {
+			continue
+		}
+		o := c.Bounds
+		latTouch := o.MinLat <= b.MaxLat+eps && o.MaxLat >= b.MinLat-eps
+		lngTouch := o.MinLng <= b.MaxLng+eps && o.MaxLng >= b.MinLng-eps
+		if latTouch && lngTouch {
+			out = append(out, c.ID)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,309 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(r *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Lat: 30 + r.Float64()*2, Lng: 120 + r.Float64()*2}
+	}
+	return pts
+}
+
+func TestBuildQuadtreeErrors(t *testing.T) {
+	if _, err := BuildQuadtree(nil, 10); err == nil {
+		t.Error("empty point set should fail")
+	}
+	if _, err := BuildQuadtree([]Point{{Lat: 1, Lng: 1}}, 0); err == nil {
+		t.Error("sigma < 1 should fail")
+	}
+}
+
+func TestQuadtreeSinglePoint(t *testing.T) {
+	qt, err := BuildQuadtree([]Point{{Lat: 31, Lng: 121}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumCells() != 1 {
+		t.Fatalf("NumCells = %d, want 1", qt.NumCells())
+	}
+	id, ok := qt.Locate(Point{Lat: 31, Lng: 121})
+	if !ok || id != 0 {
+		t.Errorf("Locate = (%d,%v), want (0,true)", id, ok)
+	}
+}
+
+func TestQuadtreeCapacityRespected(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	pts := randomPoints(r, 2000)
+	const sigma = 50
+	qt, err := BuildQuadtree(pts, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range qt.Cells() {
+		if c.Count > sigma && c.Depth < DefaultMaxDepth {
+			t.Errorf("cell %d holds %d points > sigma %d at depth %d", c.ID, c.Count, sigma, c.Depth)
+		}
+	}
+}
+
+func TestQuadtreeEveryPointLocatable(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randomPoints(r, 500)
+	qt, err := BuildQuadtree(pts, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	for _, p := range pts {
+		id, ok := qt.Locate(p)
+		if !ok {
+			t.Fatalf("build point %v not locatable", p)
+		}
+		counts[id]++
+	}
+	// Leaf counts recorded at build time must match Locate's assignment.
+	for _, c := range qt.Cells() {
+		if counts[c.ID] != c.Count {
+			t.Errorf("cell %d: located %d points, build counted %d", c.ID, counts[c.ID], c.Count)
+		}
+	}
+}
+
+func TestQuadtreePartitionProperty(t *testing.T) {
+	// Property: any point inside the region locates to exactly one cell and
+	// that cell's bounds contain the point.
+	r := rand.New(rand.NewSource(3))
+	pts := randomPoints(r, 800)
+	qt, err := BuildQuadtree(pts, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(fLat, fLng float64) bool {
+		region := qt.Region()
+		p := Point{
+			Lat: region.MinLat + abs01(fLat)*region.Height(),
+			Lng: region.MinLng + abs01(fLng)*region.Width(),
+		}
+		if !region.Contains(p) {
+			return true
+		}
+		id, ok := qt.Locate(p)
+		if !ok {
+			return false
+		}
+		cell, err := qt.Cell(id)
+		if err != nil {
+			return false
+		}
+		return cell.Bounds.Contains(p) || borderOwned(qt, p, id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// borderOwned allows the NE-border fallback: a point on a shared boundary
+// may be assigned to the sibling that owns the closed edge.
+func borderOwned(qt *Quadtree, p Point, id int) bool {
+	cell, err := qt.Cell(id)
+	if err != nil {
+		return false
+	}
+	const eps = 1e-9
+	b := cell.Bounds
+	return p.Lat >= b.MinLat-eps && p.Lat <= b.MaxLat+eps &&
+		p.Lng >= b.MinLng-eps && p.Lng <= b.MaxLng+eps
+}
+
+func abs01(v float64) float64 {
+	m := v - float64(int64(v))
+	if m < 0 {
+		m = -m
+	}
+	return m
+}
+
+func TestQuadtreeDuplicatePointsTerminate(t *testing.T) {
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{Lat: 31.5, Lng: 121.5}
+	}
+	qt, err := BuildQuadtree(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumCells() == 0 {
+		t.Fatal("no cells")
+	}
+	id, ok := qt.Locate(pts[0])
+	if !ok {
+		t.Fatal("duplicate point not locatable")
+	}
+	cell, err := qt.Cell(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Count != 100 {
+		t.Errorf("hotspot cell count = %d, want 100", cell.Count)
+	}
+}
+
+func TestQuadtreeAdaptivity(t *testing.T) {
+	// Dense cluster + sparse spread: the dense area must receive deeper
+	// (smaller) cells than the sparse area.
+	r := rand.New(rand.NewSource(4))
+	var pts []Point
+	for i := 0; i < 900; i++ { // dense downtown cluster
+		pts = append(pts, Point{Lat: 31.0 + r.Float64()*0.01, Lng: 121.0 + r.Float64()*0.01})
+	}
+	for i := 0; i < 100; i++ { // sparse countryside
+		pts = append(pts, Point{Lat: 30 + r.Float64()*2, Lng: 120 + r.Float64()*2})
+	}
+	qt, err := BuildQuadtree(pts, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseID, ok := qt.Locate(Point{Lat: 31.005, Lng: 121.005})
+	if !ok {
+		t.Fatal("dense point not locatable")
+	}
+	denseCell, _ := qt.Cell(denseID)
+	sparseID, ok := qt.Locate(Point{Lat: 30.2, Lng: 121.8})
+	if !ok {
+		t.Fatal("sparse point not locatable")
+	}
+	sparseCell, _ := qt.Cell(sparseID)
+	if denseCell.Depth <= sparseCell.Depth {
+		t.Errorf("dense cell depth %d should exceed sparse cell depth %d", denseCell.Depth, sparseCell.Depth)
+	}
+}
+
+func TestLocateOutsideRegion(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	qt, err := BuildQuadtree(randomPoints(r, 100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := qt.Locate(Point{Lat: -45, Lng: 0}); ok {
+		t.Error("point far outside region should not locate")
+	}
+	id := qt.LocateClamped(Point{Lat: -45, Lng: 0})
+	if id < 0 || id >= qt.NumCells() {
+		t.Errorf("LocateClamped returned invalid id %d", id)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	// A 2x2 uniform grid: every cell neighbours the other three (corner
+	// contact counts, matching the paper's "four neighbourhoods" loosely).
+	pts := []Point{
+		{Lat: 0.1, Lng: 0.1}, {Lat: 0.1, Lng: 0.9},
+		{Lat: 0.9, Lng: 0.1}, {Lat: 0.9, Lng: 0.9},
+	}
+	qt, err := BuildQuadtree(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.NumCells() != 4 {
+		t.Fatalf("NumCells = %d, want 4", qt.NumCells())
+	}
+	for id := 0; id < 4; id++ {
+		nb, err := qt.Neighbors(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nb) != 3 {
+			t.Errorf("cell %d has %d neighbours, want 3", id, len(nb))
+		}
+	}
+	if _, err := qt.Neighbors(99); err == nil {
+		t.Error("Neighbors(99) should fail")
+	}
+}
+
+func BenchmarkQuadtreeBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	pts := randomPoints(r, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildQuadtree(pts, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuadtreeLocate(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	pts := randomPoints(r, 10000)
+	qt, err := BuildQuadtree(pts, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt.Locate(pts[i%len(pts)])
+	}
+}
+
+func TestUniformGridPartition(t *testing.T) {
+	pts := []Point{
+		{Lat: 0.1, Lng: 0.1}, {Lat: 0.9, Lng: 0.9},
+	}
+	g, err := NewUniformGrid(pts, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumCells() != 12 || g.Rows() != 3 || g.Cols() != 4 {
+		t.Fatalf("shape = %dx%d", g.Rows(), g.Cols())
+	}
+	// Every region point resolves to exactly one valid cell.
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		p := Point{
+			Lat: g.Region().MinLat + r.Float64()*g.Region().Height()*0.999,
+			Lng: g.Region().MinLng + r.Float64()*g.Region().Width()*0.999,
+		}
+		id, ok := g.Locate(p)
+		if !ok || id < 0 || id >= g.NumCells() {
+			t.Fatalf("Locate(%v) = %d,%v", p, id, ok)
+		}
+	}
+	if _, ok := g.Locate(Point{Lat: -50, Lng: 0}); ok {
+		t.Error("outside point should not locate")
+	}
+	if id := g.LocateClamped(Point{Lat: -50, Lng: 0}); id < 0 || id >= g.NumCells() {
+		t.Errorf("LocateClamped = %d", id)
+	}
+	if _, err := NewUniformGrid(nil, 2, 2); err == nil {
+		t.Error("no points should fail")
+	}
+	if _, err := NewUniformGrid(pts, 0, 2); err == nil {
+		t.Error("zero rows should fail")
+	}
+}
+
+func TestUniformGridNeighbors(t *testing.T) {
+	pts := []Point{{Lat: 0, Lng: 0}, {Lat: 3, Lng: 3}}
+	g, err := NewUniformGrid(pts, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centre cell (id 4) has all 8 neighbours; corner (id 0) has 3.
+	nb, err := g.Neighbors(4)
+	if err != nil || len(nb) != 8 {
+		t.Errorf("centre neighbours = %v, %v", nb, err)
+	}
+	nb, err = g.Neighbors(0)
+	if err != nil || len(nb) != 3 {
+		t.Errorf("corner neighbours = %v, %v", nb, err)
+	}
+	if _, err := g.Neighbors(99); err == nil {
+		t.Error("out-of-range id should fail")
+	}
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SpatialDivision is a partition of a region into indexed cells. The
+// adaptive Quadtree is the paper's choice; UniformGrid is the "simple
+// division" Definition 8 discusses and rejects as inflexible — both are
+// provided so the trade-off can be measured (the adaptive-vs-uniform
+// ablation).
+type SpatialDivision interface {
+	// NumCells returns the number of cells.
+	NumCells() int
+	// Region returns the covered region.
+	Region() Rect
+	// Locate returns the cell containing p, or false when p is outside
+	// the region.
+	Locate(p Point) (int, bool)
+	// LocateClamped maps out-of-region points to the nearest cell.
+	LocateClamped(p Point) int
+	// Neighbors returns cells adjacent to the given cell.
+	Neighbors(id int) ([]int, error)
+}
+
+var (
+	_ SpatialDivision = (*Quadtree)(nil)
+	_ SpatialDivision = (*UniformGrid)(nil)
+)
+
+// UniformGrid partitions a region into Rows x Cols equal half-open cells.
+// Cell IDs are row-major: id = row*Cols + col.
+type UniformGrid struct {
+	region Rect
+	rows   int
+	cols   int
+}
+
+// NewUniformGrid builds a uniform division of the bounding region of the
+// given points.
+func NewUniformGrid(points []Point, rows, cols int) (*UniformGrid, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("geo: uniform grid needs rows, cols >= 1, got %dx%d", rows, cols)
+	}
+	if len(points) == 0 {
+		return nil, errors.New("geo: cannot build uniform grid over zero points")
+	}
+	region, err := BoundingRect(points)
+	if err != nil {
+		return nil, err
+	}
+	return &UniformGrid{region: region, rows: rows, cols: cols}, nil
+}
+
+// NumCells implements SpatialDivision.
+func (g *UniformGrid) NumCells() int { return g.rows * g.cols }
+
+// Rows returns the latitude subdivision count.
+func (g *UniformGrid) Rows() int { return g.rows }
+
+// Cols returns the longitude subdivision count.
+func (g *UniformGrid) Cols() int { return g.cols }
+
+// Region implements SpatialDivision.
+func (g *UniformGrid) Region() Rect { return g.region }
+
+// Locate implements SpatialDivision.
+func (g *UniformGrid) Locate(p Point) (int, bool) {
+	if !g.region.Contains(p) {
+		return 0, false
+	}
+	row := int(float64(g.rows) * (p.Lat - g.region.MinLat) / g.region.Height())
+	col := int(float64(g.cols) * (p.Lng - g.region.MinLng) / g.region.Width())
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	return row*g.cols + col, true
+}
+
+// LocateClamped implements SpatialDivision.
+func (g *UniformGrid) LocateClamped(p Point) int {
+	cp := p
+	if cp.Lat < g.region.MinLat {
+		cp.Lat = g.region.MinLat
+	}
+	if cp.Lat >= g.region.MaxLat {
+		cp.Lat = g.region.MaxLat - 1e-12
+	}
+	if cp.Lng < g.region.MinLng {
+		cp.Lng = g.region.MinLng
+	}
+	if cp.Lng >= g.region.MaxLng {
+		cp.Lng = g.region.MaxLng - 1e-12
+	}
+	id, ok := g.Locate(cp)
+	if !ok {
+		return 0
+	}
+	return id
+}
+
+// Neighbors implements SpatialDivision: the up-to-8 surrounding cells.
+func (g *UniformGrid) Neighbors(id int) ([]int, error) {
+	if id < 0 || id >= g.NumCells() {
+		return nil, fmt.Errorf("geo: cell id %d out of range [0,%d)", id, g.NumCells())
+	}
+	row, col := id/g.cols, id%g.cols
+	var out []int
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := row+dr, col+dc
+			if r < 0 || r >= g.rows || c < 0 || c >= g.cols {
+				continue
+			}
+			out = append(out, r*g.cols+c)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,283 @@
+// Package graph implements the social-graph substrate of FriendSeeker: an
+// undirected graph over users (Definition 5), classic link-prediction
+// heuristics (common neighbours, Katz), bounded path enumeration, and the
+// paper's k-hop reachable subgraph construction (Section III-C, Theorem 1).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// Edge is an unordered edge; it aliases checkin.Pair so edges and pair keys
+// interoperate directly.
+type Edge = checkin.Pair
+
+// NewEdge returns the canonical edge between a and b.
+func NewEdge(a, b checkin.UserID) Edge { return checkin.MakePair(a, b) }
+
+// Graph is an undirected simple graph over user IDs. The zero value is an
+// empty graph ready for use via the exported methods after NewGraph.
+type Graph struct {
+	adj map[checkin.UserID]map[checkin.UserID]struct{}
+	m   int // number of edges
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[checkin.UserID]map[checkin.UserID]struct{})}
+}
+
+// FromEdges builds a graph from an edge list. Self-loops are rejected,
+// duplicate edges collapse.
+func FromEdges(edges []Edge) (*Graph, error) {
+	g := NewGraph()
+	for _, e := range edges {
+		if err := g.AddEdge(e.A, e.B); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.m = g.m
+	for u, nbrs := range g.adj {
+		cn := make(map[checkin.UserID]struct{}, len(nbrs))
+		for v := range nbrs {
+			cn[v] = struct{}{}
+		}
+		c.adj[u] = cn
+	}
+	return c
+}
+
+// AddNode ensures u exists in the graph (possibly with degree zero).
+func (g *Graph) AddNode(u checkin.UserID) {
+	if _, ok := g.adj[u]; !ok {
+		g.adj[u] = make(map[checkin.UserID]struct{})
+	}
+}
+
+// AddEdge inserts the undirected edge (a,b). Adding an existing edge is a
+// no-op; self-loops are an error (friendship is irreflexive).
+func (g *Graph) AddEdge(a, b checkin.UserID) error {
+	if a == b {
+		return fmt.Errorf("graph: self-loop on user %d", a)
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if _, dup := g.adj[a][b]; dup {
+		return nil
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.m++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (a,b) if present.
+func (g *Graph) RemoveEdge(a, b checkin.UserID) {
+	if _, ok := g.adj[a][b]; !ok {
+		return
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.m--
+}
+
+// RemoveNode deletes u and all incident edges.
+func (g *Graph) RemoveNode(u checkin.UserID) {
+	nbrs, ok := g.adj[u]
+	if !ok {
+		return
+	}
+	for v := range nbrs {
+		delete(g.adj[v], u)
+		g.m--
+	}
+	delete(g.adj, u)
+}
+
+// HasEdge reports whether (a,b) is an edge.
+func (g *Graph) HasEdge(a, b checkin.UserID) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// HasNode reports whether u is a vertex of g.
+func (g *Graph) HasNode(u checkin.UserID) bool {
+	_, ok := g.adj[u]
+	return ok
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the degree of u (0 for absent vertices).
+func (g *Graph) Degree(u checkin.UserID) int { return len(g.adj[u]) }
+
+// Nodes returns all vertices in ascending order.
+func (g *Graph) Nodes() []checkin.UserID {
+	out := make([]checkin.UserID, 0, len(g.adj))
+	for u := range g.adj {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges in canonical order (A < B, sorted).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.m)
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u < v {
+				out = append(out, Edge{A: u, B: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Neighbors returns the neighbours of u in ascending order.
+func (g *Graph) Neighbors(u checkin.UserID) []checkin.UserID {
+	nbrs := g.adj[u]
+	out := make([]checkin.UserID, 0, len(nbrs))
+	for v := range nbrs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommonNeighbors returns the number of shared neighbours of a and b, the
+// classic link-prediction heuristic the paper contrasts with its k-hop
+// subgraph feature.
+func (g *Graph) CommonNeighbors(a, b checkin.UserID) int {
+	na, nb := g.adj[a], g.adj[b]
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	n := 0
+	for v := range na {
+		if _, ok := nb[v]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// HasCommonNeighbor reports whether a and b share at least one neighbour.
+func (g *Graph) HasCommonNeighbor(a, b checkin.UserID) bool {
+	na, nb := g.adj[a], g.adj[b]
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	for v := range na {
+		if _, ok := nb[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Katz computes the truncated Katz index between a and b:
+// sum over path lengths l=1..maxLen of beta^l * (#walks of length l).
+// Walk counts are computed by iterated frontier expansion, which is exact
+// for walks (vertices may repeat), matching the standard Katz definition.
+func (g *Graph) Katz(a, b checkin.UserID, beta float64, maxLen int) float64 {
+	if maxLen < 1 {
+		return 0
+	}
+	// walks[v] = number of walks of current length from a to v.
+	walks := map[checkin.UserID]float64{a: 1}
+	score := 0.0
+	weight := 1.0
+	for l := 1; l <= maxLen; l++ {
+		next := make(map[checkin.UserID]float64, len(walks)*2)
+		for v, c := range walks {
+			for w := range g.adj[v] {
+				next[w] += c
+			}
+		}
+		weight *= beta
+		score += weight * next[b]
+		walks = next
+	}
+	return score
+}
+
+// BFSDistances returns hop distances from src to every reachable vertex,
+// stopping at maxHops (use maxHops <= 0 for unbounded).
+func (g *Graph) BFSDistances(src checkin.UserID, maxHops int) map[checkin.UserID]int {
+	dist := map[checkin.UserID]int{src: 0}
+	frontier := []checkin.UserID{src}
+	for d := 1; len(frontier) > 0 && (maxHops <= 0 || d <= maxHops); d++ {
+		var next []checkin.UserID
+		for _, u := range frontier {
+			for v := range g.adj[u] {
+				if _, seen := dist[v]; seen {
+					continue
+				}
+				dist[v] = d
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// NodesWithin returns all vertices within maxHops of src, excluding src.
+func (g *Graph) NodesWithin(src checkin.UserID, maxHops int) []checkin.UserID {
+	dist := g.BFSDistances(src, maxHops)
+	out := make([]checkin.UserID, 0, len(dist)-1)
+	for v := range dist {
+		if v != src {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DiffRatio returns |E(g) xor E(h)| / max(1, |E(g)|): the fraction of edges
+// changed from g to h, the paper's iteration-termination criterion ("the
+// number of edges changed in a new graph is less than 1% compared with the
+// last graph").
+func (g *Graph) DiffRatio(h *Graph) float64 {
+	changed := 0
+	for u, nbrs := range g.adj {
+		for v := range nbrs {
+			if u < v && !h.HasEdge(u, v) {
+				changed++
+			}
+		}
+	}
+	for u, nbrs := range h.adj {
+		for v := range nbrs {
+			if u < v && !g.HasEdge(u, v) {
+				changed++
+			}
+		}
+	}
+	den := g.m
+	if den < 1 {
+		den = 1
+	}
+	return float64(changed) / float64(den)
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+func mustGraph(t testing.TB, edges ...[2]checkin.UserID) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop should fail")
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 1); err != nil { // duplicate, reversed
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(2, 1) || !g.HasEdge(1, 2) {
+		t.Error("edge should be symmetric")
+	}
+	g.RemoveEdge(1, 2)
+	if g.NumEdges() != 0 || g.HasEdge(1, 2) {
+		t.Error("edge should be removed")
+	}
+	g.RemoveEdge(1, 2) // idempotent
+	if g.NumEdges() != 0 {
+		t.Error("double remove corrupted edge count")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{1, 2}, [2]checkin.UserID{1, 3}, [2]checkin.UserID{2, 3})
+	g.RemoveNode(1)
+	if g.HasNode(1) {
+		t.Error("node 1 should be gone")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(2, 3) {
+		t.Error("unrelated edge lost")
+	}
+	g.RemoveNode(42) // absent: no-op
+}
+
+func TestNodesAndEdgesOrdering(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{5, 2}, [2]checkin.UserID{3, 1})
+	nodes := g.Nodes()
+	want := []checkin.UserID{1, 2, 3, 5}
+	if len(nodes) != len(want) {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Errorf("Nodes[%d] = %d, want %d", i, nodes[i], want[i])
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != 2 || edges[0] != (Edge{A: 1, B: 3}) || edges[1] != (Edge{A: 2, B: 5}) {
+		t.Errorf("Edges = %v", edges)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := mustGraph(t,
+		[2]checkin.UserID{1, 3}, [2]checkin.UserID{2, 3},
+		[2]checkin.UserID{1, 4}, [2]checkin.UserID{2, 4},
+		[2]checkin.UserID{1, 5},
+	)
+	if got := g.CommonNeighbors(1, 2); got != 2 {
+		t.Errorf("CommonNeighbors(1,2) = %d, want 2", got)
+	}
+	if got := g.CommonNeighbors(1, 99); got != 0 {
+		t.Errorf("CommonNeighbors with absent node = %d, want 0", got)
+	}
+	if !g.HasCommonNeighbor(1, 2) || g.HasCommonNeighbor(3, 99) {
+		t.Error("HasCommonNeighbor mismatch")
+	}
+}
+
+func TestKatz(t *testing.T) {
+	// Path graph 1-2-3: one walk of length 2 between 1 and 3.
+	g := mustGraph(t, [2]checkin.UserID{1, 2}, [2]checkin.UserID{2, 3})
+	const beta = 0.5
+	got := g.Katz(1, 3, beta, 3)
+	// Length-2 walk: 1-2-3 (weight beta^2). Length-3 walks: none ending at 3.
+	want := beta * beta
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Katz = %v, want %v", got, want)
+	}
+	// Direct edge contributes beta at length 1.
+	got = g.Katz(1, 2, beta, 1)
+	if math.Abs(got-beta) > 1e-12 {
+		t.Errorf("Katz direct = %v, want %v", got, beta)
+	}
+	if g.Katz(1, 3, beta, 0) != 0 {
+		t.Error("maxLen 0 should yield 0")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := mustGraph(t,
+		[2]checkin.UserID{1, 2}, [2]checkin.UserID{2, 3},
+		[2]checkin.UserID{3, 4}, [2]checkin.UserID{10, 11},
+	)
+	dist := g.BFSDistances(1, 0)
+	for v, want := range map[checkin.UserID]int{1: 0, 2: 1, 3: 2, 4: 3} {
+		if dist[v] != want {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	if _, ok := dist[10]; ok {
+		t.Error("disconnected node should be unreachable")
+	}
+	bounded := g.BFSDistances(1, 2)
+	if _, ok := bounded[4]; ok {
+		t.Error("node beyond maxHops should be absent")
+	}
+	within := g.NodesWithin(1, 2)
+	if len(within) != 2 {
+		t.Errorf("NodesWithin = %v, want [2 3]", within)
+	}
+}
+
+func TestDiffRatio(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{1, 2}, [2]checkin.UserID{2, 3})
+	h := g.Clone()
+	if got := g.DiffRatio(h); got != 0 {
+		t.Errorf("identical graphs DiffRatio = %v, want 0", got)
+	}
+	h.RemoveEdge(1, 2)
+	if err := h.AddEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	// 2 changed edges / 2 original edges = 1.0
+	if got := g.DiffRatio(h); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("DiffRatio = %v, want 1.0", got)
+	}
+	empty := NewGraph()
+	if got := empty.DiffRatio(h); got != 2 {
+		t.Errorf("empty-base DiffRatio = %v, want 2", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{1, 2})
+	c := g.Clone()
+	c.RemoveEdge(1, 2)
+	if !g.HasEdge(1, 2) {
+		t.Error("clone mutation leaked into original")
+	}
+}
+
+func TestFromEdges(t *testing.T) {
+	g, err := FromEdges([]Edge{{A: 1, B: 2}, {A: 2, B: 3}, {A: 1, B: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if _, err := FromEdges([]Edge{{A: 1, B: 1}}); err == nil {
+		t.Error("self-loop in FromEdges should fail")
+	}
+}
+
+// randomGraph builds an Erdos-Renyi-ish graph for property tests.
+func randomGraph(r *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(checkin.UserID(i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				_ = g.AddEdge(checkin.UserID(i), checkin.UserID(j))
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkCommonNeighbors(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 500, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CommonNeighbors(checkin.UserID(i%500), checkin.UserID((i+7)%500))
+	}
+}
+
+func TestDiffRatioSymmetricChanges(t *testing.T) {
+	// DiffRatio counts symmetric-difference edges relative to the base
+	// graph's size: adding and removing one edge each counts as two.
+	g := mustGraph(t, [2]checkin.UserID{1, 2}, [2]checkin.UserID{3, 4})
+	h := g.Clone()
+	h.RemoveEdge(1, 2)
+	if err := h.AddEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.DiffRatio(h); got != 1.0 {
+		t.Errorf("DiffRatio = %v, want 1.0 (2 changes / 2 edges)", got)
+	}
+}
+
+func TestKatzMoreWalksScoresHigher(t *testing.T) {
+	// Two disjoint 2-paths between 1 and 2 score higher than one.
+	single := mustGraph(t, [2]checkin.UserID{1, 3}, [2]checkin.UserID{3, 2})
+	double := mustGraph(t,
+		[2]checkin.UserID{1, 3}, [2]checkin.UserID{3, 2},
+		[2]checkin.UserID{1, 4}, [2]checkin.UserID{4, 2},
+	)
+	const beta = 0.3
+	if double.Katz(1, 2, beta, 3) <= single.Katz(1, 2, beta, 3) {
+		t.Error("more walks should raise the Katz index")
+	}
+}
+
+func TestNodesWithinExcludesSource(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{1, 2})
+	within := g.NodesWithin(1, 3)
+	for _, v := range within {
+		if v == 1 {
+			t.Error("NodesWithin must exclude the source")
+		}
+	}
+}

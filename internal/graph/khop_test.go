@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// paperFigure4Graph reproduces the example of Fig. 4: constructing the
+// 3-hop reachable subgraph between a and b where the length-2 path a-c-b
+// consumes c, so a-c-e-b is pruned, and the length-3 path a-f-h-b consumes
+// f and h, pruning a-f-g-h-b.
+func paperFigure4Graph(t testing.TB) *Graph {
+	t.Helper()
+	const (
+		a checkin.UserID = 1
+		b checkin.UserID = 2
+		c checkin.UserID = 3
+		e checkin.UserID = 5
+		f checkin.UserID = 6
+		g checkin.UserID = 7
+		h checkin.UserID = 8
+	)
+	return mustGraph(t,
+		[2]checkin.UserID{a, c}, [2]checkin.UserID{c, b}, // length-2 path a-c-b
+		[2]checkin.UserID{c, e}, [2]checkin.UserID{e, b}, // a-c-e-b (length 3, shares c)
+		[2]checkin.UserID{a, f}, [2]checkin.UserID{f, h}, [2]checkin.UserID{h, b}, // a-f-h-b (length 3)
+		[2]checkin.UserID{f, g}, [2]checkin.UserID{g, h}, // a-f-g-h-b (length 4, shares f,h)
+	)
+}
+
+func TestKHopPaperExample(t *testing.T) {
+	g := paperFigure4Graph(t)
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NumPaths(2); got != 1 {
+		t.Errorf("length-2 paths = %d, want 1 (a-c-b)", got)
+	}
+	if got := sub.NumPaths(3); got != 1 {
+		t.Errorf("length-3 paths = %d, want 1 (a-f-h-b); a-c-e-b must be pruned", got)
+	}
+	p3 := sub.PathsByLen[3][0]
+	want := Path{1, 6, 8, 2} // a-f-h-b
+	if len(p3) != len(want) {
+		t.Fatalf("length-3 path = %v, want %v", p3, want)
+	}
+	for i := range want {
+		if p3[i] != want[i] {
+			t.Fatalf("length-3 path = %v, want %v", p3, want)
+		}
+	}
+	if sub.TotalPaths() != 2 {
+		t.Errorf("TotalPaths = %d, want 2", sub.TotalPaths())
+	}
+}
+
+func TestKHopValidation(t *testing.T) {
+	g := mustGraph(t, [2]checkin.UserID{1, 2})
+	if _, err := KHopReachableSubgraph(g, 1, 1, 3); err == nil {
+		t.Error("identical endpoints should fail")
+	}
+	if _, err := KHopReachableSubgraph(g, 1, 2, 1); err == nil {
+		t.Error("k < 2 should fail")
+	}
+	sub, err := KHopReachableSubgraph(g, 1, 99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Empty() {
+		t.Error("absent endpoint should give empty subgraph")
+	}
+}
+
+func TestKHopDirectEdgeOnlyIsEmpty(t *testing.T) {
+	// A single direct edge provides no length>=2 path.
+	g := mustGraph(t, [2]checkin.UserID{1, 2})
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Empty() {
+		t.Errorf("want empty subgraph, got %d paths", sub.TotalPaths())
+	}
+}
+
+func TestKHopMultipleSameLengthPaths(t *testing.T) {
+	// Two disjoint length-2 paths must both be kept (same-round discovery).
+	g := mustGraph(t,
+		[2]checkin.UserID{1, 3}, [2]checkin.UserID{3, 2},
+		[2]checkin.UserID{1, 4}, [2]checkin.UserID{4, 2},
+	)
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NumPaths(2); got != 2 {
+		t.Errorf("length-2 paths = %d, want 2", got)
+	}
+}
+
+func TestKHopMaxPathsCap(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 20; i++ {
+		mid := checkin.UserID(100 + i)
+		if err := g.AddEdge(1, mid); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(mid, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3, WithMaxPathsPerLength(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub.NumPaths(2); got != 5 {
+		t.Errorf("capped length-2 paths = %d, want 5", got)
+	}
+}
+
+// TestKHopTheorem1 property-checks both claims of Theorem 1 on random
+// graphs: (1) every included path is an induced path of the original graph
+// (ignoring the direct A-B edge); (2) paths of different lengths share no
+// edges.
+func TestKHopTheorem1(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 12 + r.Intn(18)
+		g := randomGraph(r, n, 0.12+r.Float64()*0.15)
+		a := checkin.UserID(r.Intn(n))
+		b := checkin.UserID(r.Intn(n))
+		if a == b {
+			continue
+		}
+		k := 3 + r.Intn(2)
+		sub, err := KHopReachableSubgraph(g, a, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Claim 1: induced paths.
+		for l, paths := range sub.PathsByLen {
+			for _, p := range paths {
+				if p.Len() != l {
+					t.Fatalf("path %v recorded under length %d", p, l)
+				}
+				if p[0] != a || p[len(p)-1] != b {
+					t.Fatalf("path %v does not connect %d-%d", p, a, b)
+				}
+				for i := 0; i < len(p); i++ {
+					for j := i + 2; j < len(p); j++ {
+						if i == 0 && j == len(p)-1 {
+							continue // direct A-B edge is exempt
+						}
+						if g.HasEdge(p[i], p[j]) {
+							t.Fatalf("trial %d: path %v has chord (%d,%d): not induced", trial, p, p[i], p[j])
+						}
+					}
+				}
+			}
+		}
+
+		// Claim 2: edge-disjointness across lengths (the paper's proof
+		// gives the stronger intermediate-vertex disjointness; check that).
+		seenVertex := make(map[checkin.UserID]int)
+		for l := 2; l <= k; l++ {
+			for _, p := range sub.PathsByLen[l] {
+				for _, v := range p[1 : len(p)-1] {
+					if prev, ok := seenVertex[v]; ok && prev != l {
+						t.Fatalf("vertex %d appears at lengths %d and %d", v, prev, l)
+					}
+					seenVertex[v] = l
+				}
+			}
+		}
+		seenEdge := make(map[Edge]int)
+		for l := 2; l <= k; l++ {
+			for _, p := range sub.PathsByLen[l] {
+				for _, e := range p.Edges() {
+					if prev, ok := seenEdge[e]; ok && prev != l {
+						t.Fatalf("edge %v appears at lengths %d and %d", e, prev, l)
+					}
+					seenEdge[e] = l
+				}
+			}
+		}
+	}
+}
+
+// TestKHopShortestFirst verifies that when a vertex could serve both a
+// length-2 and a length-3 path, the shorter path wins.
+func TestKHopShortestFirst(t *testing.T) {
+	// c is on both a-c-b (2) and a-d-c-b (3); after round 2 consumes c,
+	// the length-3 path is impossible.
+	g := mustGraph(t,
+		[2]checkin.UserID{1, 3}, [2]checkin.UserID{3, 2}, // a-c-b
+		[2]checkin.UserID{1, 4}, [2]checkin.UserID{4, 3}, // a-d-c(-b)
+	)
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumPaths(2) != 1 || sub.NumPaths(3) != 0 {
+		t.Errorf("paths by len = {2:%d, 3:%d}, want {2:1, 3:0}", sub.NumPaths(2), sub.NumPaths(3))
+	}
+}
+
+func TestCountPathsUpTo(t *testing.T) {
+	g := paperFigure4Graph(t)
+	counts := CountPathsUpTo(g, 1, 2, 4, 0)
+	if counts[2] != 1 {
+		t.Errorf("counts[2] = %d, want 1", counts[2])
+	}
+	// Unlike subgraph construction, counting does not consume vertices:
+	// both a-c-e-b and a-f-h-b are length-3 paths.
+	if counts[3] != 2 {
+		t.Errorf("counts[3] = %d, want 2", counts[3])
+	}
+	if counts[4] != 1 { // a-f-g-h-b
+		t.Errorf("counts[4] = %d, want 1", counts[4])
+	}
+	empty := CountPathsUpTo(g, 1, 1, 3, 0)
+	if len(empty) != 0 {
+		t.Errorf("self-pair counts = %v, want empty", empty)
+	}
+}
+
+func TestSubgraphEdges(t *testing.T) {
+	g := paperFigure4Graph(t)
+	sub, err := KHopReachableSubgraph(g, 1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := sub.Edges()
+	// a-c-b contributes 2 edges, a-f-h-b contributes 3.
+	if len(edges) != 5 {
+		t.Errorf("subgraph edges = %v, want 5 edges", edges)
+	}
+}
+
+func BenchmarkKHopSubgraph(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	g := randomGraph(r, 300, 0.03)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := KHopReachableSubgraph(g, checkin.UserID(i%300), checkin.UserID((i+13)%300), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package joc implements the spatial-temporal division (STD, Definition 8)
+// and the joint occurrence cuboid (JOC, Definition 9) of FriendSeeker: the
+// region of interest is split into adaptive quadtree grids of at most sigma
+// POIs, time into slots of length tau, and a user pair's trajectories are
+// cast into the resulting cells as per-cell counts (n_a, n_b, n_ab).
+package joc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// Channels is the number of indicators per STD cell: n_a, n_b and n_ab.
+const Channels = 3
+
+// Errors returned by the package.
+var (
+	ErrBadTau      = errors.New("joc: tau must be positive")
+	ErrEmptySpan   = errors.New("joc: dataset has no time span")
+	ErrUnknownUser = errors.New("joc: unknown user")
+)
+
+// Division is a concrete STD over a dataset: quadtree spatial grids times
+// fixed-length time slots. POIs are pre-resolved to their spatial cell so
+// casting a trajectory is O(#check-ins).
+type Division struct {
+	sd      geo.SpatialDivision
+	start   time.Time
+	tau     time.Duration
+	slots   int
+	sigma   int // quadtree capacity, or 0 for uniform grids
+	rows    int // uniform grid shape, or 0 for quadtrees
+	cols    int
+	points  []geo.Point // division build points, retained for persistence
+	poiCell map[checkin.POIID]int
+}
+
+// NewDivision builds the STD for a dataset with per-grid POI capacity
+// sigma (adaptive quadtree, the paper's choice) and time-slot length tau.
+// The spatial region is the POI bounding box; the temporal extent is the
+// dataset's check-in span.
+func NewDivision(ds *checkin.Dataset, sigma int, tau time.Duration) (*Division, error) {
+	qt, err := geo.BuildQuadtree(ds.POIPoints(), sigma)
+	if err != nil {
+		return nil, fmt.Errorf("joc: spatial division: %w", err)
+	}
+	d, err := newDivisionWith(ds, qt, tau)
+	if err != nil {
+		return nil, err
+	}
+	d.sigma = sigma
+	return d, nil
+}
+
+// NewUniformDivision builds the STD with the "simple" uniform rows x cols
+// spatial grid that Definition 8 discusses (and rejects as inflexible when
+// POI density varies). Provided so the adaptive-vs-uniform trade-off can
+// be measured.
+func NewUniformDivision(ds *checkin.Dataset, rows, cols int, tau time.Duration) (*Division, error) {
+	ug, err := geo.NewUniformGrid(ds.POIPoints(), rows, cols)
+	if err != nil {
+		return nil, fmt.Errorf("joc: uniform division: %w", err)
+	}
+	d, err := newDivisionWith(ds, ug, tau)
+	if err != nil {
+		return nil, err
+	}
+	d.rows, d.cols = rows, cols
+	return d, nil
+}
+
+// newDivisionWith finishes construction over any spatial division.
+func newDivisionWith(ds *checkin.Dataset, sd geo.SpatialDivision, tau time.Duration) (*Division, error) {
+	if tau <= 0 {
+		return nil, ErrBadTau
+	}
+	first, last := ds.Span()
+	if first.IsZero() || last.IsZero() {
+		return nil, ErrEmptySpan
+	}
+	slots := int(last.Sub(first)/tau) + 1
+	d := &Division{
+		sd:      sd,
+		start:   first,
+		tau:     tau,
+		slots:   slots,
+		points:  ds.POIPoints(),
+		poiCell: make(map[checkin.POIID]int, ds.NumPOIs()),
+	}
+	for _, p := range ds.POIs() {
+		d.poiCell[p.ID] = sd.LocateClamped(p.Center)
+	}
+	return d, nil
+}
+
+// NumSpatialCells returns I, the number of grids.
+func (d *Division) NumSpatialCells() int { return d.sd.NumCells() }
+
+// NumTimeSlots returns J, the number of time slots.
+func (d *Division) NumTimeSlots() int { return d.slots }
+
+// Tau returns the slot length.
+func (d *Division) Tau() time.Duration { return d.tau }
+
+// Spatial exposes the underlying spatial division (used by cross-grid
+// blurring, which needs grid neighbourhoods).
+func (d *Division) Spatial() geo.SpatialDivision { return d.sd }
+
+// InputDim returns the flattened JOC width I*J*Channels.
+func (d *Division) InputDim() int { return d.NumSpatialCells() * d.slots * Channels }
+
+// SpatialCellOfPOI returns the grid index of a POI.
+func (d *Division) SpatialCellOfPOI(p checkin.POIID) (int, bool) {
+	c, ok := d.poiCell[p]
+	return c, ok
+}
+
+// TimeSlot returns the slot index of an instant, clamped to [0, J).
+func (d *Division) TimeSlot(t time.Time) int {
+	if t.Before(d.start) {
+		return 0
+	}
+	j := int(t.Sub(d.start) / d.tau)
+	if j >= d.slots {
+		j = d.slots - 1
+	}
+	return j
+}
+
+// CellOf resolves a check-in to its (spatial, temporal) cell.
+func (d *Division) CellOf(c checkin.CheckIn) (i, j int, ok bool) {
+	i, ok = d.poiCell[c.POI]
+	if !ok {
+		return 0, 0, false
+	}
+	return i, d.TimeSlot(c.Time), true
+}
+
+// JOC is a joint occurrence cuboid for one user pair: per STD cell, the
+// check-in counts of each user and the number of POIs both visited within
+// that cell.
+type JOC struct {
+	// I and J are the STD dimensions.
+	I, J int
+	// NA[i*J+j], NB[...] are per-cell check-in counts; NAB is the per-cell
+	// count of POIs visited by both users.
+	NA, NB, NAB []float64
+}
+
+// cellIdx flattens (i,j).
+func (o *JOC) cellIdx(i, j int) int { return i*o.J + j }
+
+// At returns the (n_a, n_b, n_ab) triple of cell (i,j).
+func (o *JOC) At(i, j int) (na, nb, nab float64) {
+	k := o.cellIdx(i, j)
+	return o.NA[k], o.NB[k], o.NAB[k]
+}
+
+// NonZeroCells returns the number of cells with any activity.
+func (o *JOC) NonZeroCells() int {
+	n := 0
+	for k := range o.NA {
+		if o.NA[k] != 0 || o.NB[k] != 0 || o.NAB[k] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of empty cells.
+func (o *JOC) Sparsity() float64 {
+	total := len(o.NA)
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(o.NonZeroCells())/float64(total)
+}
+
+// Flatten serialises the cuboid into a single vector of width I*J*Channels
+// in channel-major blocks [NA | NB | NAB], applying log1p compression so
+// heavy-tailed check-in counts do not saturate the autoencoder.
+func (o *JOC) Flatten() []float64 {
+	n := len(o.NA)
+	out := make([]float64, Channels*n)
+	for k, v := range o.NA {
+		out[k] = math.Log1p(v)
+	}
+	for k, v := range o.NB {
+		out[n+k] = math.Log1p(v)
+	}
+	for k, v := range o.NAB {
+		out[2*n+k] = math.Log1p(v)
+	}
+	return out
+}
+
+// Build constructs the JOC of pair (a,b) over the division. Check-ins at
+// POIs outside the division's POI universe are skipped (they cannot occur
+// for datasets the division was built from).
+func (d *Division) Build(ds *checkin.Dataset, a, b checkin.UserID) (*JOC, error) {
+	ta, err := ds.Trajectory(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, a)
+	}
+	tb, err := ds.Trajectory(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, b)
+	}
+
+	ncells := d.NumSpatialCells() * d.slots
+	o := &JOC{
+		I:  d.NumSpatialCells(),
+		J:  d.slots,
+		NA: make([]float64, ncells), NB: make([]float64, ncells), NAB: make([]float64, ncells),
+	}
+
+	// Distinct POIs per cell per user, to compute n_ab as the number of
+	// POIs visited by both users whose check-ins land in the cell.
+	poisA := make(map[int]map[checkin.POIID]struct{})
+	poisB := make(map[int]map[checkin.POIID]struct{})
+
+	cast := func(tr checkin.Trajectory, counts []float64, pois map[int]map[checkin.POIID]struct{}) {
+		for _, c := range tr.CheckIns {
+			i, j, ok := d.CellOf(c)
+			if !ok {
+				continue
+			}
+			k := o.cellIdx(i, j)
+			counts[k]++
+			s, ok := pois[k]
+			if !ok {
+				s = make(map[checkin.POIID]struct{})
+				pois[k] = s
+			}
+			s[c.POI] = struct{}{}
+		}
+	}
+	cast(ta, o.NA, poisA)
+	cast(tb, o.NB, poisB)
+
+	for k, sa := range poisA {
+		sb, ok := poisB[k]
+		if !ok {
+			continue
+		}
+		small, large := sa, sb
+		if len(small) > len(large) {
+			small, large = large, small
+		}
+		for p := range small {
+			if _, shared := large[p]; shared {
+				o.NAB[k]++
+			}
+		}
+	}
+	return o, nil
+}
+
+// BuildFlattened builds and flattens in one step.
+func (d *Division) BuildFlattened(ds *checkin.Dataset, a, b checkin.UserID) ([]float64, error) {
+	o, err := d.Build(ds, a, b)
+	if err != nil {
+		return nil, err
+	}
+	return o.Flatten(), nil
+}
+
+// AdoptPOIs registers any POIs of ds not yet known to the division,
+// resolving them to grids by (clamped) location. The attacker's STD is
+// fixed at training time; target datasets with previously unseen POIs are
+// cast into the same grids (the attack model allows disjoint user and POI
+// universes between training and target data).
+func (d *Division) AdoptPOIs(ds *checkin.Dataset) {
+	for _, p := range ds.POIs() {
+		if _, known := d.poiCell[p.ID]; !known {
+			d.poiCell[p.ID] = d.sd.LocateClamped(p.Center)
+		}
+	}
+}
+
+// UserSpatialCells returns, per user, the set of spatial grid indices the
+// user has check-ins in. Candidate generation uses shared grids as a cheap
+// physical-proximity filter.
+func (d *Division) UserSpatialCells(ds *checkin.Dataset) map[checkin.UserID]map[int]struct{} {
+	out := make(map[checkin.UserID]map[int]struct{}, ds.NumUsers())
+	for _, u := range ds.Users() {
+		tr, err := ds.Trajectory(u)
+		if err != nil {
+			continue
+		}
+		s := make(map[int]struct{})
+		for _, c := range tr.CheckIns {
+			if cell, ok := d.poiCell[c.POI]; ok {
+				s[cell] = struct{}{}
+			}
+		}
+		out[u] = s
+	}
+	return out
+}

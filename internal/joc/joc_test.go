@@ -1,0 +1,308 @@
+package joc
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+var t0 = time.Date(2009, 3, 21, 0, 0, 0, 0, time.UTC)
+
+const day = 24 * time.Hour
+
+// smallDataset: four POIs in distinct corners of a region; three users.
+func smallDataset(t *testing.T) *checkin.Dataset {
+	t.Helper()
+	pois := []checkin.POI{
+		{ID: 1, Center: geo.Point{Lat: 30.1, Lng: 120.1}},
+		{ID: 2, Center: geo.Point{Lat: 30.1, Lng: 121.9}},
+		{ID: 3, Center: geo.Point{Lat: 31.9, Lng: 120.1}},
+		{ID: 4, Center: geo.Point{Lat: 31.9, Lng: 121.9}},
+	}
+	cs := []checkin.CheckIn{
+		// User 10 and 20 co-visit POI 1 in week 0.
+		{User: 10, POI: 1, Time: t0.Add(1 * day)},
+		{User: 10, POI: 1, Time: t0.Add(2 * day)},
+		{User: 20, POI: 1, Time: t0.Add(3 * day)},
+		// User 10 alone at POI 2 in week 1.
+		{User: 10, POI: 2, Time: t0.Add(8 * day)},
+		// User 30 far away, week 2.
+		{User: 30, POI: 4, Time: t0.Add(15 * day)},
+	}
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNewDivisionValidation(t *testing.T) {
+	ds := smallDataset(t)
+	if _, err := NewDivision(ds, 1, 0); !errors.Is(err, ErrBadTau) {
+		t.Errorf("error = %v, want ErrBadTau", err)
+	}
+	if _, err := NewDivision(ds, 1, 7*day); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivisionDimensions(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sigma=1 forces the 4 corner POIs into 4 separate grids.
+	if got := d.NumSpatialCells(); got != 4 {
+		t.Errorf("NumSpatialCells = %d, want 4", got)
+	}
+	// Span is 14 days -> 3 slots of 7 days (slot index 0,1,2).
+	if got := d.NumTimeSlots(); got != 3 {
+		t.Errorf("NumTimeSlots = %d, want 3", got)
+	}
+	if got := d.InputDim(); got != 4*3*Channels {
+		t.Errorf("InputDim = %d, want %d", got, 4*3*Channels)
+	}
+	if d.Tau() != 7*day {
+		t.Error("Tau mismatch")
+	}
+}
+
+func TestTimeSlotClamping(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.TimeSlot(t0.Add(-100 * day)); got != 0 {
+		t.Errorf("pre-span slot = %d, want 0", got)
+	}
+	if got := d.TimeSlot(t0.Add(1000 * day)); got != d.NumTimeSlots()-1 {
+		t.Errorf("post-span slot = %d, want %d", got, d.NumTimeSlots()-1)
+	}
+}
+
+func TestBuildJOCCounts(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := d.Build(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cell1, ok := d.SpatialCellOfPOI(1)
+	if !ok {
+		t.Fatal("POI 1 has no cell")
+	}
+	na, nb, nab := o.At(cell1, 0)
+	if na != 2 || nb != 1 || nab != 1 {
+		t.Errorf("cell (POI1, week0) = (%v,%v,%v), want (2,1,1)", na, nb, nab)
+	}
+
+	cell2, _ := d.SpatialCellOfPOI(2)
+	na, nb, nab = o.At(cell2, 1)
+	if na != 1 || nb != 0 || nab != 0 {
+		t.Errorf("cell (POI2, week1) = (%v,%v,%v), want (1,0,0)", na, nb, nab)
+	}
+
+	if o.NonZeroCells() != 2 {
+		t.Errorf("NonZeroCells = %d, want 2", o.NonZeroCells())
+	}
+	wantSparsity := 1 - 2.0/12.0
+	if math.Abs(o.Sparsity()-wantSparsity) > 1e-12 {
+		t.Errorf("Sparsity = %v, want %v", o.Sparsity(), wantSparsity)
+	}
+}
+
+func TestBuildJOCSymmetricRoles(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oab, err := d.Build(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oba, err := d.Build(ds, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swapping users swaps NA/NB and preserves NAB.
+	for k := range oab.NA {
+		if oab.NA[k] != oba.NB[k] || oab.NB[k] != oba.NA[k] || oab.NAB[k] != oba.NAB[k] {
+			t.Fatalf("JOC not role-symmetric at cell %d", k)
+		}
+	}
+}
+
+func TestBuildUnknownUser(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Build(ds, 10, 999); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("error = %v, want ErrUnknownUser", err)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := d.Build(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.BuildFlattened(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != d.InputDim() {
+		t.Fatalf("flattened width = %d, want %d", len(v), d.InputDim())
+	}
+	// First block is log1p(NA).
+	cell1, _ := d.SpatialCellOfPOI(1)
+	idx := cell1*o.J + 0
+	if math.Abs(v[idx]-math.Log1p(2)) > 1e-12 {
+		t.Errorf("flatten NA block = %v, want log1p(2)", v[idx])
+	}
+	// NAB block offset by 2*I*J.
+	if math.Abs(v[2*len(o.NA)+idx]-math.Log1p(1)) > 1e-12 {
+		t.Errorf("flatten NAB block = %v, want log1p(1)", v[2*len(o.NA)+idx])
+	}
+}
+
+func TestUserSpatialCells(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := d.UserSpatialCells(ds)
+	if len(cells[10]) != 2 { // POIs 1 and 2 in different grids
+		t.Errorf("user 10 spatial cells = %d, want 2", len(cells[10]))
+	}
+	if len(cells[30]) != 1 {
+		t.Errorf("user 30 spatial cells = %d, want 1", len(cells[30]))
+	}
+	cell1, _ := d.SpatialCellOfPOI(1)
+	if _, ok := cells[20][cell1]; !ok {
+		t.Error("user 20 should occupy POI 1's grid")
+	}
+}
+
+func TestSigmaControlsGranularity(t *testing.T) {
+	ds := smallDataset(t)
+	coarse, err := NewDivision(ds, 4, 7*day) // all 4 POIs fit one grid
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.NumSpatialCells() >= fine.NumSpatialCells() {
+		t.Errorf("coarse cells %d should be < fine cells %d",
+			coarse.NumSpatialCells(), fine.NumSpatialCells())
+	}
+}
+
+func TestUniformDivision(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewUniformDivision(ds, 2, 2, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumSpatialCells() != 4 {
+		t.Errorf("NumSpatialCells = %d, want 4", d.NumSpatialCells())
+	}
+	// The four corner POIs land in four distinct cells.
+	seen := make(map[int]bool)
+	for _, p := range ds.POIs() {
+		cell, ok := d.SpatialCellOfPOI(p.ID)
+		if !ok {
+			t.Fatalf("poi %d unresolved", p.ID)
+		}
+		seen[cell] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("corner POIs occupy %d cells, want 4", len(seen))
+	}
+	// Same JOC machinery works on top.
+	o, err := d.Build(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I != 4 {
+		t.Errorf("JOC I = %d", o.I)
+	}
+	if _, err := NewUniformDivision(ds, 0, 2, 7*day); err == nil {
+		t.Error("zero rows should fail")
+	}
+	if _, err := NewUniformDivision(ds, 2, 2, 0); err == nil {
+		t.Error("zero tau should fail")
+	}
+}
+
+func TestDivisionSnapshotRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	for _, uniform := range []bool{false, true} {
+		var (
+			d   *Division
+			err error
+		)
+		if uniform {
+			d, err = NewUniformDivision(ds, 2, 2, 7*day)
+		} else {
+			d, err = NewDivision(ds, 1, 7*day)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(d.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.NumSpatialCells() != d.NumSpatialCells() ||
+			restored.NumTimeSlots() != d.NumTimeSlots() ||
+			restored.InputDim() != d.InputDim() {
+			t.Fatalf("uniform=%v: restored shape mismatch", uniform)
+		}
+		// POI cell assignments identical.
+		for _, p := range ds.POIs() {
+			a, _ := d.SpatialCellOfPOI(p.ID)
+			b, _ := restored.SpatialCellOfPOI(p.ID)
+			if a != b {
+				t.Fatalf("uniform=%v: poi %d cell %d != %d", uniform, p.ID, a, b)
+			}
+		}
+		// Same JOCs.
+		v1, err := d.BuildFlattened(ds, 10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := restored.BuildFlattened(ds, 10, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("uniform=%v: JOC differs at %d", uniform, i)
+			}
+		}
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package joc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// Snapshot is the serialisable state of a Division. The spatial division
+// is rebuilt deterministically from the original build points plus its
+// shape parameters (sigma for quadtrees, rows/cols for uniform grids).
+type Snapshot struct {
+	Sigma      int
+	Rows, Cols int
+	Tau        time.Duration
+	Start      time.Time
+	Slots      int
+	Points     []geo.Point
+	POICells   map[checkin.POIID]int
+}
+
+// Snapshot captures the division.
+func (d *Division) Snapshot() *Snapshot {
+	points := make([]geo.Point, len(d.points))
+	copy(points, d.points)
+	cells := make(map[checkin.POIID]int, len(d.poiCell))
+	for k, v := range d.poiCell {
+		cells[k] = v
+	}
+	return &Snapshot{
+		Sigma:    d.sigma,
+		Rows:     d.rows,
+		Cols:     d.cols,
+		Tau:      d.tau,
+		Start:    d.start,
+		Slots:    d.slots,
+		Points:   points,
+		POICells: cells,
+	}
+}
+
+// Restore rebuilds a Division from a snapshot. Quadtree construction is
+// deterministic in (points, sigma), so cell ids match the original.
+func Restore(snap *Snapshot) (*Division, error) {
+	if snap == nil {
+		return nil, errors.New("joc: nil snapshot")
+	}
+	if snap.Tau <= 0 {
+		return nil, ErrBadTau
+	}
+	if snap.Slots < 1 {
+		return nil, fmt.Errorf("joc: snapshot slots = %d", snap.Slots)
+	}
+	var (
+		sd  geo.SpatialDivision
+		err error
+	)
+	if snap.Rows > 0 && snap.Cols > 0 {
+		sd, err = geo.NewUniformGrid(snap.Points, snap.Rows, snap.Cols)
+	} else {
+		sd, err = geo.BuildQuadtree(snap.Points, snap.Sigma)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("joc: restore spatial division: %w", err)
+	}
+	points := make([]geo.Point, len(snap.Points))
+	copy(points, snap.Points)
+	cells := make(map[checkin.POIID]int, len(snap.POICells))
+	for k, v := range snap.POICells {
+		if v < 0 || v >= sd.NumCells() {
+			return nil, fmt.Errorf("joc: snapshot cell %d out of range [0,%d)", v, sd.NumCells())
+		}
+		cells[k] = v
+	}
+	return &Division{
+		sd:      sd,
+		start:   snap.Start,
+		tau:     snap.Tau,
+		slots:   snap.Slots,
+		sigma:   snap.Sigma,
+		rows:    snap.Rows,
+		cols:    snap.Cols,
+		points:  points,
+		poiCell: cells,
+	}, nil
+}

@@ -1,0 +1,233 @@
+// Package knn implements the k-nearest-neighbour classifier the paper uses
+// as the phase-1 real-world-friendship classifier C over presence-proximity
+// embeddings (Section IV-B: "We use a simple KNN and SVM as the classifier
+// C and C'").
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by the classifier.
+var (
+	ErrNotFitted = errors.New("knn: classifier not fitted")
+	ErrBadK      = errors.New("knn: k must be >= 1")
+)
+
+// Classifier is a binary KNN classifier with Euclidean (or cosine)
+// distances and optional inverse-distance weighting.
+type Classifier struct {
+	k              int
+	distanceWeight bool
+	cosine         bool
+
+	points [][]float64
+	labels []int
+}
+
+// Option customises a Classifier.
+type Option func(*Classifier)
+
+// WithDistanceWeighting makes votes proportional to 1/(dist+eps) instead of
+// uniform.
+func WithDistanceWeighting() Option {
+	return func(c *Classifier) { c.distanceWeight = true }
+}
+
+// WithCosineDistance uses 1 - cosine similarity instead of Euclidean
+// distance; directions matter more than magnitudes for autoencoder
+// bottleneck features.
+func WithCosineDistance() Option {
+	return func(c *Classifier) { c.cosine = true }
+}
+
+// New returns a KNN classifier with the given neighbourhood size.
+func New(k int, opts ...Option) (*Classifier, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	c := &Classifier{k: k}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Fit stores the training set. Labels must be 0/1.
+func (c *Classifier) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return errors.New("knn: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("knn: %d samples but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i, v := range x {
+		if len(v) != dim {
+			return fmt.Errorf("knn: sample %d has width %d, want %d", i, len(v), dim)
+		}
+		if y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("knn: label %d must be 0/1, got %d", i, y[i])
+		}
+	}
+	c.points = make([][]float64, len(x))
+	for i, v := range x {
+		p := make([]float64, len(v))
+		copy(p, v)
+		c.points[i] = p
+	}
+	c.labels = make([]int, len(y))
+	copy(c.labels, y)
+	return nil
+}
+
+// Fitted reports whether Fit has been called.
+func (c *Classifier) Fitted() bool { return len(c.points) > 0 }
+
+func squaredDistance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// distance dispatches on the configured metric.
+func (c *Classifier) distance(a, b []float64) float64 {
+	if !c.cosine {
+		return squaredDistance(a, b)
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - dot/math.Sqrt(na*nb)
+}
+
+// neighborVote returns the positive-class vote share among the k nearest
+// training points.
+func (c *Classifier) neighborVote(v []float64) (float64, error) {
+	if !c.Fitted() {
+		return 0, ErrNotFitted
+	}
+	if len(v) != len(c.points[0]) {
+		return 0, fmt.Errorf("knn: query width %d, want %d", len(v), len(c.points[0]))
+	}
+	type cand struct {
+		d     float64
+		label int
+	}
+	cands := make([]cand, len(c.points))
+	for i, p := range c.points {
+		cands[i] = cand{d: c.distance(v, p), label: c.labels[i]}
+	}
+	k := c.k
+	if k > len(cands) {
+		k = len(cands)
+	}
+	// Partial sort: selection via full sort is fine at the scales used
+	// (thousands of training pairs); replace with a heap if profiles say so.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+
+	if !c.distanceWeight {
+		pos := 0
+		for _, cd := range cands[:k] {
+			pos += cd.label
+		}
+		return float64(pos) / float64(k), nil
+	}
+	const eps = 1e-9
+	wPos, wAll := 0.0, 0.0
+	for _, cd := range cands[:k] {
+		w := 1.0 / (math.Sqrt(cd.d) + eps)
+		wAll += w
+		if cd.label == 1 {
+			wPos += w
+		}
+	}
+	if wAll == 0 {
+		return 0.5, nil
+	}
+	return wPos / wAll, nil
+}
+
+// PredictProba returns the positive-class score for one query vector.
+func (c *Classifier) PredictProba(v []float64) (float64, error) {
+	return c.neighborVote(v)
+}
+
+// Predict returns the 0/1 decision for one query vector (majority vote).
+func (c *Classifier) Predict(v []float64) (int, error) {
+	p, err := c.neighborVote(v)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// PredictProbaLOO returns the positive vote share for training point i
+// with the point itself excluded from the neighbourhood (leave-one-out).
+// In-sample predictions without exclusion are trivially correct (the query
+// is its own zero-distance neighbour), which would feed downstream stages
+// an unrealistically clean signal.
+func (c *Classifier) PredictProbaLOO(i int) (float64, error) {
+	if !c.Fitted() {
+		return 0, ErrNotFitted
+	}
+	if i < 0 || i >= len(c.points) {
+		return 0, fmt.Errorf("knn: loo index %d out of range [0,%d)", i, len(c.points))
+	}
+	// Temporarily swap point i to the end and shrink the view.
+	last := len(c.points) - 1
+	c.points[i], c.points[last] = c.points[last], c.points[i]
+	c.labels[i], c.labels[last] = c.labels[last], c.labels[i]
+	savedPoints, savedLabels := c.points, c.labels
+	c.points = c.points[:last]
+	c.labels = c.labels[:last]
+	query := savedPoints[last]
+
+	p, err := c.PredictProba(query)
+
+	c.points = savedPoints
+	c.labels = savedLabels
+	c.points[i], c.points[last] = c.points[last], c.points[i]
+	c.labels[i], c.labels[last] = c.labels[last], c.labels[i]
+	return p, err
+}
+
+// PredictLOO is PredictProbaLOO thresholded at 0.5.
+func (c *Classifier) PredictLOO(i int) (int, error) {
+	p, err := c.PredictProbaLOO(i)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// PredictBatch classifies each row of x.
+func (c *Classifier) PredictBatch(x [][]float64) ([]int, error) {
+	out := make([]int, len(x))
+	for i, v := range x {
+		p, err := c.Predict(v)
+		if err != nil {
+			return nil, fmt.Errorf("knn: sample %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package knn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); !errors.Is(err, ErrBadK) {
+		t.Errorf("New(0) error = %v, want ErrBadK", err)
+	}
+	if _, err := New(3); err != nil {
+		t.Errorf("New(3) error = %v", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(nil, nil); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if err := c.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := c.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}); err == nil {
+		t.Error("ragged samples should fail")
+	}
+	if err := c.Fit([][]float64{{1}}, []int{2}); err == nil {
+		t.Error("non-binary label should fail")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	c, _ := New(1)
+	if _, err := c.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("error = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestKNNBasic(t *testing.T) {
+	c, _ := New(3)
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {10, 10}, {10, 11}, {11, 10}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		q    []float64
+		want int
+	}{
+		{[]float64{0.2, 0.2}, 0},
+		{[]float64{10.5, 10.5}, 1},
+		{[]float64{9, 9}, 1},
+	}
+	for _, tt := range tests {
+		got, err := c.Predict(tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("Predict(%v) = %d, want %d", tt.q, got, tt.want)
+		}
+	}
+	p, err := c.PredictProba([]float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("proba near class-0 cluster = %v, want 0", p)
+	}
+	if _, err := c.Predict([]float64{1}); err == nil {
+		t.Error("wrong query width should fail")
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	c, _ := New(100)
+	if err := c.Fit([][]float64{{0}, {1}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.PredictProba([]float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("vote share with all points = %v, want 0.5", p)
+	}
+}
+
+func TestKNNDistanceWeighting(t *testing.T) {
+	// One very close negative against two distant positives: uniform vote
+	// says positive, weighted vote says negative.
+	x := [][]float64{{0.01}, {5}, {5.1}}
+	y := []int{0, 1, 1}
+
+	uniform, _ := New(3)
+	if err := uniform.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	weighted, _ := New(3, WithDistanceWeighting())
+	if err := weighted.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0}
+	u, err := uniform.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := weighted.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Errorf("uniform vote = %d, want 1", u)
+	}
+	if w != 0 {
+		t.Errorf("weighted vote = %d, want 0", w)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	c, _ := New(1)
+	if err := c.Fit([][]float64{{0}, {10}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PredictBatch([][]float64{{1}, {9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("PredictBatch = %v", got)
+	}
+}
+
+func TestKNNSeparableAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		label := i % 2
+		cx := float64(label) * 4
+		x = append(x, []float64{cx + r.NormFloat64(), cx + r.NormFloat64()})
+		y = append(y, label)
+	}
+	c, _ := New(5)
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := 0; i < 100; i++ {
+		label := i % 2
+		cx := float64(label) * 4
+		q := []float64{cx + r.NormFloat64(), cx + r.NormFloat64()}
+		pred, err := c.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == label {
+			correct++
+		}
+	}
+	if correct < 90 {
+		t.Errorf("accuracy = %d/100, want >= 90", correct)
+	}
+}
+
+func TestPredictLOO(t *testing.T) {
+	// Two interleaved points per class: without LOO each training point
+	// predicts its own label perfectly; with LOO the isolated outlier
+	// flips to the surrounding class.
+	x := [][]float64{{0}, {0.1}, {0.2}, {5}}
+	y := []int{0, 0, 0, 1}
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// In-sample (non-LOO) k=3 vote for point 3 includes itself but the
+	// neighbourhood is majority class 0 anyway; the interesting check is
+	// LOO for a point whose own label is the only evidence.
+	pred, err := c.PredictLOO(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("LOO prediction for outlier = %d, want 0 (its own label excluded)", pred)
+	}
+	// LOO must not corrupt the stored training set.
+	for i, want := range y {
+		p, err := c.PredictProba(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = p
+		if c.labels[i] != want {
+			t.Fatalf("labels corrupted at %d", i)
+		}
+	}
+	if _, err := c.PredictLOO(-1); err == nil {
+		t.Error("negative index should fail")
+	}
+	if _, err := c.PredictLOO(4); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	var unfitted Classifier
+	if _, err := (&unfitted).PredictLOO(0); err == nil {
+		t.Error("unfitted LOO should fail")
+	}
+}
+
+func TestPredictProbaLOORestoresOrder(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 1, 0, 1}
+	c, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if _, err := c.PredictProbaLOO(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range x {
+		if c.points[i][0] != x[i][0] || c.labels[i] != y[i] {
+			t.Fatalf("training set order corrupted at %d", i)
+		}
+	}
+}
+
+func TestCosineDistanceOption(t *testing.T) {
+	// Same direction, different magnitude: cosine says near, Euclidean
+	// says far.
+	x := [][]float64{{10, 0}, {0, 1}}
+	y := []int{1, 0}
+	euc, _ := New(1)
+	if err := euc.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cos, _ := New(1, WithCosineDistance())
+	if err := cos.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.1, 0} // tiny vector along the class-1 direction
+	pe, err := euc.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := cos.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe != 0 {
+		t.Errorf("euclidean predict = %d, want 0 (magnitude dominates)", pe)
+	}
+	if pc != 1 {
+		t.Errorf("cosine predict = %d, want 1 (direction dominates)", pc)
+	}
+	// Zero vector: defined distance, no panic.
+	if _, err := cos.Predict([]float64{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c, err := New(3, WithDistanceWeighting(), WithCosineDistance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{0, 1}, {1, 0}, {1, 1}, {0, 0.5}}
+	y := []int{0, 1, 1, 0}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float64{{0.2, 0.9}, {0.9, 0.1}, {0.5, 0.5}} {
+		p1, err := c.PredictProba(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := restored.PredictProba(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("restored proba differs at %v: %v vs %v", q, p1, p2)
+		}
+	}
+	var unfitted Classifier
+	if _, err := (&unfitted).Snapshot(); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted snapshot error = %v", err)
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	if _, err := Restore(&Snapshot{K: 0}); err == nil {
+		t.Error("bad k should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package knn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot is the serialisable state of a fitted classifier.
+type Snapshot struct {
+	K              int
+	DistanceWeight bool
+	Cosine         bool
+	Points         [][]float64
+	Labels         []int
+}
+
+// Snapshot captures the fitted classifier.
+func (c *Classifier) Snapshot() (*Snapshot, error) {
+	if !c.Fitted() {
+		return nil, ErrNotFitted
+	}
+	points := make([][]float64, len(c.points))
+	for i, p := range c.points {
+		v := make([]float64, len(p))
+		copy(v, p)
+		points[i] = v
+	}
+	labels := make([]int, len(c.labels))
+	copy(labels, c.labels)
+	return &Snapshot{
+		K:              c.k,
+		DistanceWeight: c.distanceWeight,
+		Cosine:         c.cosine,
+		Points:         points,
+		Labels:         labels,
+	}, nil
+}
+
+// Restore rebuilds a fitted classifier from a snapshot.
+func Restore(snap *Snapshot) (*Classifier, error) {
+	if snap == nil {
+		return nil, errors.New("knn: nil snapshot")
+	}
+	if snap.K < 1 {
+		return nil, fmt.Errorf("knn: snapshot k = %d", snap.K)
+	}
+	var opts []Option
+	if snap.DistanceWeight {
+		opts = append(opts, WithDistanceWeighting())
+	}
+	if snap.Cosine {
+		opts = append(opts, WithCosineDistance())
+	}
+	c, err := New(snap.K, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Fit(snap.Points, snap.Labels); err != nil {
+		return nil, fmt.Errorf("knn: restore: %w", err)
+	}
+	return c, nil
+}

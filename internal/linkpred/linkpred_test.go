@@ -1,0 +1,150 @@
+package linkpred
+
+import (
+	"math"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+// triangleGraph: 1-2, 1-3, 2-3 (triangle) plus pendant 4-1 and isolated 5.
+func triangleGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.NewGraph()
+	for _, e := range [][2]checkin.UserID{{1, 2}, {1, 3}, {2, 3}, {4, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddNode(5)
+	return g
+}
+
+func TestIndexScores(t *testing.T) {
+	g := triangleGraph(t)
+	tests := []struct {
+		idx  Index
+		a, b checkin.UserID
+		want float64
+		eps  float64
+	}{
+		{CommonNeighbors{}, 2, 3, 1, 0},                 // shared neighbour: 1
+		{CommonNeighbors{}, 4, 5, 0, 0},                 // isolated
+		{Jaccard{}, 2, 3, 1.0 / 3.0, 1e-12},             // 1 / (2+2-1)
+		{AdamicAdar{}, 2, 3, 1 / math.Log(3), 1e-12},    // deg(1)=3
+		{ResourceAllocation{}, 2, 3, 1.0 / 3.0, 1e-12},  // 1/deg(1)
+		{PreferentialAttachment{}, 2, 3, 4, 0},          // 2*2
+		{PreferentialAttachment{}, 1, 5, 0, 0},          // isolated factor
+		{Katz{Beta: 0.5, MaxLen: 2}, 4, 2, 0.25, 1e-12}, // one 2-walk 4-1-2
+		{LocalPath{Eps: 0.01}, 4, 2, 1 + 0.01*1, 1e-12}, // one 2-walk, one 3-walk (4-1-3-2)
+	}
+	for _, tt := range tests {
+		got := tt.idx.Score(g, tt.a, tt.b)
+		if math.Abs(got-tt.want) > tt.eps {
+			t.Errorf("%s(%d,%d) = %v, want %v", tt.idx.Name(), tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := make(map[string]struct{})
+	for _, idx := range All() {
+		if idx.Name() == "" {
+			t.Error("empty index name")
+		}
+		if _, dup := seen[idx.Name()]; dup {
+			t.Errorf("duplicate index name %q", idx.Name())
+		}
+		seen[idx.Name()] = struct{}{}
+	}
+	if len(seen) != 7 {
+		t.Errorf("All() = %d indices, want 7", len(seen))
+	}
+}
+
+func TestAUC(t *testing.T) {
+	g := triangleGraph(t)
+	// Positive pair (2,3) has a common neighbour; negative pair (4,5)
+	// scores zero: AUC must be 1 for CommonNeighbors.
+	pairs := []checkin.Pair{checkin.MakePair(2, 3), checkin.MakePair(4, 5)}
+	labels := []bool{true, false}
+	auc, err := AUC(g, CommonNeighbors{}, pairs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// All-tied scores give AUC 0.5.
+	tied := []checkin.Pair{checkin.MakePair(4, 5), checkin.MakePair(2, 5)}
+	auc, err = AUC(g, CommonNeighbors{}, tied, []bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+	if _, err := AUC(g, CommonNeighbors{}, pairs, labels[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := AUC(g, CommonNeighbors{}, pairs, []bool{true, true}); err == nil {
+		t.Error("single-class sample should fail")
+	}
+}
+
+func TestAUCRankCorrectness(t *testing.T) {
+	// Hand-checkable: positives score {3, 1}, negatives {2, 0}.
+	// Pairwise wins: (3>2, 3>0, 1<2, 1>0) = 3 of 4 -> AUC 0.75.
+	g := graph.NewGraph()
+	// Build a graph realising those common-neighbour counts via stars.
+	// p1=(1,2) share 3 neighbours; p2=(3,4) share 1; n1=(5,6) share 2;
+	// n2=(7,8) share 0.
+	addStar := func(a, b checkin.UserID, shared ...checkin.UserID) {
+		for _, v := range shared {
+			if err := g.AddEdge(a, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(b, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	addStar(1, 2, 100, 101, 102)
+	addStar(3, 4, 103)
+	addStar(5, 6, 104, 105)
+	g.AddNode(7)
+	g.AddNode(8)
+	pairs := []checkin.Pair{
+		checkin.MakePair(1, 2), checkin.MakePair(3, 4),
+		checkin.MakePair(5, 6), checkin.MakePair(7, 8),
+	}
+	labels := []bool{true, true, false, false}
+	auc, err := AUC(g, CommonNeighbors{}, pairs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.75", auc)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := triangleGraph(t)
+	candidates := []checkin.Pair{
+		checkin.MakePair(2, 3), // already an edge: skipped
+		checkin.MakePair(2, 4), // common neighbour 1
+		checkin.MakePair(4, 5), // nothing
+	}
+	top := TopK(g, CommonNeighbors{}, candidates, 1)
+	if len(top) != 1 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if top[0].Pair != checkin.MakePair(2, 4) {
+		t.Errorf("top pair = %v, want (2,4)", top[0].Pair)
+	}
+	all := TopK(g, CommonNeighbors{}, candidates, 10)
+	if len(all) != 2 {
+		t.Errorf("TopK without cap = %d entries, want 2 (edge skipped)", len(all))
+	}
+}

@@ -1,0 +1,196 @@
+// Package logreg implements L2-regularised logistic regression trained
+// with gradient descent. The knowledge-based baselines (co-location and
+// distance features) use it as their decision head, matching the common
+// setup in the literature FriendSeeker compares against.
+package logreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrNotFitted is returned when prediction precedes Fit.
+var ErrNotFitted = errors.New("logreg: model not fitted")
+
+// Config controls training.
+type Config struct {
+	// LearningRate is the gradient step (default 0.1).
+	LearningRate float64
+	// Epochs is the number of full-batch iterations (default 200).
+	Epochs int
+	// L2 is the ridge penalty on weights (default 1e-4).
+	L2 float64
+	// Seed drives weight initialisation.
+	Seed int64
+	// Standardize z-scores features using training statistics
+	// (default true via NewDefault; zero value means off).
+	Standardize bool
+}
+
+// Model is a trained binary logistic-regression classifier.
+type Model struct {
+	cfg    Config
+	w      []float64
+	b      float64
+	mean   []float64
+	std    []float64
+	fitted bool
+}
+
+// New returns an untrained model.
+func New(cfg Config) *Model {
+	if cfg.LearningRate == 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.L2 == 0 {
+		cfg.L2 = 1e-4
+	}
+	return &Model{cfg: cfg}
+}
+
+// NewDefault returns a model with standardisation enabled, the right
+// choice for heterogeneous heuristic features.
+func NewDefault(seed int64) *Model {
+	return New(Config{Standardize: true, Seed: seed})
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Fit trains on rows x with 0/1 labels y using full-batch gradient descent.
+func (m *Model) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return errors.New("logreg: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("logreg: %d samples but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	for i := range x {
+		if len(x[i]) != dim {
+			return fmt.Errorf("logreg: sample %d width %d, want %d", i, len(x[i]), dim)
+		}
+		if y[i] != 0 && y[i] != 1 {
+			return fmt.Errorf("logreg: label %d must be 0/1, got %d", i, y[i])
+		}
+	}
+
+	m.mean = make([]float64, dim)
+	m.std = make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		m.std[j] = 1
+	}
+	if m.cfg.Standardize {
+		for _, row := range x {
+			for j, v := range row {
+				m.mean[j] += v
+			}
+		}
+		for j := range m.mean {
+			m.mean[j] /= float64(len(x))
+		}
+		for _, row := range x {
+			for j, v := range row {
+				d := v - m.mean[j]
+				m.std[j] += d * d
+			}
+		}
+		for j := range m.std {
+			m.std[j] = math.Sqrt((m.std[j] - 1) / float64(len(x)))
+			if m.std[j] < 1e-9 {
+				m.std[j] = 1
+			}
+		}
+	}
+	xs := make([][]float64, len(x))
+	for i, row := range x {
+		s := make([]float64, dim)
+		for j, v := range row {
+			s[j] = (v - m.mean[j]) / m.std[j]
+		}
+		xs[i] = s
+	}
+
+	r := rand.New(rand.NewSource(m.cfg.Seed))
+	m.w = make([]float64, dim)
+	for j := range m.w {
+		m.w[j] = (r.Float64()*2 - 1) * 0.01
+	}
+	m.b = 0
+
+	n := float64(len(xs))
+	gw := make([]float64, dim)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		for i, row := range xs {
+			z := m.b
+			for j, v := range row {
+				z += m.w[j] * v
+			}
+			e := sigmoid(z) - float64(y[i])
+			for j, v := range row {
+				gw[j] += e * v
+			}
+			gb += e
+		}
+		for j := range m.w {
+			m.w[j] -= m.cfg.LearningRate * (gw[j]/n + m.cfg.L2*m.w[j])
+		}
+		m.b -= m.cfg.LearningRate * gb / n
+	}
+	m.fitted = true
+	return nil
+}
+
+// Fitted reports whether Fit has run.
+func (m *Model) Fitted() bool { return m.fitted }
+
+// PredictProba returns P(y=1 | v).
+func (m *Model) PredictProba(v []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(v) != len(m.w) {
+		return 0, fmt.Errorf("logreg: query width %d, want %d", len(v), len(m.w))
+	}
+	z := m.b
+	for j, x := range v {
+		z += m.w[j] * (x - m.mean[j]) / m.std[j]
+	}
+	return sigmoid(z), nil
+}
+
+// Predict returns the 0/1 decision at threshold 0.5.
+func (m *Model) Predict(v []float64) (int, error) {
+	p, err := m.PredictProba(v)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 0.5 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// Weights returns a copy of the learned weights (standardised space).
+func (m *Model) Weights() ([]float64, float64, error) {
+	if !m.fitted {
+		return nil, 0, ErrNotFitted
+	}
+	out := make([]float64, len(m.w))
+	copy(out, m.w)
+	return out, m.b, nil
+}

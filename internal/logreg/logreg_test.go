@@ -1,0 +1,138 @@
+package logreg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestFitValidation(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := m.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{3}); err == nil {
+		t.Error("bad label should fail")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("error = %v, want ErrNotFitted", err)
+	}
+	if _, _, err := m.Weights(); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("Weights error = %v, want ErrNotFitted", err)
+	}
+}
+
+func separable(r *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		off := -1.5
+		if label == 1 {
+			off = 1.5
+		}
+		x[i] = []float64{off + r.NormFloat64()*0.5, off + r.NormFloat64()*0.5}
+		y[i] = label
+	}
+	return x, y
+}
+
+func TestLogRegLearns(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x, y := separable(r, 200)
+	m := NewDefault(7)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() {
+		t.Fatal("not fitted")
+	}
+	xt, yt := separable(rand.New(rand.NewSource(2)), 100)
+	correct := 0
+	for i := range xt {
+		p, err := m.Predict(xt[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == yt[i] {
+			correct++
+		}
+	}
+	if correct < 92 {
+		t.Errorf("accuracy = %d/100, want >= 92", correct)
+	}
+	w, _, err := m.Weights()
+	if err != nil || len(w) != 2 {
+		t.Errorf("Weights = %v, %v", w, err)
+	}
+	// Probabilities ordered correctly across the margin.
+	pNeg, _ := m.PredictProba([]float64{-1.5, -1.5})
+	pPos, _ := m.PredictProba([]float64{1.5, 1.5})
+	if pNeg >= pPos {
+		t.Errorf("proba ordering wrong: %v vs %v", pNeg, pPos)
+	}
+	if _, err := m.PredictProba([]float64{1}); err == nil {
+		t.Error("width mismatch should fail")
+	}
+}
+
+func TestStandardizeScalesHeterogeneousFeatures(t *testing.T) {
+	// Feature 2 carries the signal but on a tiny scale; standardisation
+	// must keep it usable.
+	r := rand.New(rand.NewSource(3))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 300; i++ {
+		label := i % 2
+		big := r.NormFloat64() * 1000 // noise dimension with huge variance
+		small := float64(label)*0.001 + r.NormFloat64()*0.0002
+		x = append(x, []float64{big, small})
+		y = append(y, label)
+	}
+	m := New(Config{Standardize: true, Epochs: 400, LearningRate: 0.3, Seed: 4})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range x {
+		p, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == y[i] {
+			correct++
+		}
+	}
+	if float64(correct)/float64(len(x)) < 0.9 {
+		t.Errorf("standardised accuracy = %d/%d, want >= 90%%", correct, len(x))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x, y := separable(r, 100)
+	run := func() float64 {
+		m := NewDefault(11)
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		p, err := m.PredictProba(x[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if run() != run() {
+		t.Error("same seed produced different model")
+	}
+}

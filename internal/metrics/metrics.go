@@ -1,0 +1,193 @@
+// Package metrics provides the evaluation machinery of the paper's
+// Section IV: binary confusion counting, precision/recall/F1 (the paper's
+// headline metric), and empirical CDFs/histograms used for the Fig. 1 and
+// Fig. 5 statistics.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (prediction, truth) observation.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c *Confusion) Precision() float64 {
+	den := c.TP + c.FP
+	if den == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(den)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c *Confusion) Recall() float64 {
+	den := c.TP + c.FN
+	if den == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(den)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when
+// undefined (the paper notes F1 cannot be computed when the denominator is
+// zero, e.g. the co-location baseline on zero-co-location pairs).
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/Total, or 0 on no observations.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// String implements fmt.Stringer.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.4f R=%.4f F1=%.4f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// Score bundles the three headline numbers of every figure in Section IV.
+type Score struct {
+	Precision, Recall, F1 float64
+}
+
+// ScoreOf summarises a confusion matrix.
+func ScoreOf(c *Confusion) Score {
+	return Score{Precision: c.Precision(), Recall: c.Recall(), F1: c.F1()}
+}
+
+// Evaluate builds a confusion matrix from aligned prediction/truth slices.
+func Evaluate(predicted, actual []bool) (*Confusion, error) {
+	if len(predicted) != len(actual) {
+		return nil, fmt.Errorf("metrics: %d predictions vs %d labels", len(predicted), len(actual))
+	}
+	var c Confusion
+	for i := range predicted {
+		c.Add(predicted[i], actual[i])
+	}
+	return &c, nil
+}
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF; the sample slice is copied.
+func NewCDF(samples []float64) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("metrics: CDF of empty sample")
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}, nil
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	// First index with sorted[i] > x.
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile for q in [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)))
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// Points evaluates the CDF at the given x values, producing the series the
+// paper's CDF figures plot.
+func (c *CDF) Points(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// Histogram counts samples into right-open bins defined by edges
+// [e0,e1),[e1,e2),...,[en-1,en]; the final bin is closed.
+func Histogram(samples []float64, edges []float64) ([]int, error) {
+	if len(edges) < 2 {
+		return nil, errors.New("metrics: histogram needs >= 2 edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("metrics: histogram edges not increasing at %d", i)
+		}
+	}
+	counts := make([]int, len(edges)-1)
+	for _, s := range samples {
+		if s < edges[0] || s > edges[len(edges)-1] {
+			continue
+		}
+		i := sort.SearchFloat64s(edges, s)
+		// SearchFloat64s returns the first edge >= s.
+		if i == 0 {
+			counts[0]++
+			continue
+		}
+		if edges[i-1] == s && i-1 < len(counts) {
+			counts[i-1]++
+			continue
+		}
+		counts[i-1]++
+	}
+	return counts, nil
+}
+
+// Mean returns the arithmetic mean of samples (0 for empty input).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range samples {
+		s += v
+	}
+	return s / float64(len(samples))
+}

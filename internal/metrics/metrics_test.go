@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionCounts(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	wantP := 2.0 / 3.0
+	if math.Abs(c.Precision()-wantP) > 1e-12 {
+		t.Errorf("Precision = %v, want %v", c.Precision(), wantP)
+	}
+	wantR := 2.0 / 3.0
+	if math.Abs(c.Recall()-wantR) > 1e-12 {
+		t.Errorf("Recall = %v, want %v", c.Recall(), wantR)
+	}
+	wantF1 := 2 * wantP * wantR / (wantP + wantR)
+	if math.Abs(c.F1()-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", c.F1(), wantF1)
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.6", c.Accuracy())
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("empty confusion should score 0 everywhere")
+	}
+	// All negatives predicted negative: F1 undefined -> 0.
+	c.Add(false, false)
+	if c.F1() != 0 {
+		t.Error("no positives F1 should be 0")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	f := func(tp, fp, tn, fn uint8) bool {
+		c := Confusion{TP: int(tp), FP: int(fp), TN: int(tn), FN: int(fn)}
+		s := ScoreOf(&c)
+		return s.Precision >= 0 && s.Precision <= 1 &&
+			s.Recall >= 0 && s.Recall <= 1 &&
+			s.F1 >= 0 && s.F1 <= 1 &&
+			s.F1 <= math.Max(s.Precision, s.Recall)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	c, err := Evaluate([]bool{true, false, true}, []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.FN != 1 || c.FP != 1 {
+		t.Errorf("Evaluate = %+v", c)
+	}
+	if _, err := Evaluate([]bool{true}, []bool{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	c, err := NewCDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 {
+		t.Errorf("N = %d", c.N())
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.25},
+		{2, 0.75},
+		{2.5, 0.75},
+		{3, 1},
+		{99, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	pts := c.Points([]float64{1, 3})
+	if pts[0] != 0.25 || pts[1] != 1 {
+		t.Errorf("Points = %v", pts)
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = r.NormFloat64() * 10
+	}
+	c, err := NewCDF(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return c.At(lo) <= c.At(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 10 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if q := c.Quantile(0.5); q != 6 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	if _, err := Histogram(nil, []float64{1}); err == nil {
+		t.Error("single edge should fail")
+	}
+	if _, err := Histogram(nil, []float64{2, 1}); err == nil {
+		t.Error("non-increasing edges should fail")
+	}
+	counts, err := Histogram([]float64{0.5, 1.5, 1.5, 2.5, 3, -1, 99}, []float64{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -1 and 99 out of range; 3 lands in the final closed bin.
+	want := []int{1, 2, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("Histogram = %v, want %v", counts, want)
+			break
+		}
+	}
+	// Conservation: all in-range samples counted once.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5 {
+		t.Errorf("total counted = %d, want 5", total)
+	}
+}
+
+func TestHistogramConservationProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(100)
+		samples := make([]float64, n)
+		inRange := 0
+		for i := range samples {
+			samples[i] = rr.Float64() * 20
+			if samples[i] >= 0 && samples[i] <= 10 {
+				inRange++
+			}
+		}
+		counts, err := Histogram(samples, []float64{0, 2.5, 5, 7.5, 10})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == inRange
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestCDFSortedInputUnchanged(t *testing.T) {
+	in := []float64{5, 4, 3}
+	if _, err := NewCDF(in); err != nil {
+		t.Fatal(err)
+	}
+	if sort.Float64sAreSorted(in) {
+		t.Error("NewCDF must not mutate its input")
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RankedPoint is one operating point of a score threshold sweep.
+type RankedPoint struct {
+	// Threshold is the score cut (predict positive at score >= Threshold).
+	Threshold float64
+	// TPR (recall) and FPR locate the point on the ROC curve.
+	TPR, FPR float64
+	// Precision completes the PR curve.
+	Precision float64
+}
+
+// RankingCurve sweeps every distinct score threshold over a labelled score
+// sample and returns the operating points in decreasing-threshold order.
+// It is the shared machinery behind ROC-AUC and average precision, used
+// to compare attack scores without committing to one decision threshold.
+func RankingCurve(scores []float64, labels []bool) ([]RankedPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d scores vs %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("metrics: empty score sample")
+	}
+	type sl struct {
+		s float64
+		y bool
+	}
+	items := make([]sl, len(scores))
+	totalPos, totalNeg := 0, 0
+	for i := range scores {
+		items[i] = sl{scores[i], labels[i]}
+		if labels[i] {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+	if totalPos == 0 || totalNeg == 0 {
+		return nil, errors.New("metrics: need both classes for a ranking curve")
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s > items[j].s })
+
+	var out []RankedPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(items); i++ {
+		if items[i].y {
+			tp++
+		} else {
+			fp++
+		}
+		// Emit a point only at threshold boundaries (ties collapse).
+		if i+1 < len(items) && items[i+1].s == items[i].s {
+			continue
+		}
+		p := RankedPoint{
+			Threshold: items[i].s,
+			TPR:       float64(tp) / float64(totalPos),
+			FPR:       float64(fp) / float64(totalNeg),
+		}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ROCAUC integrates the ROC curve by the trapezoid rule.
+func ROCAUC(scores []float64, labels []bool) (float64, error) {
+	curve, err := RankingCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	auc := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		auc += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	auc += (1 - prevFPR) * (1 + prevTPR) / 2 // close the curve at (1,1)
+	return auc, nil
+}
+
+// AveragePrecision computes the area under the precision-recall curve via
+// the step-wise interpolation sum(precision_i * delta recall_i).
+func AveragePrecision(scores []float64, labels []bool) (float64, error) {
+	curve, err := RankingCurve(scores, labels)
+	if err != nil {
+		return 0, err
+	}
+	ap := 0.0
+	prevTPR := 0.0
+	for _, p := range curve {
+		ap += p.Precision * (p.TPR - prevTPR)
+		prevTPR = p.TPR
+	}
+	return ap, nil
+}
+
+// BestF1Threshold returns the threshold maximising F1 over the sweep and
+// the F1 achieved there.
+func BestF1Threshold(scores []float64, labels []bool) (threshold, f1 float64, err error) {
+	curve, err := RankingCurve(scores, labels)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := -1.0
+	for _, p := range curve {
+		if p.Precision+p.TPR == 0 {
+			continue
+		}
+		f := 2 * p.Precision * p.TPR / (p.Precision + p.TPR)
+		if f > best {
+			best = f
+			threshold = p.Threshold
+		}
+	}
+	if best < 0 {
+		return 0, 0, errors.New("metrics: no positive predictions at any threshold")
+	}
+	return threshold, best, nil
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRankingCurveValidation(t *testing.T) {
+	if _, err := RankingCurve(nil, nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := RankingCurve([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := RankingCurve([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class sample should fail")
+	}
+}
+
+func TestPerfectSeparation(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	auc, err := ROCAUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Errorf("perfect AUC = %v, want 1", auc)
+	}
+	ap, err := AveragePrecision(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ap-1) > 1e-12 {
+		t.Errorf("perfect AP = %v, want 1", ap)
+	}
+	th, f1, err := BestF1Threshold(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f1-1) > 1e-12 {
+		t.Errorf("best F1 = %v, want 1", f1)
+	}
+	if th > 0.8 || th <= 0.2 {
+		t.Errorf("best threshold = %v, want in (0.2, 0.8]", th)
+	}
+}
+
+func TestInvertedSeparation(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	auc, err := ROCAUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0) > 1e-12 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestRandomScoresAUCNearHalf(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Intn(2) == 0
+	}
+	auc, err := ROCAUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestTiedScoresCollapse(t *testing.T) {
+	// All scores equal: the curve has a single point at (1,1); AUC is 0.5
+	// by the trapezoid through the origin.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	curve, err := RankingCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("curve points = %d, want 1 (ties collapse)", len(curve))
+	}
+	auc, err := ROCAUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestCurveMonotonicity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	scores := make([]float64, 300)
+	labels := make([]bool, 300)
+	for i := range scores {
+		scores[i] = r.NormFloat64()
+		labels[i] = r.Intn(3) == 0
+	}
+	curve, err := RankingCurve(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].TPR < curve[i-1].TPR || curve[i].FPR < curve[i-1].FPR {
+			t.Fatal("TPR/FPR must be non-decreasing along the sweep")
+		}
+		if curve[i].Threshold >= curve[i-1].Threshold {
+			t.Fatal("thresholds must strictly decrease")
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+}

@@ -1,0 +1,91 @@
+// Package nn implements the feed-forward neural substrate of FriendSeeker:
+// dense layers with backpropagation and the supervised autoencoder of
+// Section III-B (Algorithm 1), which trains an autoencoder jointly with a
+// classification head under the combined loss L = L_auto + alpha * L_cla.
+package nn
+
+import "math"
+
+// Activation is a differentiable element-wise non-linearity. Deriv receives
+// the *output* of the activation (every activation used here has a
+// derivative expressible in its output, which avoids caching
+// pre-activations).
+type Activation interface {
+	// Name identifies the activation (for model descriptions).
+	Name() string
+	// F applies the non-linearity.
+	F(x float64) float64
+	// Deriv returns dF/dx expressed in terms of y = F(x).
+	Deriv(y float64) float64
+}
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct{}
+
+// Name implements Activation.
+func (Sigmoid) Name() string { return "sigmoid" }
+
+// F implements Activation.
+func (Sigmoid) F(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Deriv implements Activation.
+func (Sigmoid) Deriv(y float64) float64 { return y * (1 - y) }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{}
+
+// Name implements Activation.
+func (Tanh) Name() string { return "tanh" }
+
+// F implements Activation.
+func (Tanh) F(x float64) float64 { return math.Tanh(x) }
+
+// Deriv implements Activation.
+func (Tanh) Deriv(y float64) float64 { return 1 - y*y }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{}
+
+// Name implements Activation.
+func (ReLU) Name() string { return "relu" }
+
+// F implements Activation.
+func (ReLU) F(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Deriv implements Activation. For y=0 (the kink) the subgradient 0 is used.
+func (ReLU) Deriv(y float64) float64 {
+	if y > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Identity is the linear activation, used on reconstruction output layers.
+type Identity struct{}
+
+// Name implements Activation.
+func (Identity) Name() string { return "identity" }
+
+// F implements Activation.
+func (Identity) F(x float64) float64 { return x }
+
+// Deriv implements Activation.
+func (Identity) Deriv(float64) float64 { return 1 }
+
+var (
+	_ Activation = Sigmoid{}
+	_ Activation = Tanh{}
+	_ Activation = ReLU{}
+	_ Activation = Identity{}
+)

@@ -1,0 +1,359 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// Defaults for the supervised-autoencoder configuration, matching the
+// paper's experimental setup (Section IV-B): learning rate 0.005 and
+// balance weight alpha = 1.
+const (
+	DefaultLearningRate = 0.005
+	DefaultAlpha        = 1.0
+	DefaultEpochs       = 30
+	DefaultBatchSize    = 32
+)
+
+// ErrNotTrained is returned when inference is attempted before Fit.
+var ErrNotTrained = errors.New("nn: model not trained")
+
+// AutoencoderConfig configures a supervised autoencoder.
+type AutoencoderConfig struct {
+	// InputDim is the flattened JOC size fed to the encoder.
+	InputDim int
+	// BottleneckDim is d, the presence-proximity feature dimension.
+	BottleneckDim int
+	// HeadHidden lists the hidden widths of the classification head; the
+	// head always ends in a single sigmoid unit. Empty means logistic
+	// regression directly on the bottleneck.
+	HeadHidden []int
+	// Alpha balances reconstruction and classification losses
+	// (L = L_auto + Alpha * L_cla). Zero disables supervision, yielding a
+	// plain autoencoder (the A3 ablation).
+	Alpha float64
+	// LearningRate is the SGD step size beta.
+	LearningRate float64
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// BatchSize is the SGD mini-batch size.
+	BatchSize int
+	// Seed drives weight initialisation and shuffling.
+	Seed int64
+	// HiddenAct is the activation of the hidden layers (default Tanh).
+	HiddenAct Activation
+	// UseAdam switches the optimiser from plain SGD (Algorithm 1's
+	// gradient descent) to Adam. The paper notes the approach is
+	// independent of the training specifics; Adam converges in fewer
+	// epochs at small scale.
+	UseAdam bool
+}
+
+func (c *AutoencoderConfig) fillDefaults() {
+	if c.LearningRate == 0 {
+		c.LearningRate = DefaultLearningRate
+	}
+	if c.Epochs == 0 {
+		c.Epochs = DefaultEpochs
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.HiddenAct == nil {
+		c.HiddenAct = Tanh{}
+	}
+}
+
+// EncoderWidths derives the layer plan of the paper: "consecutive layers
+// with half the number of nodes as in the preceding layer, excluding the
+// last layer (which is set according to the dimension of the
+// spatial-temporal proximity feature d)".
+func EncoderWidths(inputDim, d int) []int {
+	widths := []int{inputDim}
+	w := inputDim / 2
+	for w > 2*d && len(widths) < 6 {
+		widths = append(widths, w)
+		w /= 2
+	}
+	widths = append(widths, d)
+	return widths
+}
+
+func reverseWidths(w []int) []int {
+	out := make([]int, len(w))
+	for i := range w {
+		out[i] = w[len(w)-1-i]
+	}
+	return out
+}
+
+// TrainStats records per-epoch losses of a Fit run.
+type TrainStats struct {
+	// LossAuto and LossCla are the mean reconstruction and classification
+	// losses per epoch; Loss is the combined objective.
+	LossAuto, LossCla, Loss []float64
+}
+
+// SupervisedAutoencoder is the paper's Algorithm 1: an autoencoder A
+// (encoder + decoder) trained jointly with a classification head C under
+// L = L_auto + alpha * L_cla, so the bottleneck retains reconstructive and
+// discriminative structure.
+type SupervisedAutoencoder struct {
+	Encoder *Stack
+	Decoder *Stack
+	Head    *Stack
+
+	cfg     AutoencoderConfig
+	trained bool
+}
+
+// NewSupervisedAutoencoder builds the network. The encoder halves widths
+// from InputDim down to BottleneckDim; the decoder mirrors it; the head
+// maps the bottleneck through HeadHidden to one sigmoid unit.
+func NewSupervisedAutoencoder(cfg AutoencoderConfig) (*SupervisedAutoencoder, error) {
+	if cfg.InputDim < 1 {
+		return nil, fmt.Errorf("nn: input dim must be >= 1, got %d", cfg.InputDim)
+	}
+	if cfg.BottleneckDim < 1 {
+		return nil, fmt.Errorf("nn: bottleneck dim must be >= 1, got %d", cfg.BottleneckDim)
+	}
+	if cfg.BottleneckDim > cfg.InputDim {
+		return nil, fmt.Errorf("nn: bottleneck dim %d exceeds input dim %d", cfg.BottleneckDim, cfg.InputDim)
+	}
+	cfg.fillDefaults()
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	encWidths := EncoderWidths(cfg.InputDim, cfg.BottleneckDim)
+	enc, err := NewStack(encWidths, cfg.HiddenAct, cfg.HiddenAct, r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: encoder: %w", err)
+	}
+	dec, err := NewStack(reverseWidths(encWidths), cfg.HiddenAct, Identity{}, r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: decoder: %w", err)
+	}
+	headWidths := append([]int{cfg.BottleneckDim}, cfg.HeadHidden...)
+	headWidths = append(headWidths, 1)
+	head, err := NewStack(headWidths, cfg.HiddenAct, Sigmoid{}, r)
+	if err != nil {
+		return nil, fmt.Errorf("nn: head: %w", err)
+	}
+	return &SupervisedAutoencoder{Encoder: enc, Decoder: dec, Head: head, cfg: cfg}, nil
+}
+
+// Config returns the (defaults-filled) configuration.
+func (a *SupervisedAutoencoder) Config() AutoencoderConfig { return a.cfg }
+
+// Fit trains the network on a batch matrix X (one JOC per row) and binary
+// labels y following Algorithm 1: per mini-batch, the whole autoencoder
+// descends the reconstruction loss, the head descends the classification
+// loss, and the encoder additionally descends alpha-scaled classification
+// gradients.
+func (a *SupervisedAutoencoder) Fit(x *tensor.Matrix, y []float64) (*TrainStats, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("nn: %d samples but %d labels", x.Rows, len(y))
+	}
+	if x.Rows == 0 {
+		return nil, errors.New("nn: empty training set")
+	}
+	if x.Cols != a.cfg.InputDim {
+		return nil, fmt.Errorf("nn: sample width %d != input dim %d", x.Cols, a.cfg.InputDim)
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("nn: labels must be 0/1, got %v", v)
+		}
+	}
+
+	r := rand.New(rand.NewSource(a.cfg.Seed + 1))
+	idx := make([]int, x.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+
+	stats := &TrainStats{}
+	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+
+		epochAuto, epochCla := 0.0, 0.0
+		batches := 0
+		for start := 0; start < len(idx); start += a.cfg.BatchSize {
+			end := start + a.cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			lossAuto, lossCla, err := a.trainBatch(x, y, idx[start:end])
+			if err != nil {
+				return nil, fmt.Errorf("nn: epoch %d: %w", epoch, err)
+			}
+			epochAuto += lossAuto
+			epochCla += lossCla
+			batches++
+		}
+		stats.LossAuto = append(stats.LossAuto, epochAuto/float64(batches))
+		stats.LossCla = append(stats.LossCla, epochCla/float64(batches))
+		stats.Loss = append(stats.Loss, (epochAuto+a.cfg.Alpha*epochCla)/float64(batches))
+	}
+	a.trained = true
+	return stats, nil
+}
+
+// trainBatch performs one joint SGD step and returns the batch losses.
+func (a *SupervisedAutoencoder) trainBatch(x *tensor.Matrix, y []float64, rows []int) (lossAuto, lossCla float64, err error) {
+	n := len(rows)
+	xb := tensor.New(n, x.Cols)
+	yb := make([]float64, n)
+	for i, ri := range rows {
+		copy(xb.Row(i), x.Row(ri))
+		yb[i] = y[ri]
+	}
+
+	// Forward.
+	h, encCache, err := a.Encoder.Forward(xb)
+	if err != nil {
+		return 0, 0, fmt.Errorf("encoder forward: %w", err)
+	}
+	xhat, decCache, err := a.Decoder.Forward(h)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decoder forward: %w", err)
+	}
+	yhat, headCache, err := a.Head.Forward(h)
+	if err != nil {
+		return 0, 0, fmt.Errorf("head forward: %w", err)
+	}
+
+	// Reconstruction loss and its gradient at the decoder output.
+	// Algorithm 1 uses the per-sample squared error sum; normalising by
+	// the input width as well makes the loss scale -- and therefore the
+	// alpha balance -- independent of the STD size, so one configuration
+	// works across sigma/tau sweeps.
+	diff, err := tensor.Sub(xhat, xb)
+	if err != nil {
+		return 0, 0, err
+	}
+	den := float64(n) * float64(xb.Cols)
+	lossAuto = diff.SumSquares() / den
+	gradRecon := diff.Clone().Scale(2.0 / den)
+
+	// Classification loss (binary cross-entropy) and output gradient.
+	const eps = 1e-9
+	gradHead := tensor.New(n, 1)
+	for i := 0; i < n; i++ {
+		p := math.Min(math.Max(yhat.At(i, 0), eps), 1-eps)
+		lossCla += -(yb[i]*math.Log(p) + (1-yb[i])*math.Log(1-p))
+		// dL/dyhat; the sigmoid derivative in Dense.Backward turns this
+		// into the familiar (p - y)/n at the pre-activation. Guard the
+		// division so saturated units stay finite.
+		deriv := math.Max(p*(1-p), 1e-12)
+		gradHead.Set(i, 0, (p-yb[i])/(float64(n)*deriv))
+	}
+	lossCla /= float64(n)
+
+	// Backward (Algorithm 1, lines 11-22).
+	gradAtBottleneckAuto, decGrads, err := a.Decoder.Backward(decCache, gradRecon)
+	if err != nil {
+		return 0, 0, fmt.Errorf("decoder backward: %w", err)
+	}
+	_, encGradsAuto, err := a.Encoder.Backward(encCache, gradAtBottleneckAuto)
+	if err != nil {
+		return 0, 0, fmt.Errorf("encoder backward (auto): %w", err)
+	}
+	gradAtBottleneckCla, headGrads, err := a.Head.Backward(headCache, gradHead)
+	if err != nil {
+		return 0, 0, fmt.Errorf("head backward: %w", err)
+	}
+	var encGradsCla []*denseGrads
+	if a.cfg.Alpha != 0 {
+		_, encGradsCla, err = a.Encoder.Backward(encCache, gradAtBottleneckCla)
+		if err != nil {
+			return 0, 0, fmt.Errorf("encoder backward (cla): %w", err)
+		}
+	}
+
+	// Updates: lines 11-14 (whole autoencoder, reconstruction), lines
+	// 15-18 (head, classification), lines 19-22 (encoder, alpha-scaled
+	// classification).
+	lr := a.cfg.LearningRate
+	if err := a.Decoder.apply(decGrads, lr, a.cfg.UseAdam); err != nil {
+		return 0, 0, err
+	}
+	if err := a.Encoder.apply(encGradsAuto, lr, a.cfg.UseAdam); err != nil {
+		return 0, 0, err
+	}
+	if err := a.Head.apply(headGrads, lr, a.cfg.UseAdam); err != nil {
+		return 0, 0, err
+	}
+	if encGradsCla != nil {
+		if err := a.Encoder.apply(encGradsCla, a.cfg.Alpha*lr, a.cfg.UseAdam); err != nil {
+			return 0, 0, err
+		}
+	}
+	return lossAuto, lossCla, nil
+}
+
+// Encode maps a batch of inputs to their bottleneck representations
+// (the presence-proximity features h^(R)).
+func (a *SupervisedAutoencoder) Encode(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if !a.trained {
+		return nil, ErrNotTrained
+	}
+	h, _, err := a.Encoder.Forward(x)
+	return h, err
+}
+
+// EncodeOne maps a single flattened JOC to its d-dimensional feature.
+func (a *SupervisedAutoencoder) EncodeOne(v []float64) ([]float64, error) {
+	m, err := tensor.FromSlice(1, len(v), v)
+	if err != nil {
+		return nil, err
+	}
+	h, err := a.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, h.Cols)
+	copy(out, h.Row(0))
+	return out, nil
+}
+
+// Reconstruct runs the full autoencoder, returning the decoder output.
+func (a *SupervisedAutoencoder) Reconstruct(x *tensor.Matrix) (*tensor.Matrix, error) {
+	if !a.trained {
+		return nil, ErrNotTrained
+	}
+	h, _, err := a.Encoder.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	xhat, _, err := a.Decoder.Forward(h)
+	return xhat, err
+}
+
+// PredictProba returns the head's friendship probabilities for a batch.
+func (a *SupervisedAutoencoder) PredictProba(x *tensor.Matrix) ([]float64, error) {
+	if !a.trained {
+		return nil, ErrNotTrained
+	}
+	h, _, err := a.Encoder.Forward(x)
+	if err != nil {
+		return nil, err
+	}
+	p, _, err := a.Head.Forward(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.Rows)
+	for i := range out {
+		out[i] = p.At(i, 0)
+	}
+	return out, nil
+}
+
+// NumParams returns the total trainable parameter count.
+func (a *SupervisedAutoencoder) NumParams() int {
+	return a.Encoder.NumParams() + a.Decoder.NumParams() + a.Head.NumParams()
+}

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// Dense is a fully-connected layer computing act(X @ W + b) over batched
+// row-major inputs.
+type Dense struct {
+	W   *tensor.Matrix // in x out
+	B   []float64      // out
+	Act Activation
+
+	adam *adamState // lazily allocated when the Adam optimiser is used
+}
+
+// adamState carries per-parameter first/second moment estimates.
+type adamState struct {
+	t      int
+	mW, vW *tensor.Matrix
+	mB, vB []float64
+}
+
+// NewDense returns a Glorot-initialised dense layer.
+func NewDense(in, out int, act Activation, r *rand.Rand) *Dense {
+	return &Dense{
+		W:   tensor.GlorotUniform(in, out, r),
+		B:   make([]float64, out),
+		Act: act,
+	}
+}
+
+// In returns the input width of the layer.
+func (l *Dense) In() int { return l.W.Rows }
+
+// Out returns the output width of the layer.
+func (l *Dense) Out() int { return l.W.Cols }
+
+// denseCache carries the forward tensors backward propagation needs.
+type denseCache struct {
+	x *tensor.Matrix // input batch
+	a *tensor.Matrix // activated output
+}
+
+// Forward computes the layer output for a batch x (n x in).
+func (l *Dense) Forward(x *tensor.Matrix) (*tensor.Matrix, *denseCache, error) {
+	if x.Cols != l.W.Rows {
+		return nil, nil, fmt.Errorf("nn: dense forward: input width %d != layer in %d", x.Cols, l.W.Rows)
+	}
+	z, err := tensor.MatMul(x, l.W)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: dense forward: %w", err)
+	}
+	zb, err := tensor.AddRowVector(z, l.B)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: dense forward: %w", err)
+	}
+	a := zb.Apply(l.Act.F)
+	return a, &denseCache{x: x, a: a}, nil
+}
+
+// denseGrads are the parameter gradients of one layer for one batch.
+type denseGrads struct {
+	dW *tensor.Matrix
+	dB []float64
+}
+
+// Backward consumes the gradient of the loss w.r.t. the layer output and
+// returns the gradient w.r.t. the layer input plus parameter gradients.
+func (l *Dense) Backward(cache *denseCache, gradOut *tensor.Matrix) (*tensor.Matrix, *denseGrads, error) {
+	// delta = gradOut .* act'(a)
+	delta := tensor.New(gradOut.Rows, gradOut.Cols)
+	for i := range delta.Data {
+		delta.Data[i] = gradOut.Data[i] * l.Act.Deriv(cache.a.Data[i])
+	}
+	dW, err := tensor.MatMul(cache.x.Transpose(), delta)
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: dense backward dW: %w", err)
+	}
+	dB := delta.ColumnSums()
+	gradIn, err := tensor.MatMul(delta, l.W.Transpose())
+	if err != nil {
+		return nil, nil, fmt.Errorf("nn: dense backward gradIn: %w", err)
+	}
+	return gradIn, &denseGrads{dW: dW, dB: dB}, nil
+}
+
+// gradClipNorm bounds each layer's per-batch gradient norm; saturated
+// sigmoid heads can emit extreme gradients that would otherwise blow up
+// the joint training loop.
+const gradClipNorm = 5.0
+
+// clipScale returns the gradient scale factor bounding the layer-gradient
+// norm to gradClipNorm.
+func clipScale(g *denseGrads) float64 {
+	norm := g.dW.FrobeniusNorm()
+	for _, b := range g.dB {
+		norm += b * b // cheap upper bound contribution
+	}
+	if norm > gradClipNorm {
+		return gradClipNorm / norm
+	}
+	return 1.0
+}
+
+// applySGD performs one gradient-descent step with learning rate lr,
+// clipping the layer gradient to gradClipNorm.
+func (l *Dense) applySGD(g *denseGrads, lr float64) error {
+	scale := clipScale(g)
+	if err := l.W.AxpyInPlace(-lr*scale, g.dW); err != nil {
+		return fmt.Errorf("nn: sgd: %w", err)
+	}
+	for j := range l.B {
+		l.B[j] -= lr * scale * g.dB[j]
+	}
+	return nil
+}
+
+// Adam hyper-parameters (the standard defaults).
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// applyAdam performs one Adam step with learning rate lr, after the same
+// gradient clipping as SGD.
+func (l *Dense) applyAdam(g *denseGrads, lr float64) error {
+	if l.adam == nil {
+		l.adam = &adamState{
+			mW: tensor.New(l.W.Rows, l.W.Cols),
+			vW: tensor.New(l.W.Rows, l.W.Cols),
+			mB: make([]float64, len(l.B)),
+			vB: make([]float64, len(l.B)),
+		}
+	}
+	st := l.adam
+	st.t++
+	scale := clipScale(g)
+	bc1 := 1 - pow(adamBeta1, st.t)
+	bc2 := 1 - pow(adamBeta2, st.t)
+	for i, gv := range g.dW.Data {
+		gv *= scale
+		st.mW.Data[i] = adamBeta1*st.mW.Data[i] + (1-adamBeta1)*gv
+		st.vW.Data[i] = adamBeta2*st.vW.Data[i] + (1-adamBeta2)*gv*gv
+		mHat := st.mW.Data[i] / bc1
+		vHat := st.vW.Data[i] / bc2
+		l.W.Data[i] -= lr * mHat / (sqrt(vHat) + adamEps)
+	}
+	for j, gv := range g.dB {
+		gv *= scale
+		st.mB[j] = adamBeta1*st.mB[j] + (1-adamBeta1)*gv
+		st.vB[j] = adamBeta2*st.vB[j] + (1-adamBeta2)*gv*gv
+		mHat := st.mB[j] / bc1
+		vHat := st.vB[j] / bc2
+		l.B[j] -= lr * mHat / (sqrt(vHat) + adamEps)
+	}
+	return nil
+}
+
+func pow(b float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= b
+	}
+	return out
+}
+
+func sqrt(v float64) float64 {
+	return math.Sqrt(v)
+}
+
+// Stack is an ordered sequence of dense layers with shared forward/backward
+// plumbing. The encoder, decoder and classification head of the supervised
+// autoencoder are each a Stack.
+type Stack struct {
+	Layers []*Dense
+}
+
+// NewStack builds a stack from layer widths: widths[0] is the input size
+// and each subsequent width adds a layer. hiddenAct is used on every layer
+// except the last, which uses outAct.
+func NewStack(widths []int, hiddenAct, outAct Activation, r *rand.Rand) (*Stack, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("nn: stack needs >= 2 widths, got %d", len(widths))
+	}
+	s := &Stack{Layers: make([]*Dense, 0, len(widths)-1)}
+	for i := 0; i+1 < len(widths); i++ {
+		if widths[i] < 1 || widths[i+1] < 1 {
+			return nil, fmt.Errorf("nn: invalid layer width %d -> %d", widths[i], widths[i+1])
+		}
+		act := hiddenAct
+		if i+2 == len(widths) {
+			act = outAct
+		}
+		s.Layers = append(s.Layers, NewDense(widths[i], widths[i+1], act, r))
+	}
+	return s, nil
+}
+
+// In returns the stack input width.
+func (s *Stack) In() int { return s.Layers[0].In() }
+
+// Out returns the stack output width.
+func (s *Stack) Out() int { return s.Layers[len(s.Layers)-1].Out() }
+
+// stackCache collects the per-layer caches of one forward pass.
+type stackCache struct {
+	caches []*denseCache
+}
+
+// Forward runs the batch through every layer.
+func (s *Stack) Forward(x *tensor.Matrix) (*tensor.Matrix, *stackCache, error) {
+	c := &stackCache{caches: make([]*denseCache, 0, len(s.Layers))}
+	cur := x
+	for i, l := range s.Layers {
+		out, cache, err := l.Forward(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		c.caches = append(c.caches, cache)
+		cur = out
+	}
+	return cur, c, nil
+}
+
+// Backward propagates gradOut through the stack, returning the gradient
+// w.r.t. the stack input and per-layer parameter gradients (aligned with
+// s.Layers).
+func (s *Stack) Backward(c *stackCache, gradOut *tensor.Matrix) (*tensor.Matrix, []*denseGrads, error) {
+	grads := make([]*denseGrads, len(s.Layers))
+	cur := gradOut
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradIn, g, err := s.Layers[i].Backward(c.caches[i], cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		grads[i] = g
+		cur = gradIn
+	}
+	return cur, grads, nil
+}
+
+// applySGD applies one SGD step to every layer.
+func (s *Stack) applySGD(grads []*denseGrads, lr float64) error {
+	return s.apply(grads, lr, false)
+}
+
+// apply applies one optimisation step (SGD or Adam) to every layer.
+func (s *Stack) apply(grads []*denseGrads, lr float64, adam bool) error {
+	if len(grads) != len(s.Layers) {
+		return fmt.Errorf("nn: got %d grads for %d layers", len(grads), len(s.Layers))
+	}
+	for i, l := range s.Layers {
+		var err error
+		if adam {
+			err = l.applyAdam(grads[i], lr)
+		} else {
+			err = l.applySGD(grads[i], lr)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumParams returns the total number of trainable scalars in the stack.
+func (s *Stack) NumParams() int {
+	n := 0
+	for _, l := range s.Layers {
+		n += l.W.Rows*l.W.Cols + len(l.B)
+	}
+	return n
+}

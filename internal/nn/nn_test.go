@@ -1,0 +1,491 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+func TestActivations(t *testing.T) {
+	tests := []struct {
+		act       Activation
+		x, wantF  float64
+		wantDeriv float64 // evaluated at y = F(x)
+	}{
+		{Sigmoid{}, 0, 0.5, 0.25},
+		{Tanh{}, 0, 0, 1},
+		{ReLU{}, 2, 2, 1},
+		{ReLU{}, -1, 0, 0},
+		{Identity{}, 3.5, 3.5, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.act.Name(), func(t *testing.T) {
+			y := tt.act.F(tt.x)
+			if math.Abs(y-tt.wantF) > 1e-12 {
+				t.Errorf("F(%v) = %v, want %v", tt.x, y, tt.wantF)
+			}
+			if d := tt.act.Deriv(y); math.Abs(d-tt.wantDeriv) > 1e-12 {
+				t.Errorf("Deriv(F(%v)) = %v, want %v", tt.x, d, tt.wantDeriv)
+			}
+		})
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	s := Sigmoid{}
+	if y := s.F(-1000); y != 0 && (math.IsNaN(y) || y < 0) {
+		t.Errorf("sigmoid(-1000) = %v", y)
+	}
+	if y := s.F(1000); math.IsNaN(y) || y > 1 {
+		t.Errorf("sigmoid(1000) = %v", y)
+	}
+	// Numerically symmetric: F(-x) == 1 - F(x).
+	for _, x := range []float64{0.5, 3, 17, 35} {
+		if d := s.F(-x) - (1 - s.F(x)); math.Abs(d) > 1e-12 {
+			t.Errorf("sigmoid symmetry broken at %v: %v", x, d)
+		}
+	}
+}
+
+func TestEncoderWidths(t *testing.T) {
+	tests := []struct {
+		in, d int
+		want  []int
+	}{
+		{1024, 128, []int{1024, 512, 128}},
+		{4096, 128, []int{4096, 2048, 1024, 512, 128}},
+		{100, 64, []int{100, 64}},
+		{64, 64, []int{64, 64}},
+	}
+	for _, tt := range tests {
+		got := EncoderWidths(tt.in, tt.d)
+		if len(got) != len(tt.want) {
+			t.Errorf("EncoderWidths(%d,%d) = %v, want %v", tt.in, tt.d, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("EncoderWidths(%d,%d) = %v, want %v", tt.in, tt.d, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+// TestDenseGradientCheck verifies backprop against numerical gradients.
+func TestDenseGradientCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	layer := NewDense(4, 3, Tanh{}, r)
+	x := tensor.RandUniform(2, 4, 1, r)
+	target := tensor.RandUniform(2, 3, 1, r)
+
+	loss := func() float64 {
+		out, _, err := layer.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := tensor.Sub(out, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 0.5 * d.SumSquares()
+	}
+
+	out, cache, err := layer.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradOut, err := tensor.Sub(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grads, err := layer.Backward(cache, gradOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const h = 1e-6
+	for i := 0; i < layer.W.Rows*layer.W.Cols; i++ {
+		orig := layer.W.Data[i]
+		layer.W.Data[i] = orig + h
+		lPlus := loss()
+		layer.W.Data[i] = orig - h
+		lMinus := loss()
+		layer.W.Data[i] = orig
+		numeric := (lPlus - lMinus) / (2 * h)
+		if math.Abs(numeric-grads.dW.Data[i]) > 1e-4 {
+			t.Fatalf("dW[%d]: analytic %v vs numeric %v", i, grads.dW.Data[i], numeric)
+		}
+	}
+	for j := range layer.B {
+		orig := layer.B[j]
+		layer.B[j] = orig + h
+		lPlus := loss()
+		layer.B[j] = orig - h
+		lMinus := loss()
+		layer.B[j] = orig
+		numeric := (lPlus - lMinus) / (2 * h)
+		if math.Abs(numeric-grads.dB[j]) > 1e-4 {
+			t.Fatalf("dB[%d]: analytic %v vs numeric %v", j, grads.dB[j], numeric)
+		}
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := NewStack([]int{4}, Tanh{}, Tanh{}, r); err == nil {
+		t.Error("single width should fail")
+	}
+	if _, err := NewStack([]int{4, 0}, Tanh{}, Tanh{}, r); err == nil {
+		t.Error("zero width should fail")
+	}
+	s, err := NewStack([]int{4, 8, 2}, Tanh{}, Sigmoid{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.In() != 4 || s.Out() != 2 {
+		t.Errorf("In/Out = %d/%d", s.In(), s.Out())
+	}
+	if got := s.NumParams(); got != 4*8+8+8*2+2 {
+		t.Errorf("NumParams = %d", got)
+	}
+	// Forward with wrong width must fail cleanly.
+	if _, _, err := s.Forward(tensor.New(1, 5)); err == nil {
+		t.Error("wrong input width should fail")
+	}
+}
+
+func TestAutoencoderConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  AutoencoderConfig
+	}{
+		{"zero input", AutoencoderConfig{InputDim: 0, BottleneckDim: 4}},
+		{"zero bottleneck", AutoencoderConfig{InputDim: 8, BottleneckDim: 0}},
+		{"bottleneck > input", AutoencoderConfig{InputDim: 4, BottleneckDim: 8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewSupervisedAutoencoder(tt.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestUntrainedInferenceFails(t *testing.T) {
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{InputDim: 8, BottleneckDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Encode(tensor.New(1, 8)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Encode error = %v, want ErrNotTrained", err)
+	}
+	if _, err := ae.PredictProba(tensor.New(1, 8)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("PredictProba error = %v, want ErrNotTrained", err)
+	}
+	if _, err := ae.Reconstruct(tensor.New(1, 8)); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("Reconstruct error = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{InputDim: 4, BottleneckDim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Fit(tensor.New(2, 4), []float64{1}); err == nil {
+		t.Error("label count mismatch should fail")
+	}
+	if _, err := ae.Fit(tensor.New(0, 4), nil); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := ae.Fit(tensor.New(1, 4), []float64{0.5}); err == nil {
+		t.Error("non-binary label should fail")
+	}
+	if _, err := ae.Fit(tensor.New(1, 3), []float64{1}); err == nil {
+		t.Error("wrong width should fail")
+	}
+}
+
+// synthSeparable builds a toy dataset where class 1 lives in the first half
+// of the coordinates and class 0 in the second half.
+func synthSeparable(r *rand.Rand, n, dim int) (*tensor.Matrix, []float64) {
+	x := tensor.New(n, dim)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		y[i] = float64(label)
+		row := x.Row(i)
+		for j := range row {
+			base := 0.0
+			if (label == 1 && j < dim/2) || (label == 0 && j >= dim/2) {
+				base = 1.0
+			}
+			row[j] = base + r.NormFloat64()*0.1
+		}
+	}
+	return x, y
+}
+
+func TestSupervisedAutoencoderLearns(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	x, y := synthSeparable(r, 200, 16)
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim:      16,
+		BottleneckDim: 4,
+		Alpha:         1,
+		LearningRate:  0.05,
+		Epochs:        60,
+		BatchSize:     16,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ae.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Loss) != 60 {
+		t.Fatalf("epochs recorded = %d", len(stats.Loss))
+	}
+	// Both losses must drop substantially.
+	if stats.LossAuto[len(stats.LossAuto)-1] > stats.LossAuto[0]*0.5 {
+		t.Errorf("reconstruction loss did not halve: first %v last %v",
+			stats.LossAuto[0], stats.LossAuto[len(stats.LossAuto)-1])
+	}
+	if stats.LossCla[len(stats.LossCla)-1] > stats.LossCla[0]*0.7 {
+		t.Errorf("classification loss did not drop: first %v last %v",
+			stats.LossCla[0], stats.LossCla[len(stats.LossCla)-1])
+	}
+
+	// Held-out accuracy well above chance.
+	xt, yt := synthSeparable(rand.New(rand.NewSource(99)), 100, 16)
+	probs, err := ae.PredictProba(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, p := range probs {
+		pred := 0.0
+		if p >= 0.5 {
+			pred = 1.0
+		}
+		if pred == yt[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(yt)); acc < 0.9 {
+		t.Errorf("held-out accuracy = %v, want >= 0.9", acc)
+	}
+
+	// Embeddings have the right width and are finite.
+	h, err := ae.Encode(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cols != 4 {
+		t.Errorf("embedding width = %d, want 4", h.Cols)
+	}
+	for _, v := range h.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite embedding value")
+		}
+	}
+	one, err := ae.EncodeOne(xt.Row(0))
+	if err != nil || len(one) != 4 {
+		t.Errorf("EncodeOne = %v, %v", one, err)
+	}
+}
+
+func TestAutoencoderDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	x, y := synthSeparable(r, 60, 8)
+	build := func() []float64 {
+		ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+			InputDim: 8, BottleneckDim: 2, Alpha: 1,
+			LearningRate: 0.05, Epochs: 10, BatchSize: 8, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ae.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ae.PredictProba(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := build(), build()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed produced different predictions at %d: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+func TestUnsupervisedAlphaZero(t *testing.T) {
+	// Alpha = 0 must still train the reconstruction path (A3 ablation).
+	r := rand.New(rand.NewSource(13))
+	x, y := synthSeparable(r, 80, 8)
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim: 8, BottleneckDim: 2, Alpha: 0,
+		LearningRate: 0.05, Epochs: 40, BatchSize: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ae.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(stats.LossAuto) - 1
+	if stats.LossAuto[last] > stats.LossAuto[0]*0.5 {
+		t.Errorf("alpha=0 reconstruction did not improve: %v -> %v", stats.LossAuto[0], stats.LossAuto[last])
+	}
+}
+
+func BenchmarkAutoencoderEpoch(b *testing.B) {
+	r := rand.New(rand.NewSource(21))
+	x, y := synthSeparable(r, 256, 192)
+	for i := 0; i < b.N; i++ {
+		ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+			InputDim: 192, BottleneckDim: 32, Alpha: 1,
+			LearningRate: 0.01, Epochs: 1, BatchSize: 32, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ae.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTrainingStableAtAggressiveSettings guards the gradient clipping: a
+// high learning rate with a large supervision weight must not produce
+// NaN/Inf losses (the failure mode that motivated clipping).
+func TestTrainingStableAtAggressiveSettings(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	x, y := synthSeparable(r, 120, 24)
+	// Inflate the inputs so reconstruction errors start large.
+	for i := range x.Data {
+		x.Data[i] *= 10
+	}
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim: 24, BottleneckDim: 4, Alpha: 100,
+		LearningRate: 0.2, Epochs: 25, BatchSize: 16, Seed: 18,
+		HeadHidden: []int{8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ae.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, l := range stats.Loss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("loss diverged at epoch %d: %v", e, l)
+		}
+	}
+	probs, err := ae.PredictProba(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range probs {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			t.Fatalf("prob[%d] = %v", i, p)
+		}
+	}
+}
+
+// TestReconstructionShape checks the decoder output width and that a
+// trained autoencoder reconstructs better than an untrained guess of
+// zeros.
+func TestReconstructionShape(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	x, y := synthSeparable(r, 100, 12)
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim: 12, BottleneckDim: 3, Alpha: 1,
+		LearningRate: 0.05, Epochs: 50, BatchSize: 10, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ae.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xhat, err := ae.Reconstruct(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xhat.Rows != x.Rows || xhat.Cols != x.Cols {
+		t.Fatalf("reconstruction shape %dx%d", xhat.Rows, xhat.Cols)
+	}
+	diff, err := tensor.Sub(xhat, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.SumSquares() >= x.SumSquares() {
+		t.Errorf("reconstruction no better than zeros: %v >= %v", diff.SumSquares(), x.SumSquares())
+	}
+}
+
+// TestAdamLearnsFasterThanSGD sanity-checks the Adam option: at a small
+// epoch budget it should reach a lower classification loss than plain SGD
+// on the same data and seed.
+func TestAdamLearnsFasterThanSGD(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	x, y := synthSeparable(r, 120, 16)
+	train := func(adam bool) float64 {
+		ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+			InputDim: 16, BottleneckDim: 4, Alpha: 5,
+			LearningRate: 0.01, Epochs: 10, BatchSize: 16, Seed: 24,
+			UseAdam: adam,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ae.Fit(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.LossCla[len(stats.LossCla)-1]
+	}
+	sgd := train(false)
+	adam := train(true)
+	t.Logf("final cla loss: sgd %.4f, adam %.4f", sgd, adam)
+	if adam >= sgd {
+		t.Errorf("adam loss %.4f should beat sgd %.4f at 10 epochs", adam, sgd)
+	}
+}
+
+// TestAdamStable checks Adam stays finite at an aggressive learning rate.
+func TestAdamStable(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	x, y := synthSeparable(r, 80, 8)
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim: 8, BottleneckDim: 2, Alpha: 10,
+		LearningRate: 0.1, Epochs: 20, BatchSize: 8, Seed: 26,
+		UseAdam: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ae.Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, l := range stats.Loss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("adam diverged at epoch %d", e)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// LayerSnapshot is the serialisable state of one dense layer.
+type LayerSnapshot struct {
+	In, Out    int
+	Weights    []float64
+	Bias       []float64
+	Activation string
+}
+
+// StackSnapshot is the serialisable state of a layer stack.
+type StackSnapshot struct {
+	Layers []LayerSnapshot
+}
+
+// AutoencoderSnapshot is the serialisable state of a trained supervised
+// autoencoder (weights plus the architecture-defining configuration).
+type AutoencoderSnapshot struct {
+	InputDim      int
+	BottleneckDim int
+	Alpha         float64
+	Encoder       StackSnapshot
+	Decoder       StackSnapshot
+	Head          StackSnapshot
+}
+
+// activationByName restores an activation from its Name().
+func activationByName(name string) (Activation, error) {
+	switch name {
+	case "sigmoid":
+		return Sigmoid{}, nil
+	case "tanh":
+		return Tanh{}, nil
+	case "relu":
+		return ReLU{}, nil
+	case "identity":
+		return Identity{}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown activation %q", name)
+	}
+}
+
+func snapshotStack(s *Stack) StackSnapshot {
+	out := StackSnapshot{Layers: make([]LayerSnapshot, len(s.Layers))}
+	for i, l := range s.Layers {
+		w := make([]float64, len(l.W.Data))
+		copy(w, l.W.Data)
+		b := make([]float64, len(l.B))
+		copy(b, l.B)
+		out.Layers[i] = LayerSnapshot{
+			In: l.In(), Out: l.Out(),
+			Weights: w, Bias: b,
+			Activation: l.Act.Name(),
+		}
+	}
+	return out
+}
+
+func restoreStack(snap StackSnapshot) (*Stack, error) {
+	if len(snap.Layers) == 0 {
+		return nil, errors.New("nn: empty stack snapshot")
+	}
+	s := &Stack{Layers: make([]*Dense, len(snap.Layers))}
+	for i, ls := range snap.Layers {
+		if len(ls.Weights) != ls.In*ls.Out {
+			return nil, fmt.Errorf("nn: layer %d weights %d != %dx%d", i, len(ls.Weights), ls.In, ls.Out)
+		}
+		if len(ls.Bias) != ls.Out {
+			return nil, fmt.Errorf("nn: layer %d bias %d != %d", i, len(ls.Bias), ls.Out)
+		}
+		act, err := activationByName(ls.Activation)
+		if err != nil {
+			return nil, err
+		}
+		w := make([]float64, len(ls.Weights))
+		copy(w, ls.Weights)
+		m, err := tensor.FromSlice(ls.In, ls.Out, w)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		b := make([]float64, len(ls.Bias))
+		copy(b, ls.Bias)
+		s.Layers[i] = &Dense{W: m, B: b, Act: act}
+	}
+	return s, nil
+}
+
+// Snapshot captures a trained autoencoder's weights.
+func (a *SupervisedAutoencoder) Snapshot() (*AutoencoderSnapshot, error) {
+	if !a.trained {
+		return nil, ErrNotTrained
+	}
+	return &AutoencoderSnapshot{
+		InputDim:      a.cfg.InputDim,
+		BottleneckDim: a.cfg.BottleneckDim,
+		Alpha:         a.cfg.Alpha,
+		Encoder:       snapshotStack(a.Encoder),
+		Decoder:       snapshotStack(a.Decoder),
+		Head:          snapshotStack(a.Head),
+	}, nil
+}
+
+// RestoreAutoencoder rebuilds a trained autoencoder from a snapshot. The
+// result can Encode/PredictProba/Reconstruct but carries no training
+// configuration beyond the architecture (calling Fit restarts training
+// with defaults).
+func RestoreAutoencoder(snap *AutoencoderSnapshot) (*SupervisedAutoencoder, error) {
+	if snap == nil {
+		return nil, errors.New("nn: nil snapshot")
+	}
+	enc, err := restoreStack(snap.Encoder)
+	if err != nil {
+		return nil, fmt.Errorf("nn: restore encoder: %w", err)
+	}
+	dec, err := restoreStack(snap.Decoder)
+	if err != nil {
+		return nil, fmt.Errorf("nn: restore decoder: %w", err)
+	}
+	head, err := restoreStack(snap.Head)
+	if err != nil {
+		return nil, fmt.Errorf("nn: restore head: %w", err)
+	}
+	if enc.In() != snap.InputDim || enc.Out() != snap.BottleneckDim {
+		return nil, fmt.Errorf("nn: encoder shape %d->%d does not match snapshot dims %d->%d",
+			enc.In(), enc.Out(), snap.InputDim, snap.BottleneckDim)
+	}
+	cfg := AutoencoderConfig{
+		InputDim:      snap.InputDim,
+		BottleneckDim: snap.BottleneckDim,
+		Alpha:         snap.Alpha,
+	}
+	cfg.fillDefaults()
+	return &SupervisedAutoencoder{
+		Encoder: enc, Decoder: dec, Head: head,
+		cfg: cfg, trained: true,
+	}, nil
+}

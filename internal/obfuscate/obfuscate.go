@@ -1,0 +1,171 @@
+// Package obfuscate implements the countermeasures of Section IV-D:
+// hiding (removing a proportion of check-ins while preserving each user's
+// last record) and blurring (replacing check-in locations with other POIs,
+// either inside the same spatial grid or in a neighbouring grid).
+package obfuscate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/joc"
+)
+
+// ErrBadProportion reports a perturbation ratio outside (0,1].
+var ErrBadProportion = errors.New("obfuscate: proportion must be in (0,1]")
+
+// Hide removes approximately the given proportion of check-ins uniformly
+// at random. Following the paper, a check-in is skipped (not removed) when
+// it is the last record left for its owner, so no user disappears from the
+// dataset.
+func Hide(ds *checkin.Dataset, proportion float64, seed int64) (*checkin.Dataset, error) {
+	if proportion <= 0 || proportion > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadProportion, proportion)
+	}
+	r := rand.New(rand.NewSource(seed))
+	all := ds.AllCheckIns()
+	target := int(float64(len(all)) * proportion)
+
+	remaining := make(map[checkin.UserID]int, ds.NumUsers())
+	for _, u := range ds.Users() {
+		remaining[u] = ds.CheckInCount(u)
+	}
+	removed := make(map[int]struct{}, target)
+	order := r.Perm(len(all))
+	for _, idx := range order {
+		if len(removed) >= target {
+			break
+		}
+		c := all[idx]
+		if remaining[c.User] <= 1 {
+			continue // never remove a user's last check-in
+		}
+		removed[idx] = struct{}{}
+		remaining[c.User]--
+	}
+
+	kept := make([]checkin.CheckIn, 0, len(all)-len(removed))
+	for i, c := range all {
+		if _, gone := removed[i]; !gone {
+			kept = append(kept, c)
+		}
+	}
+	out, err := ds.WithCheckIns(kept)
+	if err != nil {
+		return nil, fmt.Errorf("obfuscate: hide: %w", err)
+	}
+	return out, nil
+}
+
+// BlurMode selects the blurring variant of Section IV-D.
+type BlurMode int
+
+// Blurring variants.
+const (
+	// BlurInGrid replaces a check-in's POI with another POI in the same
+	// spatial grid.
+	BlurInGrid BlurMode = iota + 1
+	// BlurCrossGrid replaces it with a POI from a randomly chosen
+	// neighbouring grid, injecting larger spatial noise.
+	BlurCrossGrid
+)
+
+// String implements fmt.Stringer.
+func (m BlurMode) String() string {
+	switch m {
+	case BlurInGrid:
+		return "in-grid"
+	case BlurCrossGrid:
+		return "cross-grid"
+	default:
+		return fmt.Sprintf("BlurMode(%d)", int(m))
+	}
+}
+
+// Blur replaces the locations of approximately the given proportion of
+// check-ins. The spatial grids come from a Division built over the same
+// dataset (the defender's view of space mirrors the attacker's STD, as in
+// the paper's evaluation).
+func Blur(ds *checkin.Dataset, div *joc.Division, mode BlurMode, proportion float64, seed int64) (*checkin.Dataset, error) {
+	if proportion <= 0 || proportion > 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadProportion, proportion)
+	}
+	if mode != BlurInGrid && mode != BlurCrossGrid {
+		return nil, fmt.Errorf("obfuscate: unknown blur mode %d", int(mode))
+	}
+
+	// Group POIs by spatial grid for replacement sampling.
+	poisByCell := make(map[int][]checkin.POIID)
+	for _, p := range ds.POIs() {
+		cell, ok := div.SpatialCellOfPOI(p.ID)
+		if !ok {
+			continue
+		}
+		poisByCell[cell] = append(poisByCell[cell], p.ID)
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	all := ds.AllCheckIns()
+	target := int(float64(len(all)) * proportion)
+	order := r.Perm(len(all))
+
+	blurred := 0
+	for _, idx := range order {
+		if blurred >= target {
+			break
+		}
+		c := &all[idx]
+		cell, ok := div.SpatialCellOfPOI(c.POI)
+		if !ok {
+			continue
+		}
+		var pool []checkin.POIID
+		switch mode {
+		case BlurInGrid:
+			pool = poisByCell[cell]
+		case BlurCrossGrid:
+			neighbors, err := div.Spatial().Neighbors(cell)
+			if err != nil || len(neighbors) == 0 {
+				continue
+			}
+			// The paper picks one of the four neighbourhoods at random,
+			// then a random POI inside it.
+			nb := neighbors[r.Intn(len(neighbors))]
+			pool = poisByCell[nb]
+		}
+		replacement, ok := pickOther(r, pool, c.POI)
+		if !ok {
+			continue
+		}
+		c.POI = replacement
+		blurred++
+	}
+
+	out, err := ds.WithCheckIns(all)
+	if err != nil {
+		return nil, fmt.Errorf("obfuscate: blur: %w", err)
+	}
+	return out, nil
+}
+
+// pickOther samples a pool element different from exclude.
+func pickOther(r *rand.Rand, pool []checkin.POIID, exclude checkin.POIID) (checkin.POIID, bool) {
+	if len(pool) == 0 {
+		return 0, false
+	}
+	if len(pool) == 1 {
+		if pool[0] == exclude {
+			return 0, false
+		}
+		return pool[0], true
+	}
+	for tries := 0; tries < 8; tries++ {
+		p := pool[r.Intn(len(pool))]
+		if p != exclude {
+			return p, true
+		}
+	}
+	return 0, false
+}

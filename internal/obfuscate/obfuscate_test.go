@@ -1,0 +1,285 @@
+package obfuscate
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+func testWorld(t *testing.T) (*checkin.Dataset, *joc.Division) {
+	t.Helper()
+	w, err := synth.Generate(synth.Tiny(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err := joc.NewDivision(w.Dataset, 50, 7*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Dataset, div
+}
+
+func TestHideValidation(t *testing.T) {
+	ds, _ := testWorld(t)
+	for _, p := range []float64{0, -0.1, 1.1} {
+		if _, err := Hide(ds, p, 1); !errors.Is(err, ErrBadProportion) {
+			t.Errorf("Hide(%v) error = %v, want ErrBadProportion", p, err)
+		}
+	}
+}
+
+func TestHideRemovesProportion(t *testing.T) {
+	ds, _ := testWorld(t)
+	for _, p := range []float64{0.1, 0.3, 0.5} {
+		out, err := Hide(ds, p, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 1 - float64(out.NumCheckIns())/float64(ds.NumCheckIns())
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("Hide(%v) removed %.3f", p, got)
+		}
+		// No user disappears.
+		if out.NumUsers() != ds.NumUsers() {
+			t.Errorf("Hide(%v) dropped users: %d -> %d", p, ds.NumUsers(), out.NumUsers())
+		}
+		for _, u := range out.Users() {
+			if out.CheckInCount(u) < 1 {
+				t.Fatalf("user %d lost all check-ins", u)
+			}
+		}
+	}
+}
+
+func TestHidePreservesLastCheckIn(t *testing.T) {
+	// Dataset where one user has a single check-in: even at 50% hiding it
+	// must survive.
+	pois := []checkin.POI{{ID: 1}, {ID: 2}}
+	t0 := time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC)
+	var cs []checkin.CheckIn
+	cs = append(cs, checkin.CheckIn{User: 1, POI: 1, Time: t0})
+	for i := 0; i < 20; i++ {
+		cs = append(cs, checkin.CheckIn{User: 2, POI: 2, Time: t0.Add(time.Duration(i) * time.Hour)})
+	}
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Hide(ds, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CheckInCount(1) != 1 {
+		t.Errorf("singleton user's check-in was removed")
+	}
+}
+
+func TestHideDeterministic(t *testing.T) {
+	ds, _ := testWorld(t)
+	a, err := Hide(ds, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hide(ds, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.AllCheckIns(), b.AllCheckIns()
+	if len(ca) != len(cb) {
+		t.Fatal("sizes differ")
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatal("same seed different result")
+		}
+	}
+}
+
+func TestBlurValidation(t *testing.T) {
+	ds, div := testWorld(t)
+	if _, err := Blur(ds, div, BlurInGrid, 0, 1); !errors.Is(err, ErrBadProportion) {
+		t.Error("zero proportion should fail")
+	}
+	if _, err := Blur(ds, div, BlurMode(99), 0.2, 1); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestBlurInGridKeepsCell(t *testing.T) {
+	ds, div := testWorld(t)
+	out, err := Blur(ds, div, BlurInGrid, 0.4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumCheckIns() != ds.NumCheckIns() {
+		t.Fatalf("blurring changed check-in count %d -> %d", ds.NumCheckIns(), out.NumCheckIns())
+	}
+	// In-grid blurring must keep every check-in in its original spatial
+	// grid: compare per-cell check-in totals.
+	cellCount := func(d *checkin.Dataset) map[int]int {
+		m := make(map[int]int)
+		for _, c := range d.AllCheckIns() {
+			cell, ok := div.SpatialCellOfPOI(c.POI)
+			if !ok {
+				t.Fatalf("poi %d without cell", c.POI)
+			}
+			m[cell]++
+		}
+		return m
+	}
+	before, after := cellCount(ds), cellCount(out)
+	for cell, n := range before {
+		if after[cell] != n {
+			t.Fatalf("cell %d count changed %d -> %d under in-grid blur", cell, n, after[cell])
+		}
+	}
+}
+
+func TestBlurChangesPOIs(t *testing.T) {
+	ds, div := testWorld(t)
+	for _, mode := range []BlurMode{BlurInGrid, BlurCrossGrid} {
+		out, err := Blur(ds, div, mode, 0.4, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := ds.AllCheckIns()
+		blurred := out.AllCheckIns()
+		if len(orig) != len(blurred) {
+			t.Fatalf("%v: count changed", mode)
+		}
+		changed := 0
+		for i := range orig {
+			if orig[i].POI != blurred[i].POI {
+				changed++
+			}
+			if orig[i].User != blurred[i].User || !orig[i].Time.Equal(blurred[i].Time) {
+				t.Fatalf("%v: blur must only touch the POI", mode)
+			}
+		}
+		share := float64(changed) / float64(len(orig))
+		// Some replacements are skipped (singleton grids) and re-sorting
+		// equal-time check-ins can shift positions slightly, so compare
+		// with slack around the nominal proportion.
+		if share < 0.2 || share > 0.45 {
+			t.Errorf("%v: changed share = %.3f, want ~0.4 (>=0.2)", mode, share)
+		}
+	}
+}
+
+func TestCrossGridMovesCells(t *testing.T) {
+	ds, div := testWorld(t)
+	out, err := Blur(ds, div, BlurCrossGrid, 0.4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := ds.AllCheckIns()
+	blurred := out.AllCheckIns()
+	moved := 0
+	for i := range orig {
+		if orig[i].POI == blurred[i].POI {
+			continue
+		}
+		c0, _ := div.SpatialCellOfPOI(orig[i].POI)
+		c1, _ := div.SpatialCellOfPOI(blurred[i].POI)
+		if c0 != c1 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("cross-grid blur never moved a check-in to another grid")
+	}
+}
+
+func TestBlurModeString(t *testing.T) {
+	if BlurInGrid.String() != "in-grid" || BlurCrossGrid.String() != "cross-grid" {
+		t.Error("mode strings")
+	}
+	if BlurMode(42).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestTargetedHideValidation(t *testing.T) {
+	ds, _ := testWorld(t)
+	if _, err := TargetedHide(ds, 0, 4*time.Hour); !errors.Is(err, ErrBadProportion) {
+		t.Errorf("zero proportion error = %v", err)
+	}
+	if _, err := TargetedHide(ds, 0.2, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+}
+
+func TestTargetedHideBudgetAndSafety(t *testing.T) {
+	ds, _ := testWorld(t)
+	out, err := TargetedHide(ds, 0.3, 4*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 1 - float64(out.NumCheckIns())/float64(ds.NumCheckIns())
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("removed %.3f, want ~0.3", got)
+	}
+	if out.NumUsers() != ds.NumUsers() {
+		t.Error("targeted hiding dropped users")
+	}
+}
+
+// TestTargetedHideRemovesEvidenceFirst checks the mechanism's point: at
+// equal budget, targeted hiding destroys more co-presence evidence than
+// random hiding.
+func TestTargetedHideRemovesEvidenceFirst(t *testing.T) {
+	ds, _ := testWorld(t)
+	const p = 0.3
+	window := 4 * time.Hour
+
+	countMeetings := func(d *checkin.Dataset) int {
+		type ev struct {
+			u checkin.UserID
+			t time.Time
+		}
+		byPOI := make(map[checkin.POIID][]ev)
+		for _, c := range d.AllCheckIns() {
+			byPOI[c.POI] = append(byPOI[c.POI], ev{c.User, c.Time})
+		}
+		n := 0
+		for _, evs := range byPOI {
+			sort.Slice(evs, func(i, j int) bool { return evs[i].t.Before(evs[j].t) })
+			for i := range evs {
+				for j := i + 1; j < len(evs); j++ {
+					if evs[j].t.Sub(evs[i].t) > window {
+						break
+					}
+					if evs[i].u != evs[j].u {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+
+	targeted, err := TargetedHide(ds, p, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Hide(ds, p, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := countMeetings(ds)
+	mt := countMeetings(targeted)
+	mr := countMeetings(random)
+	if base == 0 {
+		t.Fatal("no meetings in base dataset")
+	}
+	if mt >= mr {
+		t.Errorf("targeted hiding left %d meetings, random left %d: targeted should remove more", mt, mr)
+	}
+	t.Logf("meetings: base %d, random-hide %d, targeted-hide %d", base, mr, mt)
+}

@@ -1,0 +1,70 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Snapshot is the serialisable state of a trained SVM.
+type Snapshot struct {
+	KernelName string
+	Gamma      float64
+	Vectors    [][]float64
+	AlphaY     []float64
+	B          float64
+}
+
+// Snapshot captures the trained model.
+func (m *Model) Snapshot() (*Snapshot, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	s := &Snapshot{
+		KernelName: m.cfg.Kernel.Name(),
+		B:          m.b,
+	}
+	if rbf, ok := m.cfg.Kernel.(RBF); ok {
+		s.Gamma = rbf.Gamma
+	}
+	s.Vectors = make([][]float64, len(m.vectors))
+	for i, v := range m.vectors {
+		c := make([]float64, len(v))
+		copy(c, v)
+		s.Vectors[i] = c
+	}
+	s.AlphaY = make([]float64, len(m.alphaY))
+	copy(s.AlphaY, m.alphaY)
+	return s, nil
+}
+
+// Restore rebuilds a trained model from a snapshot.
+func Restore(snap *Snapshot) (*Model, error) {
+	if snap == nil {
+		return nil, errors.New("svm: nil snapshot")
+	}
+	if len(snap.Vectors) != len(snap.AlphaY) {
+		return nil, fmt.Errorf("svm: %d vectors vs %d coefficients", len(snap.Vectors), len(snap.AlphaY))
+	}
+	var kernel Kernel
+	switch snap.KernelName {
+	case "rbf":
+		kernel = RBF{Gamma: snap.Gamma}
+	case "linear":
+		kernel = Linear{}
+	default:
+		return nil, fmt.Errorf("svm: unknown kernel %q", snap.KernelName)
+	}
+	m := New(Config{Kernel: kernel})
+	m.cfg.fillDefaults(0)
+	m.vectors = make([][]float64, len(snap.Vectors))
+	for i, v := range snap.Vectors {
+		c := make([]float64, len(v))
+		copy(c, v)
+		m.vectors[i] = c
+	}
+	m.alphaY = make([]float64, len(snap.AlphaY))
+	copy(m.alphaY, snap.AlphaY)
+	m.b = snap.B
+	m.fitted = true
+	return m, nil
+}

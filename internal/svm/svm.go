@@ -1,0 +1,306 @@
+// Package svm implements a support vector machine trained with a
+// simplified SMO (sequential minimal optimisation) solver. The paper uses
+// an SVM with an RBF kernel as the phase-2 hidden-friendship classifier C'
+// (Section IV-B).
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Kernel computes an inner product in feature space.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// K evaluates the kernel on two vectors.
+	K(a, b []float64) float64
+}
+
+// RBF is the Gaussian radial basis kernel exp(-gamma * ||a-b||^2), the
+// paper's choice for C'.
+type RBF struct {
+	Gamma float64
+}
+
+// Name implements Kernel.
+func (k RBF) Name() string { return "rbf" }
+
+// K implements Kernel.
+func (k RBF) K(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-k.Gamma * s)
+}
+
+// Linear is the plain dot-product kernel.
+type Linear struct{}
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// K implements Kernel.
+func (Linear) K(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+var (
+	_ Kernel = RBF{}
+	_ Kernel = Linear{}
+)
+
+// Errors returned by the SVM.
+var ErrNotFitted = errors.New("svm: model not fitted")
+
+// Config controls training.
+type Config struct {
+	// Kernel defaults to RBF with gamma 1/dim.
+	Kernel Kernel
+	// C is the soft-margin penalty (default 1).
+	C float64
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of full alpha sweeps without change before
+	// convergence is declared (default 5).
+	MaxPasses int
+	// MaxIter bounds total sweeps (default 200).
+	MaxIter int
+	// Seed drives the SMO partner choice.
+	Seed int64
+}
+
+func (c *Config) fillDefaults(dim int) {
+	if c.Kernel == nil {
+		g := 1.0
+		if dim > 0 {
+			g = 1.0 / float64(dim)
+		}
+		c.Kernel = RBF{Gamma: g}
+	}
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+}
+
+// Model is a trained binary SVM. Labels are 0/1 at the API surface and
+// -1/+1 internally.
+type Model struct {
+	cfg     Config
+	vectors [][]float64 // support vectors
+	alphaY  []float64   // alpha_i * y_i for support vectors
+	b       float64
+	fitted  bool
+}
+
+// New returns an untrained model with the given configuration.
+func New(cfg Config) *Model { return &Model{cfg: cfg} }
+
+// Fit trains the model with simplified SMO (Platt's algorithm as in the
+// Stanford CS229 formulation). Labels must be 0/1.
+func (m *Model) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return errors.New("svm: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	dim := len(x[0])
+	ys := make([]float64, len(y))
+	for i := range y {
+		switch y[i] {
+		case 0:
+			ys[i] = -1
+		case 1:
+			ys[i] = 1
+		default:
+			return fmt.Errorf("svm: label %d must be 0/1, got %d", i, y[i])
+		}
+		if len(x[i]) != dim {
+			return fmt.Errorf("svm: sample %d width %d, want %d", i, len(x[i]), dim)
+		}
+	}
+	m.cfg.fillDefaults(dim)
+
+	n := len(x)
+	alpha := make([]float64, n)
+	b := 0.0
+	r := rand.New(rand.NewSource(m.cfg.Seed))
+
+	// Precompute the kernel matrix when it fits comfortably; fall back to
+	// on-the-fly evaluation for big training sets.
+	var km [][]float64
+	if n <= 3000 {
+		km = make([][]float64, n)
+		for i := range km {
+			km[i] = make([]float64, n)
+			for j := 0; j <= i; j++ {
+				v := m.cfg.Kernel.K(x[i], x[j])
+				km[i][j] = v
+				km[j][i] = v
+			}
+		}
+	}
+	kernel := func(i, j int) float64 {
+		if km != nil {
+			return km[i][j]
+		}
+		return m.cfg.Kernel.K(x[i], x[j])
+	}
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * ys[j] * kernel(j, i)
+			}
+		}
+		return s
+	}
+
+	passes, iter := 0, 0
+	for passes < m.cfg.MaxPasses && iter < m.cfg.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - ys[i]
+			if !((ys[i]*ei < -m.cfg.Tol && alpha[i] < m.cfg.C) || (ys[i]*ei > m.cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := r.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - ys[j]
+
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if ys[i] != ys[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(m.cfg.C, m.cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-m.cfg.C)
+				hi = math.Min(m.cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*kernel(i, j) - kernel(i, i) - kernel(j, j)
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - ys[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + ys[i]*ys[j]*(aj-ajNew)
+
+			b1 := b - ei - ys[i]*(aiNew-ai)*kernel(i, i) - ys[j]*(ajNew-aj)*kernel(i, j)
+			b2 := b - ej - ys[i]*(aiNew-ai)*kernel(i, j) - ys[j]*(ajNew-aj)*kernel(j, j)
+			switch {
+			case aiNew > 0 && aiNew < m.cfg.C:
+				b = b1
+			case ajNew > 0 && ajNew < m.cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		iter++
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	m.vectors = m.vectors[:0]
+	m.alphaY = m.alphaY[:0]
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-8 {
+			v := make([]float64, dim)
+			copy(v, x[i])
+			m.vectors = append(m.vectors, v)
+			m.alphaY = append(m.alphaY, alpha[i]*ys[i])
+		}
+	}
+	m.b = b
+	m.fitted = true
+	return nil
+}
+
+// Fitted reports whether the model has been trained.
+func (m *Model) Fitted() bool { return m.fitted }
+
+// NumSupportVectors returns the support-vector count.
+func (m *Model) NumSupportVectors() int { return len(m.vectors) }
+
+// Decision returns the raw margin f(v) = sum alpha_i y_i K(sv_i, v) + b.
+func (m *Model) Decision(v []float64) (float64, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	s := m.b
+	for i, sv := range m.vectors {
+		s += m.alphaY[i] * m.cfg.Kernel.K(sv, v)
+	}
+	return s, nil
+}
+
+// Predict returns the 0/1 class of v.
+func (m *Model) Predict(v []float64) (int, error) {
+	d, err := m.Decision(v)
+	if err != nil {
+		return 0, err
+	}
+	if d >= 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// PredictProba squashes the margin through a logistic link. It is a
+// monotone score in [0,1], not a calibrated probability; FriendSeeker only
+// thresholds it.
+func (m *Model) PredictProba(v []float64) (float64, error) {
+	d, err := m.Decision(v)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / (1 + math.Exp(-d)), nil
+}
+
+// PredictBatch classifies each row of x.
+func (m *Model) PredictBatch(x [][]float64) ([]int, error) {
+	out := make([]int, len(x))
+	for i, v := range x {
+		p, err := m.Predict(v)
+		if err != nil {
+			return nil, fmt.Errorf("svm: sample %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

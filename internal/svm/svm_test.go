@@ -1,0 +1,264 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKernels(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	lin := Linear{}
+	if got := lin.K(a, a); got != 1 {
+		t.Errorf("linear K(a,a) = %v", got)
+	}
+	if got := lin.K(a, b); got != 0 {
+		t.Errorf("linear K(a,b) = %v", got)
+	}
+	rbf := RBF{Gamma: 0.5}
+	if got := rbf.K(a, a); got != 1 {
+		t.Errorf("rbf K(a,a) = %v, want 1", got)
+	}
+	want := math.Exp(-0.5 * 2)
+	if got := rbf.K(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("rbf K(a,b) = %v, want %v", got, want)
+	}
+	if (Linear{}).Name() != "linear" || (RBF{}).Name() != "rbf" {
+		t.Error("kernel names")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	m := New(Config{})
+	if err := m.Fit(nil, nil); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := m.Fit([][]float64{{1}, {1, 2}}, []int{0, 1}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+	if err := m.Fit([][]float64{{1}}, []int{5}); err == nil {
+		t.Error("bad label should fail")
+	}
+}
+
+func TestPredictBeforeFit(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.Predict([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("error = %v, want ErrNotFitted", err)
+	}
+	if _, err := m.Decision([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("Decision error = %v, want ErrNotFitted", err)
+	}
+	if m.Fitted() {
+		t.Error("Fitted() before Fit")
+	}
+}
+
+func linearlySeparable(r *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		label := i % 2
+		off := -2.0
+		if label == 1 {
+			off = 2.0
+		}
+		x[i] = []float64{off + r.NormFloat64()*0.5, off + r.NormFloat64()*0.5}
+		y[i] = label
+	}
+	return x, y
+}
+
+func TestSVMLinearSeparable(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x, y := linearlySeparable(r, 100)
+	m := New(Config{Kernel: Linear{}, C: 1, Seed: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Fitted() {
+		t.Fatal("not fitted after Fit")
+	}
+	if m.NumSupportVectors() == 0 {
+		t.Error("no support vectors")
+	}
+	xt, yt := linearlySeparable(rand.New(rand.NewSource(3)), 60)
+	preds, err := m.PredictBatch(xt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range preds {
+		if preds[i] == yt[i] {
+			correct++
+		}
+	}
+	if correct < 57 {
+		t.Errorf("linear accuracy = %d/60, want >= 57", correct)
+	}
+}
+
+// xorData is not linearly separable; the RBF kernel must solve it.
+func xorData(r *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		qx := r.Intn(2)
+		qy := r.Intn(2)
+		x[i] = []float64{float64(qx)*4 - 2 + r.NormFloat64()*0.3, float64(qy)*4 - 2 + r.NormFloat64()*0.3}
+		y[i] = qx ^ qy
+	}
+	return x, y
+}
+
+func TestSVMRBFXor(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x, y := xorData(r, 200)
+	m := New(Config{Kernel: RBF{Gamma: 0.5}, C: 5, Seed: 5})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := xorData(rand.New(rand.NewSource(6)), 80)
+	correct := 0
+	for i := range xt {
+		p, err := m.Predict(xt[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == yt[i] {
+			correct++
+		}
+	}
+	if correct < 72 {
+		t.Errorf("RBF XOR accuracy = %d/80, want >= 72", correct)
+	}
+}
+
+func TestSVMDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x, y := linearlySeparable(r, 60)
+	m := New(Config{}) // all defaults, RBF with gamma 1/dim
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.PredictProba([]float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.5 {
+		t.Errorf("proba at positive centre = %v, want >= 0.5", p)
+	}
+	p, err = m.PredictProba([]float64{-2, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.5 {
+		t.Errorf("proba at negative centre = %v, want <= 0.5", p)
+	}
+}
+
+func TestSVMDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	x, y := linearlySeparable(r, 80)
+	run := func() []float64 {
+		m := New(Config{Kernel: RBF{Gamma: 1}, Seed: 11})
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(x))
+		for i := range x {
+			d, err := m.Decision(x[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = d
+		}
+		return out
+	}
+	d1, d2 := run(), run()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("same seed gave different decision at %d", i)
+		}
+	}
+}
+
+func TestSVMSingleClassDegenerate(t *testing.T) {
+	// All-one-class training must not crash; decisions default to that class.
+	x := [][]float64{{0, 0}, {1, 1}, {2, 2}}
+	y := []int{1, 1, 1}
+	m := New(Config{Kernel: Linear{}})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("single-class predict = %d, want 1", p)
+	}
+}
+
+func BenchmarkSVMFit(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	x, y := xorData(r, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(Config{Kernel: RBF{Gamma: 0.5}, C: 5, Seed: 5})
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	x, y := linearlySeparable(r, 60)
+	for _, kernel := range []Kernel{Linear{}, RBF{Gamma: 0.7}} {
+		m := New(Config{Kernel: kernel, Seed: 32})
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := Restore(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			d1, err := m.Decision(x[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := restored.Decision(x[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 != d2 {
+				t.Fatalf("%s: decision differs at %d: %v vs %v", kernel.Name(), i, d1, d2)
+			}
+		}
+	}
+	// Error paths.
+	unfitted := New(Config{})
+	if _, err := unfitted.Snapshot(); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted snapshot error = %v", err)
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	if _, err := Restore(&Snapshot{KernelName: "poly"}); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+	if _, err := Restore(&Snapshot{KernelName: "linear", Vectors: [][]float64{{1}}, AlphaY: nil}); err == nil {
+		t.Error("mismatched snapshot should fail")
+	}
+}

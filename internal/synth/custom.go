@@ -1,0 +1,123 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+// GenerateForGraph synthesises check-in mobility for an EXISTING social
+// graph: every node becomes a user homed in one of the configured cities
+// (assigned by community detection via label propagation), edges within a
+// home city get co-visits, and cross-city edges become cyber friendships.
+// This lets controlled studies plug a real (e.g. SNAP) social graph into
+// the synthetic mobility model: graph structure is real, mobility is
+// generated.
+func GenerateForGraph(cfg Config, g *graph.Graph) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return nil, errors.New("synth: graph needs >= 2 nodes")
+	}
+	if g.NumEdges() == 0 {
+		return nil, errors.New("synth: graph has no edges")
+	}
+	cfg.NumUsers = len(nodes)
+	if cfg.NumCommunities > cfg.NumUsers {
+		cfg.NumCommunities = cfg.NumUsers
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2009, 3, 21, 0, 0, 0, 0, time.UTC)
+
+	cities := placeCities(cfg, r)
+	pois, poisByCity, popular := placePOIs(cfg, r, cities)
+
+	community := labelPropagation(g, cfg.NumCommunities, r)
+	memberships := make(map[checkin.UserID][]int, len(nodes))
+	for _, u := range nodes {
+		memberships[u] = []int{community[u]}
+	}
+	kinds := make(map[graph.Edge]EdgeKind, g.NumEdges())
+	for _, e := range g.Edges() {
+		if community[e.A] == community[e.B] {
+			kinds[e] = EdgeReal
+		} else {
+			kinds[e] = EdgeCyber
+		}
+	}
+
+	w := &worldBuilder{
+		cfg: cfg, r: r, start: start,
+		pois: pois, poisByCity: poisByCity, popularByCity: popular,
+		users: nodes, community: community, memberships: memberships,
+		truth: g,
+	}
+	checkIns, err := w.generateCheckIns()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := checkin.NewDataset(pois, checkIns)
+	if err != nil {
+		return nil, fmt.Errorf("synth: assemble dataset: %w", err)
+	}
+	ds, err = ds.FilterMinCheckIns(2)
+	if err != nil {
+		return nil, fmt.Errorf("synth: filter: %w", err)
+	}
+	return &World{
+		Config:      cfg,
+		Dataset:     ds,
+		Truth:       g,
+		EdgeKinds:   kinds,
+		Community:   community,
+		Memberships: memberships,
+		Start:       start,
+	}, nil
+}
+
+// labelPropagation assigns each node to one of k communities by seeded
+// label propagation: nodes start with round-robin labels and repeatedly
+// adopt their neighbourhood's majority label. Deterministic in r.
+func labelPropagation(g *graph.Graph, k int, r *rand.Rand) map[checkin.UserID]int {
+	nodes := g.Nodes()
+	label := make(map[checkin.UserID]int, len(nodes))
+	for i, u := range nodes {
+		label[u] = i % k
+	}
+	order := make([]checkin.UserID, len(nodes))
+	copy(order, nodes)
+	const passes = 5
+	for pass := 0; pass < passes; pass++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := 0
+		for _, u := range order {
+			counts := make(map[int]int)
+			for _, v := range g.Neighbors(u) {
+				counts[label[v]]++
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best, bestN := label[u], counts[label[u]]
+			for l, n := range counts {
+				if n > bestN || (n == bestN && l < best) {
+					best, bestN = l, n
+				}
+			}
+			if best != label[u] {
+				label[u] = best
+				changed++
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return label
+}

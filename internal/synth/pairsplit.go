@@ -1,0 +1,182 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// PairSplit is a pair-level 70/30 evaluation protocol over one world: the
+// attacker trains on a labelled sample containing trainFrac of the
+// ground-truth edges (plus sampled non-friend pairs) and is evaluated on
+// the held-out edges (plus disjoint sampled non-friend pairs). Inference
+// may run over any pair universe; metrics are computed on Eval* only.
+type PairSplit struct {
+	TrainPairs  []checkin.Pair
+	TrainLabels []bool
+	EvalPairs   []checkin.Pair
+	EvalLabels  []bool
+}
+
+// SplitPairs builds a PairSplit from the view. negRatio controls how many
+// negatives accompany the positives on each side (the same ratio is used
+// for train and eval). Train and eval pair sets are disjoint.
+func (v *View) SplitPairs(trainFrac, negRatio float64, seed int64) (*PairSplit, error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, fmt.Errorf("synth: train fraction must be in (0,1), got %v", trainFrac)
+	}
+	if negRatio <= 0 {
+		return nil, fmt.Errorf("synth: negRatio must be positive, got %v", negRatio)
+	}
+	edges := v.Truth.Edges()
+	if len(edges) < 4 {
+		return nil, errors.New("synth: too few edges to split")
+	}
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(len(edges))
+	nTrain := int(float64(len(edges)) * trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= len(edges) {
+		nTrain = len(edges) - 1
+	}
+
+	s := &PairSplit{}
+	used := make(map[checkin.Pair]struct{}, len(edges))
+	for i, idx := range perm {
+		p := checkin.Pair(edges[idx])
+		used[p] = struct{}{}
+		if i < nTrain {
+			s.TrainPairs = append(s.TrainPairs, p)
+			s.TrainLabels = append(s.TrainLabels, true)
+		} else {
+			s.EvalPairs = append(s.EvalPairs, p)
+			s.EvalLabels = append(s.EvalLabels, true)
+		}
+	}
+
+	users := v.Dataset.Users()
+	// Half of the TRAINING negatives are hard: co-located non-friend
+	// pairs (close-range strangers), the population the paper's phase 2
+	// exists to prune. The attacker controls its own training corpus, so
+	// hard-negative mining is fair game; evaluation negatives stay
+	// uniformly random so metrics reflect the natural pair distribution.
+	var hardPool []checkin.Pair
+	for p := range v.Dataset.CoLocatedPairs(0) {
+		if !v.Truth.HasEdge(p.A, p.B) {
+			hardPool = append(hardPool, p)
+		}
+	}
+	sortPairs(hardPool)
+	r.Shuffle(len(hardPool), func(i, j int) { hardPool[i], hardPool[j] = hardPool[j], hardPool[i] })
+	hardIdx := 0
+
+	sampleNegatives := func(n int, hardHalf bool) ([]checkin.Pair, error) {
+		maxPairs := len(users) * (len(users) - 1) / 2
+		var out []checkin.Pair
+		for hardHalf && hardIdx < len(hardPool) && len(out) < n/2 {
+			p := hardPool[hardIdx]
+			hardIdx++
+			if _, dup := used[p]; dup {
+				continue
+			}
+			used[p] = struct{}{}
+			out = append(out, p)
+		}
+		for len(out) < n && len(used) < maxPairs {
+			a := users[r.Intn(len(users))]
+			b := users[r.Intn(len(users))]
+			if a == b {
+				continue
+			}
+			p := checkin.MakePair(a, b)
+			if _, dup := used[p]; dup {
+				continue
+			}
+			if v.Truth.HasEdge(p.A, p.B) {
+				continue
+			}
+			used[p] = struct{}{}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+
+	trainNeg, err := sampleNegatives(int(float64(nTrain)*negRatio), true)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range trainNeg {
+		s.TrainPairs = append(s.TrainPairs, p)
+		s.TrainLabels = append(s.TrainLabels, false)
+	}
+	evalNeg, err := sampleNegatives(int(float64(len(edges)-nTrain)*negRatio), false)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range evalNeg {
+		s.EvalPairs = append(s.EvalPairs, p)
+		s.EvalLabels = append(s.EvalLabels, false)
+	}
+	return s, nil
+}
+
+// sortPairs orders pairs canonically so map iteration order cannot leak
+// into the split (determinism).
+func sortPairs(ps []checkin.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}
+
+// InferencePairs returns the union of train and eval pairs: the pair
+// universe the attack is asked to decide. Running inference over both sets
+// gives phase 2 the full predicted graph while metrics stay on EvalPairs.
+func (s *PairSplit) InferencePairs() []checkin.Pair {
+	out := make([]checkin.Pair, 0, len(s.TrainPairs)+len(s.EvalPairs))
+	out = append(out, s.TrainPairs...)
+	out = append(out, s.EvalPairs...)
+	return out
+}
+
+// EvalDecisionsFrom extracts the EvalPairs-aligned decisions from an
+// arbitrary inference pair universe (typically the full pair set, which
+// gives phase 2 complete graph structure). Every eval pair must appear in
+// pairs.
+func (s *PairSplit) EvalDecisionsFrom(pairs []checkin.Pair, decisions []bool) ([]bool, error) {
+	if len(pairs) != len(decisions) {
+		return nil, fmt.Errorf("synth: %d pairs vs %d decisions", len(pairs), len(decisions))
+	}
+	idx := make(map[checkin.Pair]int, len(pairs))
+	for i, p := range pairs {
+		idx[p] = i
+	}
+	out := make([]bool, len(s.EvalPairs))
+	for i, p := range s.EvalPairs {
+		j, ok := idx[p]
+		if !ok {
+			return nil, fmt.Errorf("synth: eval pair (%d,%d) missing from inference universe", p.A, p.B)
+		}
+		out[i] = decisions[j]
+	}
+	return out, nil
+}
+
+// EvalDecisions extracts, from decisions aligned with InferencePairs, the
+// slice aligned with EvalPairs.
+func (s *PairSplit) EvalDecisions(decisions []bool) ([]bool, error) {
+	want := len(s.TrainPairs) + len(s.EvalPairs)
+	if len(decisions) != want {
+		return nil, fmt.Errorf("synth: %d decisions for %d inference pairs", len(decisions), want)
+	}
+	out := make([]bool, len(s.EvalPairs))
+	copy(out, decisions[len(s.TrainPairs):])
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+func splitFixture(t *testing.T, seed int64) (*World, *PairSplit) {
+	t.Helper()
+	w, err := Generate(Tiny(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 3, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, split
+}
+
+func TestSplitPairsValidation(t *testing.T) {
+	w, err := Generate(Tiny(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := w.FullView()
+	if _, err := v.SplitPairs(0, 3, 1); err == nil {
+		t.Error("zero train fraction should fail")
+	}
+	if _, err := v.SplitPairs(1, 3, 1); err == nil {
+		t.Error("full train fraction should fail")
+	}
+	if _, err := v.SplitPairs(0.7, 0, 1); err == nil {
+		t.Error("zero negRatio should fail")
+	}
+}
+
+func TestSplitPairsDisjointAndLabelled(t *testing.T) {
+	w, split := splitFixture(t, 63)
+
+	seen := make(map[checkin.Pair]struct{}, len(split.TrainPairs))
+	for _, p := range split.TrainPairs {
+		if _, dup := seen[p]; dup {
+			t.Fatalf("duplicate train pair %v", p)
+		}
+		seen[p] = struct{}{}
+	}
+	for _, p := range split.EvalPairs {
+		if _, dup := seen[p]; dup {
+			t.Fatalf("eval pair %v also in train set", p)
+		}
+		seen[p] = struct{}{}
+	}
+
+	// Labels must match ground truth on both sides.
+	check := func(pairs []checkin.Pair, labels []bool) {
+		for i, p := range pairs {
+			if w.Truth.HasEdge(p.A, p.B) != labels[i] {
+				t.Fatalf("label mismatch for %v", p)
+			}
+		}
+	}
+	check(split.TrainPairs, split.TrainLabels)
+	check(split.EvalPairs, split.EvalLabels)
+
+	// Positives split roughly 70/30.
+	trainPos, evalPos := 0, 0
+	for _, l := range split.TrainLabels {
+		if l {
+			trainPos++
+		}
+	}
+	for _, l := range split.EvalLabels {
+		if l {
+			evalPos++
+		}
+	}
+	total := trainPos + evalPos
+	if total != w.Truth.NumEdges() {
+		t.Errorf("positives %d != truth edges %d", total, w.Truth.NumEdges())
+	}
+	frac := float64(trainPos) / float64(total)
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("train positive fraction = %.3f, want ~0.7", frac)
+	}
+}
+
+func TestSplitPairsHardNegativesTrainOnly(t *testing.T) {
+	w, split := splitFixture(t, 65)
+	coloc := func(pairs []checkin.Pair, labels []bool) (neg, negColoc int) {
+		for i, p := range pairs {
+			if labels[i] {
+				continue
+			}
+			neg++
+			if w.Dataset.HasCoLocation(p.A, p.B) {
+				negColoc++
+			}
+		}
+		return neg, negColoc
+	}
+	trainNeg, trainHard := coloc(split.TrainPairs, split.TrainLabels)
+	evalNeg, evalHard := coloc(split.EvalPairs, split.EvalLabels)
+	if trainNeg == 0 || evalNeg == 0 {
+		t.Fatal("degenerate split")
+	}
+	trainShare := float64(trainHard) / float64(trainNeg)
+	evalShare := float64(evalHard) / float64(evalNeg)
+	if trainShare < 0.4 {
+		t.Errorf("train hard-negative share = %.2f, want >= 0.4 (mining on)", trainShare)
+	}
+	if evalShare >= trainShare {
+		t.Errorf("eval negatives (%.2f co-located) should be easier than train (%.2f)", evalShare, trainShare)
+	}
+}
+
+func TestSplitPairsDeterministic(t *testing.T) {
+	_, s1 := splitFixture(t, 67)
+	_, s2 := splitFixture(t, 67)
+	if len(s1.TrainPairs) != len(s2.TrainPairs) || len(s1.EvalPairs) != len(s2.EvalPairs) {
+		t.Fatal("sizes differ")
+	}
+	for i := range s1.TrainPairs {
+		if s1.TrainPairs[i] != s2.TrainPairs[i] {
+			t.Fatal("train pairs differ")
+		}
+	}
+	for i := range s1.EvalPairs {
+		if s1.EvalPairs[i] != s2.EvalPairs[i] {
+			t.Fatal("eval pairs differ")
+		}
+	}
+}
+
+func TestEvalDecisionHelpers(t *testing.T) {
+	_, split := splitFixture(t, 69)
+
+	// EvalDecisions: aligned with InferencePairs.
+	inferPairs := split.InferencePairs()
+	if len(inferPairs) != len(split.TrainPairs)+len(split.EvalPairs) {
+		t.Fatal("InferencePairs size")
+	}
+	decisions := make([]bool, len(inferPairs))
+	for i := range split.EvalPairs {
+		decisions[len(split.TrainPairs)+i] = split.EvalLabels[i]
+	}
+	got, err := split.EvalDecisions(decisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != split.EvalLabels[i] {
+			t.Fatal("EvalDecisions misaligned")
+		}
+	}
+	if _, err := split.EvalDecisions(decisions[:1]); err == nil {
+		t.Error("short decisions should fail")
+	}
+
+	// EvalDecisionsFrom: arbitrary universe.
+	reversed := make([]checkin.Pair, len(inferPairs))
+	revDecisions := make([]bool, len(inferPairs))
+	for i, p := range inferPairs {
+		j := len(inferPairs) - 1 - i
+		reversed[j] = p
+		revDecisions[j] = decisions[i]
+	}
+	got, err = split.EvalDecisionsFrom(reversed, revDecisions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != split.EvalLabels[i] {
+			t.Fatal("EvalDecisionsFrom misaligned")
+		}
+	}
+	if _, err := split.EvalDecisionsFrom(reversed[:1], revDecisions[:1]); err == nil {
+		t.Error("missing eval pair should fail")
+	}
+	if _, err := split.EvalDecisionsFrom(reversed, revDecisions[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSplitUsersDisjoint(t *testing.T) {
+	w, err := Generate(Tiny(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := w.SplitUsers(0.7, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTrain := make(map[checkin.UserID]struct{})
+	for _, u := range train.Users() {
+		inTrain[u] = struct{}{}
+	}
+	for _, u := range test.Users() {
+		if _, dup := inTrain[u]; dup {
+			t.Fatalf("user %d in both views", u)
+		}
+	}
+	// Truth subgraphs only contain view users.
+	for _, e := range test.Truth.Edges() {
+		if _, bad := inTrain[e.A]; bad {
+			t.Fatalf("test truth edge %v references train user", e)
+		}
+	}
+	if _, _, err := w.SplitUsers(0, 1); err == nil {
+		t.Error("bad fraction should fail")
+	}
+}
+
+func TestSamplePairsBalanced(t *testing.T) {
+	w, err := Generate(Tiny(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := w.FullView()
+	pairs, labels, err := v.SamplePairs(2, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := 0, 0
+	for i := range pairs {
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos != w.Truth.NumEdges() {
+		t.Errorf("positives = %d, want all %d edges", pos, w.Truth.NumEdges())
+	}
+	if neg < pos || neg > 2*pos+1 {
+		t.Errorf("negatives = %d for %d positives at ratio 2", neg, pos)
+	}
+	if _, _, err := v.SamplePairs(0, 1); err == nil {
+		t.Error("zero negRatio should fail")
+	}
+}

@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+// View is a self-contained evaluation slice of a world: a dataset plus the
+// ground-truth subgraph over its users. The paper's attack model trains on
+// one labelled view and attacks another whose users need not overlap.
+type View struct {
+	Dataset *checkin.Dataset
+	Truth   *graph.Graph
+}
+
+// Users returns the view's user ids.
+func (v *View) Users() []checkin.UserID { return v.Dataset.Users() }
+
+// SplitUsers partitions the world's users into a training view holding
+// trainFrac of users and a disjoint test view with the rest, following the
+// paper's 70/30 protocol. Ground-truth edges with endpoints in different
+// views are dropped (they are observable from neither side).
+func (w *World) SplitUsers(trainFrac float64, seed int64) (train, test *View, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("synth: train fraction must be in (0,1), got %v", trainFrac)
+	}
+	users := w.Dataset.Users()
+	if len(users) < 4 {
+		return nil, nil, errors.New("synth: too few users to split")
+	}
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(len(users))
+	nTrain := int(float64(len(users)) * trainFrac)
+	if nTrain < 2 {
+		nTrain = 2
+	}
+	if nTrain > len(users)-2 {
+		nTrain = len(users) - 2
+	}
+	inTrain := make(map[checkin.UserID]bool, nTrain)
+	for _, idx := range perm[:nTrain] {
+		inTrain[users[idx]] = true
+	}
+
+	build := func(keep func(checkin.UserID) bool) (*View, error) {
+		ds, err := w.Dataset.FilterUsers(keep)
+		if err != nil {
+			return nil, fmt.Errorf("synth: split view: %w", err)
+		}
+		g := graph.NewGraph()
+		for _, u := range ds.Users() {
+			g.AddNode(u)
+		}
+		for _, e := range w.Truth.Edges() {
+			if keep(e.A) && keep(e.B) {
+				if err := g.AddEdge(e.A, e.B); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &View{Dataset: ds, Truth: g}, nil
+	}
+
+	train, err = build(func(u checkin.UserID) bool { return inTrain[u] })
+	if err != nil {
+		return nil, nil, err
+	}
+	test, err = build(func(u checkin.UserID) bool { return !inTrain[u] })
+	if err != nil {
+		return nil, nil, err
+	}
+	return train, test, nil
+}
+
+// SamplePairs draws a labelled pair sample from the view: every friend
+// pair (positive) plus negRatio times as many random non-friend pairs.
+// The returned labels align with the pairs.
+func (v *View) SamplePairs(negRatio float64, seed int64) ([]checkin.Pair, []bool, error) {
+	if negRatio <= 0 {
+		return nil, nil, fmt.Errorf("synth: negRatio must be positive, got %v", negRatio)
+	}
+	users := v.Dataset.Users()
+	if len(users) < 2 {
+		return nil, nil, errors.New("synth: too few users to sample pairs")
+	}
+	var pairs []checkin.Pair
+	var labels []bool
+	for _, e := range v.Truth.Edges() {
+		pairs = append(pairs, checkin.Pair(e))
+		labels = append(labels, true)
+	}
+	nPos := len(pairs)
+	if nPos == 0 {
+		return nil, nil, errors.New("synth: view has no positive pairs")
+	}
+	r := rand.New(rand.NewSource(seed))
+	want := int(float64(nPos) * negRatio)
+	seen := make(map[checkin.Pair]struct{}, want)
+	for _, p := range pairs {
+		seen[p] = struct{}{}
+	}
+	maxPairs := len(users) * (len(users) - 1) / 2
+	for len(seen)-nPos < want && len(seen) < maxPairs {
+		a := users[r.Intn(len(users))]
+		b := users[r.Intn(len(users))]
+		if a == b {
+			continue
+		}
+		p := checkin.MakePair(a, b)
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		if v.Truth.HasEdge(p.A, p.B) {
+			continue
+		}
+		seen[p] = struct{}{}
+		pairs = append(pairs, p)
+		labels = append(labels, false)
+	}
+	return pairs, labels, nil
+}
+
+// AllPairs enumerates every unordered user pair in the view with its
+// ground-truth label. Quadratic: use only at evaluation scale.
+func (v *View) AllPairs() ([]checkin.Pair, []bool) {
+	users := v.Dataset.Users()
+	var pairs []checkin.Pair
+	var labels []bool
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			p := checkin.MakePair(users[i], users[j])
+			pairs = append(pairs, p)
+			labels = append(labels, v.Truth.HasEdge(p.A, p.B))
+		}
+	}
+	return pairs, labels
+}
+
+// FullView returns the whole world as a single view.
+func (w *World) FullView() *View {
+	return &View{Dataset: w.Dataset, Truth: w.Truth}
+}

@@ -1,0 +1,637 @@
+// Package synth generates synthetic mobile-social-network traces that
+// reproduce the generating process behind the paper's empirical analysis
+// (Section II-C) at laptop scale. The original evaluation uses the Gowalla
+// and Brightkite SNAP snapshots, which cannot be shipped with an offline
+// module; DESIGN.md section 2 records the substitution.
+//
+// The generator produces:
+//
+//   - a community-structured social graph with two edge populations:
+//     real-world friendships (within geographic communities, co-visiting
+//     POIs) and cyber friendships (across communities, sharing graph
+//     structure but no physical co-locations), plus triadic closure so
+//     friends tend to share friends (the Fig. 1(b) separation);
+//   - geographically clustered POIs with Zipf popularity around a small
+//     number of cities;
+//   - heavy-tailed per-user check-in volumes (sparsity, Fig. 13) with
+//     weekly periodicity (the tau = 7 days optimum of Fig. 8);
+//   - co-visit events for real-world friend pairs, and popular-venue
+//     collisions between same-city strangers (the false-positive
+//     "close-range strangers" the paper prunes in phase 2).
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+// Config parameterises a synthetic world.
+type Config struct {
+	// Name labels the preset (e.g. "gowalla-like").
+	Name string
+
+	// NumUsers is the number of users.
+	NumUsers int
+	// NumCommunities partitions users into geographic communities.
+	NumCommunities int
+	// NumCities places communities in space; several communities share a
+	// city.
+	NumCities int
+	// NumPOIs is the number of points of interest.
+	NumPOIs int
+
+	// SpanWeeks is the trace duration.
+	SpanWeeks int
+
+	// PIntraFriend is the within-community friendship probability
+	// (real-world edges).
+	PIntraFriend float64
+	// CyberGroups and CyberGroupSize define cross-community interest
+	// groups; PCyberLink is the pairwise link probability within a group
+	// (cyber edges).
+	CyberGroups    int
+	CyberGroupSize int
+	PCyberLink     float64
+	// TriadicPasses and PTriadic control closure: in each pass, every
+	// open two-path closes with probability PTriadic, producing the
+	// common-friend structure of Fig. 1(b).
+	TriadicPasses int
+	PTriadic      float64
+
+	// MinCheckIns/MaxCheckIns bound per-user check-in counts; CheckInAlpha
+	// is the Pareto exponent of the heavy tail (larger = sparser).
+	MinCheckIns  int
+	MaxCheckIns  int
+	CheckInAlpha float64
+
+	// FavoritePOIs is the size of each user's home-city POI repertoire.
+	FavoritePOIs int
+	// PopularVenueBias in [0,1] is the probability a solo check-in goes to
+	// one of the city's globally popular venues rather than a personal
+	// favourite, creating stranger co-locations.
+	PopularVenueBias float64
+
+	// CoVisitProb is the probability a real-world friend pair co-visits at
+	// all; CoVisitsMean is the mean number of co-visit events for pairs
+	// that do.
+	CoVisitProb  float64
+	CoVisitsMean float64
+
+	// CitySpread is the standard deviation (degrees) of POI placement
+	// around a city centre; RegionSize is the side (degrees) of the world.
+	CitySpread float64
+	RegionSize float64
+
+	// Seed drives every random choice; equal seeds give equal worlds.
+	Seed int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.NumUsers < 2:
+		return errors.New("synth: need >= 2 users")
+	case c.NumCommunities < 1 || c.NumCommunities > c.NumUsers:
+		return fmt.Errorf("synth: bad community count %d", c.NumCommunities)
+	case c.NumCities < 1:
+		return errors.New("synth: need >= 1 city")
+	case c.NumPOIs < c.NumCities:
+		return errors.New("synth: need >= 1 POI per city")
+	case c.SpanWeeks < 1:
+		return errors.New("synth: need >= 1 week span")
+	case c.PIntraFriend < 0 || c.PIntraFriend > 1:
+		return fmt.Errorf("synth: bad PIntraFriend %v", c.PIntraFriend)
+	case c.MinCheckIns < 2:
+		return errors.New("synth: MinCheckIns must be >= 2 (paper excludes <2)")
+	case c.MaxCheckIns < c.MinCheckIns:
+		return errors.New("synth: MaxCheckIns < MinCheckIns")
+	case c.FavoritePOIs < 1:
+		return errors.New("synth: need >= 1 favourite POI")
+	}
+	return nil
+}
+
+// GowallaLike returns the Gowalla-flavoured preset: dispersed POIs (more
+// cities, wider spread), sparser check-ins and fewer co-visits — the
+// dataset where the paper reports 27.71% of friends sharing no location
+// but at least one common friend.
+func GowallaLike(seed int64) Config {
+	return Config{
+		Name:             "gowalla-like",
+		NumUsers:         420,
+		NumCommunities:   20,
+		NumCities:        6,
+		NumPOIs:          2400,
+		SpanWeeks:        13,
+		PIntraFriend:     0.28,
+		CyberGroups:      70,
+		CyberGroupSize:   5,
+		PCyberLink:       0.35,
+		TriadicPasses:    1,
+		PTriadic:         0.08,
+		MinCheckIns:      3,
+		MaxCheckIns:      220,
+		CheckInAlpha:     1.6,
+		FavoritePOIs:     9,
+		PopularVenueBias: 0.25,
+		CoVisitProb:      0.62,
+		CoVisitsMean:     3.0,
+		CitySpread:       0.22,
+		RegionSize:       4.0,
+		Seed:             seed,
+	}
+}
+
+// BrightkiteLike returns the Brightkite-flavoured preset: denser check-ins
+// and co-visits, more concentrated POIs — the dataset where 79% of friends
+// share both co-locations and common friends.
+func BrightkiteLike(seed int64) Config {
+	return Config{
+		Name:             "brightkite-like",
+		NumUsers:         420,
+		NumCommunities:   20,
+		NumCities:        4,
+		NumPOIs:          2000,
+		SpanWeeks:        13,
+		PIntraFriend:     0.30,
+		CyberGroups:      40,
+		CyberGroupSize:   5,
+		PCyberLink:       0.30,
+		TriadicPasses:    1,
+		PTriadic:         0.10,
+		MinCheckIns:      4,
+		MaxCheckIns:      320,
+		CheckInAlpha:     1.4,
+		FavoritePOIs:     7,
+		PopularVenueBias: 0.30,
+		CoVisitProb:      0.85,
+		CoVisitsMean:     4.5,
+		CitySpread:       0.12,
+		RegionSize:       3.0,
+		Seed:             seed,
+	}
+}
+
+// Tiny returns a fast miniature preset for unit and integration tests.
+func Tiny(seed int64) Config {
+	cfg := GowallaLike(seed)
+	cfg.Name = "tiny"
+	cfg.NumUsers = 80
+	cfg.NumCommunities = 5
+	cfg.NumCities = 2
+	cfg.NumPOIs = 300
+	cfg.SpanWeeks = 8
+	cfg.CyberGroups = 16
+	cfg.MaxCheckIns = 80
+	cfg.PIntraFriend = 0.35
+	cfg.CoVisitProb = 0.8
+	cfg.CoVisitsMean = 4.0
+	return cfg
+}
+
+// EdgeKind distinguishes the two generated friendship populations.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeReal EdgeKind = iota + 1
+	EdgeCyber
+)
+
+// World is a generated dataset plus its ground truth.
+type World struct {
+	// Config echoes the generating configuration.
+	Config Config
+	// Dataset holds POIs and check-ins.
+	Dataset *checkin.Dataset
+	// Truth is the ground-truth social graph (all friendships).
+	Truth *graph.Graph
+	// EdgeKinds records, per truth edge, whether it was planted as a
+	// real-world or cyber friendship (triadic-closure edges are classified
+	// by whether the pair shares a community).
+	EdgeKinds map[graph.Edge]EdgeKind
+	// Community maps each user to its primary community index.
+	Community map[checkin.UserID]int
+	// Memberships maps each user to every community it belongs to (one or
+	// two). Overlapping memberships are what make hidden friends
+	// discoverable: a pair from different primary communities can share a
+	// mutual friend whose edges to both carry physical co-visit evidence.
+	Memberships map[checkin.UserID][]int
+	// Start is the first instant of the trace.
+	Start time.Time
+}
+
+// RealEdges returns the ground-truth edges of real-world kind.
+func (w *World) RealEdges() []graph.Edge { return w.edgesOfKind(EdgeReal) }
+
+// CyberEdges returns the ground-truth edges of cyber kind.
+func (w *World) CyberEdges() []graph.Edge { return w.edgesOfKind(EdgeCyber) }
+
+func (w *World) edgesOfKind(k EdgeKind) []graph.Edge {
+	var out []graph.Edge
+	for _, e := range w.Truth.Edges() {
+		if w.EdgeKinds[e] == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Generate builds a world from a configuration. Generation is
+// deterministic in cfg.Seed.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2009, 3, 21, 0, 0, 0, 0, time.UTC)
+
+	cities := placeCities(cfg, r)
+	pois, poisByCity, popular := placePOIs(cfg, r, cities)
+	users, community, memberships := assignUsers(cfg, r)
+	truth, kinds := buildSocialGraph(cfg, r, users, memberships)
+
+	w := &worldBuilder{
+		cfg: cfg, r: r, start: start,
+		pois: pois, poisByCity: poisByCity, popularByCity: popular,
+		users: users, community: community, memberships: memberships,
+		truth: truth,
+	}
+	checkIns, err := w.generateCheckIns()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := checkin.NewDataset(pois, checkIns)
+	if err != nil {
+		return nil, fmt.Errorf("synth: assemble dataset: %w", err)
+	}
+	// The paper excludes users who never check in or check in once; every
+	// generated user has >= MinCheckIns, but filter defensively anyway.
+	ds, err = ds.FilterMinCheckIns(2)
+	if err != nil {
+		return nil, fmt.Errorf("synth: filter: %w", err)
+	}
+
+	return &World{
+		Config:      cfg,
+		Dataset:     ds,
+		Truth:       truth,
+		EdgeKinds:   kinds,
+		Community:   community,
+		Memberships: memberships,
+		Start:       start,
+	}, nil
+}
+
+func placeCities(cfg Config, r *rand.Rand) []geo.Point {
+	cities := make([]geo.Point, cfg.NumCities)
+	for i := range cities {
+		cities[i] = geo.Point{
+			Lat: 30 + r.Float64()*cfg.RegionSize,
+			Lng: 115 + r.Float64()*cfg.RegionSize,
+		}
+	}
+	return cities
+}
+
+// placePOIs scatters POIs around cities with Gaussian spread and assigns
+// Zipf popularity ranks within each city. It returns the POI list, the
+// per-city POI index lists, and the per-city popular-venue subsets.
+func placePOIs(cfg Config, r *rand.Rand, cities []geo.Point) ([]checkin.POI, [][]checkin.POIID, [][]checkin.POIID) {
+	pois := make([]checkin.POI, 0, cfg.NumPOIs)
+	byCity := make([][]checkin.POIID, len(cities))
+	for i := 0; i < cfg.NumPOIs; i++ {
+		city := i % len(cities)
+		c := cities[city]
+		p := checkin.POI{
+			ID: checkin.POIID(i + 1),
+			Center: geo.Point{
+				Lat: clamp(c.Lat+r.NormFloat64()*cfg.CitySpread, geo.MinLatitude, geo.MaxLatitude),
+				Lng: clamp(c.Lng+r.NormFloat64()*cfg.CitySpread, geo.MinLongitude, geo.MaxLongitude),
+			},
+			Radius: 30 + r.Float64()*120,
+		}
+		pois = append(pois, p)
+		byCity[city] = append(byCity[city], p.ID)
+	}
+	// The first ~2% of each city's POIs (by list order) are its popular
+	// venues: airports, malls, transit hubs.
+	popular := make([][]checkin.POIID, len(cities))
+	for city, list := range byCity {
+		n := len(list) / 50
+		if n < 3 {
+			n = 3
+		}
+		if n > len(list) {
+			n = len(list)
+		}
+		popular[city] = list[:n]
+	}
+	return pois, byCity, popular
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// secondCommunityShare is the fraction of users belonging to a second
+// community (family + workplace, school + hobby circle, ...). Overlap is
+// the bridge structure the iterative inference phase exploits.
+const secondCommunityShare = 0.3
+
+func assignUsers(cfg Config, r *rand.Rand) ([]checkin.UserID, map[checkin.UserID]int, map[checkin.UserID][]int) {
+	users := make([]checkin.UserID, cfg.NumUsers)
+	community := make(map[checkin.UserID]int, cfg.NumUsers)
+	memberships := make(map[checkin.UserID][]int, cfg.NumUsers)
+	for i := range users {
+		u := checkin.UserID(i + 1)
+		users[i] = u
+		c := i % cfg.NumCommunities
+		community[u] = c
+		memberships[u] = []int{c}
+		if cfg.NumCommunities > 1 && r.Float64() < secondCommunityShare {
+			c2 := r.Intn(cfg.NumCommunities)
+			if c2 != c {
+				memberships[u] = append(memberships[u], c2)
+			}
+		}
+	}
+	return users, community, memberships
+}
+
+// sharesCommunity reports whether two users have a community in common.
+func sharesCommunity(memberships map[checkin.UserID][]int, a, b checkin.UserID) bool {
+	for _, ca := range memberships[a] {
+		for _, cb := range memberships[b] {
+			if ca == cb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildSocialGraph plants real-world (intra-community) and cyber
+// (cross-community interest group) edges, then runs triadic closure.
+func buildSocialGraph(cfg Config, r *rand.Rand, users []checkin.UserID, memberships map[checkin.UserID][]int) (*graph.Graph, map[graph.Edge]EdgeKind) {
+	g := graph.NewGraph()
+	kinds := make(map[graph.Edge]EdgeKind)
+	for _, u := range users {
+		g.AddNode(u)
+	}
+
+	// Real-world edges within communities (including secondary
+	// memberships, which create cross-city real friendships).
+	byCommunity := make([][]checkin.UserID, cfg.NumCommunities)
+	for _, u := range users {
+		for _, c := range memberships[u] {
+			byCommunity[c] = append(byCommunity[c], u)
+		}
+	}
+	addEdge := func(a, b checkin.UserID, kind EdgeKind) {
+		e := graph.NewEdge(a, b)
+		if _, dup := kinds[e]; dup {
+			return
+		}
+		if err := g.AddEdge(a, b); err != nil {
+			return
+		}
+		kinds[e] = kind
+	}
+	for _, members := range byCommunity {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if r.Float64() < cfg.PIntraFriend {
+					addEdge(members[i], members[j], EdgeReal)
+				}
+			}
+		}
+	}
+
+	// Cyber edges via cross-community interest groups.
+	for gi := 0; gi < cfg.CyberGroups; gi++ {
+		group := make([]checkin.UserID, 0, cfg.CyberGroupSize)
+		for len(group) < cfg.CyberGroupSize {
+			group = append(group, users[r.Intn(len(users))])
+		}
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				a, b := group[i], group[j]
+				if a == b {
+					continue
+				}
+				if sharesCommunity(memberships, a, b) {
+					continue // cyber edges span communities
+				}
+				if r.Float64() < cfg.PCyberLink {
+					addEdge(a, b, EdgeCyber)
+				}
+			}
+		}
+	}
+
+	// Triadic closure: friends of friends become friends. The closed
+	// edge inherits the real/cyber classification from community
+	// membership.
+	for pass := 0; pass < cfg.TriadicPasses; pass++ {
+		type cand struct{ a, b checkin.UserID }
+		var cands []cand
+		for _, u := range g.Nodes() {
+			nbrs := g.Neighbors(u)
+			for i := 0; i < len(nbrs); i++ {
+				for j := i + 1; j < len(nbrs); j++ {
+					if !g.HasEdge(nbrs[i], nbrs[j]) {
+						cands = append(cands, cand{nbrs[i], nbrs[j]})
+					}
+				}
+			}
+		}
+		for _, c := range cands {
+			if g.HasEdge(c.a, c.b) {
+				continue
+			}
+			if r.Float64() < cfg.PTriadic {
+				kind := EdgeCyber
+				if sharesCommunity(memberships, c.a, c.b) {
+					kind = EdgeReal
+				}
+				addEdge(c.a, c.b, kind)
+			}
+		}
+	}
+	return g, kinds
+}
+
+// worldBuilder carries generation state for check-in synthesis.
+type worldBuilder struct {
+	cfg           Config
+	r             *rand.Rand
+	start         time.Time
+	pois          []checkin.POI
+	poisByCity    [][]checkin.POIID
+	popularByCity [][]checkin.POIID
+	users         []checkin.UserID
+	community     map[checkin.UserID]int
+	memberships   map[checkin.UserID][]int
+	truth         *graph.Graph
+}
+
+func (w *worldBuilder) cityOf(u checkin.UserID) int {
+	return w.community[u] % w.cfg.NumCities
+}
+
+// paretoCount samples a per-user check-in volume with a Pareto tail
+// truncated to [MinCheckIns, MaxCheckIns].
+func (w *worldBuilder) paretoCount() int {
+	x := float64(w.cfg.MinCheckIns) * math.Pow(1-w.r.Float64(), -1/w.cfg.CheckInAlpha)
+	n := int(x)
+	if n < w.cfg.MinCheckIns {
+		n = w.cfg.MinCheckIns
+	}
+	if n > w.cfg.MaxCheckIns {
+		n = w.cfg.MaxCheckIns
+	}
+	return n
+}
+
+// zipfPick samples an index in [0,n) with probability proportional to
+// 1/(rank+1): earlier list entries are more popular.
+func zipfPick(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF on the harmonic distribution via rejection-free
+	// approximation: u ~ U(0,1), index = floor(exp(u * ln(n+1))) - 1.
+	u := r.Float64()
+	idx := int(math.Exp(u*math.Log(float64(n)+1))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// generateCheckIns produces solo check-ins for every user plus co-visit
+// events for real-world friend pairs.
+func (w *worldBuilder) generateCheckIns() ([]checkin.CheckIn, error) {
+	cfg := w.cfg
+	spanHours := cfg.SpanWeeks * 7 * 24
+
+	// Per-user repertoire: favourites from the home city (Zipf-weighted),
+	// preferred weekdays shared within a community (weekly periodicity).
+	favorites := make(map[checkin.UserID][]checkin.POIID, len(w.users))
+	weekdays := make([][]int, cfg.NumCommunities)
+	for c := range weekdays {
+		d1 := w.r.Intn(7)
+		d2 := (d1 + 1 + w.r.Intn(6)) % 7
+		weekdays[c] = []int{d1, d2}
+	}
+	for _, u := range w.users {
+		city := w.cityOf(u)
+		list := w.poisByCity[city]
+		favs := make([]checkin.POIID, 0, cfg.FavoritePOIs)
+		seen := make(map[checkin.POIID]struct{}, cfg.FavoritePOIs)
+		for len(favs) < cfg.FavoritePOIs && len(favs) < len(list) {
+			p := list[zipfPick(w.r, len(list))]
+			if _, dup := seen[p]; dup {
+				continue
+			}
+			seen[p] = struct{}{}
+			favs = append(favs, p)
+		}
+		favorites[u] = favs
+	}
+
+	// sampleTime draws an instant biased to the community's weekdays.
+	sampleTime := func(comm int) time.Time {
+		for tries := 0; tries < 8; tries++ {
+			h := w.r.Intn(spanHours)
+			t := w.start.Add(time.Duration(h) * time.Hour)
+			wd := int(t.Weekday())
+			for _, d := range weekdays[comm] {
+				if wd == d {
+					return t
+				}
+			}
+			// Accept off-day check-ins with lower probability.
+			if w.r.Float64() < 0.25 {
+				return t
+			}
+		}
+		return w.start.Add(time.Duration(w.r.Intn(spanHours)) * time.Hour)
+	}
+
+	var out []checkin.CheckIn
+
+	// Solo check-ins.
+	for _, u := range w.users {
+		n := w.paretoCount()
+		city := w.cityOf(u)
+		comm := w.community[u]
+		favs := favorites[u]
+		for i := 0; i < n; i++ {
+			var poi checkin.POIID
+			if w.r.Float64() < cfg.PopularVenueBias {
+				pop := w.popularByCity[city]
+				poi = pop[w.r.Intn(len(pop))]
+			} else {
+				poi = favs[zipfPick(w.r, len(favs))]
+			}
+			out = append(out, checkin.CheckIn{User: u, POI: poi, Time: sampleTime(comm)})
+		}
+	}
+
+	// Co-visits for real-world friend pairs: both users check in at a
+	// shared POI within a two-hour window. Cyber pairs get none.
+	for _, e := range w.truth.Edges() {
+		if !sharesCommunity(w.memberships, e.A, e.B) {
+			continue // cyber edge: no physical co-presence
+		}
+		if w.r.Float64() >= cfg.CoVisitProb {
+			continue
+		}
+		events := 1 + w.r.Intn(int(cfg.CoVisitsMean*2))
+		comm := w.community[e.A]
+		for k := 0; k < events; k++ {
+			// Meet at one of either user's favourites.
+			var pool []checkin.POIID
+			pool = append(pool, favorites[e.A]...)
+			pool = append(pool, favorites[e.B]...)
+			poi := pool[w.r.Intn(len(pool))]
+			t := sampleTime(comm)
+			// Roughly 40% of co-visits are synchronised meetings (within
+			// two hours); the rest are asynchronous same-place visits
+			// within a few days, as in real traces where friends share
+			// venues without sharing the exact moment.
+			var dt time.Duration
+			if w.r.Float64() < 0.4 {
+				dt = time.Duration(w.r.Intn(120)) * time.Minute
+			} else {
+				dt = time.Duration(w.r.Intn(72*60)) * time.Minute
+			}
+			out = append(out,
+				checkin.CheckIn{User: e.A, POI: poi, Time: t},
+				checkin.CheckIn{User: e.B, POI: poi, Time: t.Add(dt)},
+			)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("synth: generated no check-ins")
+	}
+	return out, nil
+}

@@ -1,0 +1,341 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+)
+
+func TestConfigValidate(t *testing.T) {
+	base := Tiny(1)
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"too few users", func(c *Config) { c.NumUsers = 1 }},
+		{"no communities", func(c *Config) { c.NumCommunities = 0 }},
+		{"communities exceed users", func(c *Config) { c.NumCommunities = c.NumUsers + 1 }},
+		{"no cities", func(c *Config) { c.NumCities = 0 }},
+		{"too few POIs", func(c *Config) { c.NumPOIs = 0 }},
+		{"no span", func(c *Config) { c.SpanWeeks = 0 }},
+		{"bad friend prob", func(c *Config) { c.PIntraFriend = 1.5 }},
+		{"min checkins", func(c *Config) { c.MinCheckIns = 1 }},
+		{"max < min", func(c *Config) { c.MaxCheckIns = c.MinCheckIns - 1 }},
+		{"no favourites", func(c *Config) { c.FavoritePOIs = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("Tiny preset invalid: %v", err)
+	}
+	if err := GowallaLike(1).Validate(); err != nil {
+		t.Errorf("GowallaLike invalid: %v", err)
+	}
+	if err := BrightkiteLike(1).Validate(); err != nil {
+		t.Errorf("BrightkiteLike invalid: %v", err)
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	w, err := Generate(Tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dataset.NumUsers() == 0 || w.Dataset.NumCheckIns() == 0 {
+		t.Fatal("empty dataset")
+	}
+	if w.Truth.NumEdges() == 0 {
+		t.Fatal("no ground-truth edges")
+	}
+	if len(w.RealEdges()) == 0 {
+		t.Error("no real-world edges")
+	}
+	if len(w.CyberEdges()) == 0 {
+		t.Error("no cyber edges")
+	}
+	// Every user must satisfy the paper's >= 2 check-ins filter.
+	for _, u := range w.Dataset.Users() {
+		if w.Dataset.CheckInCount(u) < 2 {
+			t.Fatalf("user %d has %d check-ins", u, w.Dataset.CheckInCount(u))
+		}
+	}
+	// Edge kinds cover every truth edge.
+	for _, e := range w.Truth.Edges() {
+		if w.EdgeKinds[e] == 0 {
+			t.Fatalf("edge %v has no kind", e)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, err := Generate(Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Dataset.NumCheckIns() != w2.Dataset.NumCheckIns() {
+		t.Fatalf("check-in counts differ: %d vs %d", w1.Dataset.NumCheckIns(), w2.Dataset.NumCheckIns())
+	}
+	if w1.Truth.NumEdges() != w2.Truth.NumEdges() {
+		t.Fatalf("edge counts differ")
+	}
+	e1, e2 := w1.Truth.Edges(), w2.Truth.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edges differ at %d", i)
+		}
+	}
+	c1, c2 := w1.Dataset.AllCheckIns(), w2.Dataset.AllCheckIns()
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("check-ins differ at %d", i)
+		}
+	}
+	w3, err := Generate(Tiny(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.Dataset.NumCheckIns() == w1.Dataset.NumCheckIns() && w3.Truth.NumEdges() == w1.Truth.NumEdges() {
+		t.Error("different seeds produced suspiciously identical worlds")
+	}
+}
+
+// TestCyberEdgesHaveNoCoVisits verifies the central planted structure: a
+// large majority of cyber pairs share no POI, while a large majority of
+// real pairs do (Table II quadrants).
+func TestCyberEdgesHaveStructureNotPresence(t *testing.T) {
+	w, err := Generate(GowallaLike(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	realCoLoc, realTotal := 0, 0
+	for _, e := range w.RealEdges() {
+		realTotal++
+		if w.Dataset.HasCoLocation(e.A, e.B) {
+			realCoLoc++
+		}
+	}
+	cyberCoLoc, cyberTotal := 0, 0
+	cyberCommonFriend := 0
+	for _, e := range w.CyberEdges() {
+		cyberTotal++
+		if w.Dataset.HasCoLocation(e.A, e.B) {
+			cyberCoLoc++
+		}
+		if w.Truth.HasCommonNeighbor(e.A, e.B) {
+			cyberCommonFriend++
+		}
+	}
+	if realTotal == 0 || cyberTotal == 0 {
+		t.Fatal("degenerate world")
+	}
+	realShare := float64(realCoLoc) / float64(realTotal)
+	cyberShare := float64(cyberCoLoc) / float64(cyberTotal)
+	if realShare < 0.5 {
+		t.Errorf("real friends with co-location = %.2f, want >= 0.5", realShare)
+	}
+	if cyberShare > realShare/2 {
+		t.Errorf("cyber co-location share %.2f should be well below real %.2f", cyberShare, realShare)
+	}
+	if cf := float64(cyberCommonFriend) / float64(cyberTotal); cf < 0.25 {
+		t.Errorf("cyber friends with common friends = %.2f, want >= 0.25", cf)
+	}
+}
+
+// TestFriendVsStrangerSeparation reproduces the Fig. 1 statistics in
+// expectation: friends share more POIs and more common friends than
+// random non-friend pairs.
+func TestFriendVsStrangerSeparation(t *testing.T) {
+	w, err := Generate(Tiny(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := w.Dataset.Users()
+	var friendCoLoc, friendCN, strangerCoLoc, strangerCN float64
+	var nf, ns float64
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			a, b := users[i], users[j]
+			common := float64(w.Dataset.CommonPOIs(a, b))
+			cn := float64(w.Truth.CommonNeighbors(a, b))
+			if w.Truth.HasEdge(a, b) {
+				friendCoLoc += common
+				friendCN += cn
+				nf++
+			} else {
+				strangerCoLoc += common
+				strangerCN += cn
+				ns++
+			}
+		}
+	}
+	if nf == 0 || ns == 0 {
+		t.Fatal("degenerate pair universe")
+	}
+	if friendCoLoc/nf <= strangerCoLoc/ns {
+		t.Errorf("mean common POIs: friends %.3f <= strangers %.3f", friendCoLoc/nf, strangerCoLoc/ns)
+	}
+	if friendCN/nf <= strangerCN/ns {
+		t.Errorf("mean common friends: friends %.3f <= strangers %.3f", friendCN/nf, strangerCN/ns)
+	}
+}
+
+func TestHeavyTailCheckIns(t *testing.T) {
+	w, err := Generate(GowallaLike(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sparsity: a substantial fraction of users must have few check-ins
+	// while a few are prolific.
+	few, many := 0, 0
+	for _, u := range w.Dataset.Users() {
+		n := w.Dataset.CheckInCount(u)
+		if n <= 25 {
+			few++
+		}
+		if n >= 100 {
+			many++
+		}
+	}
+	total := w.Dataset.NumUsers()
+	if float64(few)/float64(total) < 0.3 {
+		t.Errorf("users with <= 25 check-ins = %d/%d, want >= 30%%", few, total)
+	}
+	if many == 0 {
+		t.Error("no prolific users: tail too light")
+	}
+}
+
+func TestEdgeKindsPartition(t *testing.T) {
+	w, err := Generate(Tiny(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := w.RealEdges()
+	cyber := w.CyberEdges()
+	if len(real)+len(cyber) != w.Truth.NumEdges() {
+		t.Errorf("kinds partition broken: %d + %d != %d", len(real), len(cyber), w.Truth.NumEdges())
+	}
+	shares := func(a, b checkin.UserID) bool {
+		for _, ca := range w.Memberships[a] {
+			for _, cb := range w.Memberships[b] {
+				if ca == cb {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, e := range real {
+		if !shares(e.A, e.B) {
+			t.Fatalf("real edge %v shares no community", e)
+		}
+	}
+	for _, e := range cyber {
+		if shares(e.A, e.B) {
+			t.Fatalf("cyber edge %v shares a community", e)
+		}
+	}
+}
+
+func TestWorldGraphContainsOnlyKnownUsers(t *testing.T) {
+	w, err := Generate(Tiny(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[checkin.UserID]struct{})
+	for _, u := range w.Dataset.Users() {
+		known[u] = struct{}{}
+	}
+	for _, e := range w.Truth.Edges() {
+		if _, ok := known[e.A]; !ok {
+			t.Fatalf("edge endpoint %d not in dataset", e.A)
+		}
+		if _, ok := known[e.B]; !ok {
+			t.Fatalf("edge endpoint %d not in dataset", e.B)
+		}
+	}
+	_ = graph.NewGraph() // keep import for clarity of edge types
+}
+
+func TestGenerateForGraph(t *testing.T) {
+	// A two-clique graph with one bridge: label propagation should split
+	// the cliques into different communities and mark the bridge cyber.
+	g := graph.NewGraph()
+	for i := checkin.UserID(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := checkin.UserID(11); i <= 15; i++ {
+		for j := i + 1; j <= 15; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := g.AddEdge(5, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Tiny(101)
+	cfg.NumCommunities = 2
+	w, err := GenerateForGraph(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Truth != g {
+		t.Error("truth graph must be the provided graph")
+	}
+	if w.Dataset.NumCheckIns() == 0 {
+		t.Fatal("no check-ins generated")
+	}
+	// Every surviving user has mobility.
+	for _, u := range w.Dataset.Users() {
+		if w.Dataset.CheckInCount(u) < 2 {
+			t.Fatalf("user %d has %d check-ins", u, w.Dataset.CheckInCount(u))
+		}
+	}
+	// Clique members should share communities far more often than the
+	// bridge endpoints.
+	same := 0
+	for i := checkin.UserID(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			if w.Community[i] == w.Community[j] {
+				same++
+			}
+		}
+	}
+	if same < 8 { // of 10 clique pairs
+		t.Errorf("clique community agreement = %d/10", same)
+	}
+	// Edge kinds cover everything.
+	for _, e := range g.Edges() {
+		if w.EdgeKinds[e] == 0 {
+			t.Fatalf("edge %v unclassified", e)
+		}
+	}
+
+	// Error paths.
+	if _, err := GenerateForGraph(cfg, graph.NewGraph()); err == nil {
+		t.Error("empty graph should fail")
+	}
+	bad := cfg
+	bad.SpanWeeks = 0
+	if _, err := GenerateForGraph(bad, g); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

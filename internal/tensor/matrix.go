@@ -1,0 +1,309 @@
+// Package tensor provides the dense linear-algebra substrate used by the
+// supervised autoencoder: row-major float64 matrices, cache-blocked and
+// goroutine-parallel multiplication, element-wise maps and the vector
+// helpers the training loop needs. It is deliberately small: just what a
+// fully-connected network requires, implemented on the standard library.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		rows, cols = 0, 0
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) into a matrix. The slice is used
+// directly, not copied.
+func FromSlice(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("tensor: %dx%d needs %d values, got %d", rows, cols, rows*cols, len(data))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}, nil
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// shapeEqual reports whether two matrices have identical shapes.
+func shapeEqual(a, b *Matrix) bool { return a.Rows == b.Rows && a.Cols == b.Cols }
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) (*Matrix, error) {
+	if !shapeEqual(a, b) {
+		return nil, fmt.Errorf("tensor: add shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out, nil
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Matrix) (*Matrix, error) {
+	if !shapeEqual(a, b) {
+		return nil, fmt.Errorf("tensor: sub shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out, nil
+}
+
+// Hadamard returns the element-wise product a .* b.
+func Hadamard(a, b *Matrix) (*Matrix, error) {
+	if !shapeEqual(a, b) {
+		return nil, fmt.Errorf("tensor: hadamard shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out, nil
+}
+
+// Scale multiplies every element by s in place and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddInPlace accumulates b into m.
+func (m *Matrix) AddInPlace(b *Matrix) error {
+	if !shapeEqual(m, b) {
+		return fmt.Errorf("tensor: add-in-place shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+	return nil
+}
+
+// AxpyInPlace computes m += alpha*b.
+func (m *Matrix) AxpyInPlace(alpha float64, b *Matrix) error {
+	if !shapeEqual(m, b) {
+		return fmt.Errorf("tensor: axpy shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	for i := range m.Data {
+		m.Data[i] += alpha * b.Data[i]
+	}
+	return nil
+}
+
+// Apply returns f mapped over every element.
+func (m *Matrix) Apply(f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Transpose returns m^T.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// parallelThreshold is the number of scalar multiply-adds below which MatMul
+// stays single-threaded; goroutine fan-out costs more than it saves on tiny
+// products.
+const parallelThreshold = 1 << 16
+
+// MatMul returns a @ b using a row-parallel inner-product kernel with the
+// k-loop hoisted for streaming access (ikj order).
+func MatMul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// matMulRange computes rows [lo,hi) of out = a @ b in ikj order.
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		oi := out.Row(i)
+		for k, av := range ai {
+			if av == 0 {
+				continue // JOC inputs are sparse; skipping zeros is a large win
+			}
+			bk := b.Data[k*n : k*n+n]
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddRowVector adds the 1xCols vector v to every row of m, returning a new
+// matrix (broadcast bias addition).
+func AddRowVector(m *Matrix, v []float64) (*Matrix, error) {
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("tensor: row-vector length %d != cols %d", len(v), m.Cols)
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for j := range row {
+			orow[j] = row[j] + v[j]
+		}
+	}
+	return out, nil
+}
+
+// ColumnSums returns the per-column sums of m (used for bias gradients).
+func (m *Matrix) ColumnSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// FrobeniusNorm returns sqrt(sum of squares) of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SumSquares returns the sum of squared elements.
+func (m *Matrix) SumSquares() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return s
+}
+
+// RandUniform fills a matrix with samples from U(-scale, +scale) using r.
+func RandUniform(rows, cols int, scale float64, r *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (r.Float64()*2 - 1) * scale
+	}
+	return m
+}
+
+// GlorotUniform fills a matrix with the Glorot/Xavier uniform initialiser,
+// the standard choice for tanh/sigmoid autoencoders.
+func GlorotUniform(rows, cols int, r *rand.Rand) *Matrix {
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	return RandUniform(rows, cols, scale, r)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("tensor: dot length mismatch %d vs %d", len(a), len(b))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0
+// when either vector is zero.
+func CosineSimilarity(a, b []float64) (float64, error) {
+	d, err := Dot(a, b)
+	if err != nil {
+		return 0, err
+	}
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0, nil
+	}
+	return d / (na * nb), nil
+}

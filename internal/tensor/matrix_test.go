@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice(2, 2, []float64{1, 2, 3}); err == nil {
+		t.Error("wrong length should fail")
+	}
+	m, err := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set failed")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if !almostEqual(got.Data[i], w, 1e-12) {
+			t.Errorf("MatMul[%d] = %v, want %v", i, got.Data[i], w)
+		}
+	}
+	if _, err := MatMul(a, a); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := RandUniform(5, 5, 1, r)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	got, err := MatMul(a, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if !almostEqual(got.Data[i], a.Data[i], 1e-12) {
+			t.Fatalf("A@I != A at %d", i)
+		}
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Shapes large enough to trip the parallel path.
+	r := rand.New(rand.NewSource(2))
+	a := RandUniform(120, 90, 1, r)
+	b := RandUniform(90, 110, 1, r)
+	par, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := New(a.Rows, b.Cols)
+	matMulRange(a, b, ser, 0, a.Rows)
+	for i := range par.Data {
+		if !almostEqual(par.Data[i], ser.Data[i], 1e-9) {
+			t.Fatalf("parallel and serial differ at %d: %v vs %v", i, par.Data[i], ser.Data[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(10), 1+r.Intn(10)
+		m := RandUniform(rows, cols, 1, r)
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulTransposeProperty(t *testing.T) {
+	// (A@B)^T == B^T @ A^T
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := RandUniform(m, k, 1, r)
+		b := RandUniform(k, n, 1, r)
+		ab, err := MatMul(a, b)
+		if err != nil {
+			return false
+		}
+		left := ab.Transpose()
+		right, err := MatMul(b.Transpose(), a.Transpose())
+		if err != nil {
+			return false
+		}
+		for i := range left.Data {
+			if !almostEqual(left.Data[i], right.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElementWiseOps(t *testing.T) {
+	a, _ := FromSlice(1, 3, []float64{1, 2, 3})
+	b, _ := FromSlice(1, 3, []float64{4, 5, 6})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Data[2] != 9 {
+		t.Errorf("Add = %v", sum.Data)
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Data[0] != 3 {
+		t.Errorf("Sub = %v", diff.Data)
+	}
+	had, err := Hadamard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if had.Data[1] != 10 {
+		t.Errorf("Hadamard = %v", had.Data)
+	}
+	bad := New(2, 2)
+	if _, err := Add(a, bad); err == nil {
+		t.Error("shape mismatch Add should fail")
+	}
+	if _, err := Sub(a, bad); err == nil {
+		t.Error("shape mismatch Sub should fail")
+	}
+	if _, err := Hadamard(a, bad); err == nil {
+		t.Error("shape mismatch Hadamard should fail")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a, _ := FromSlice(1, 2, []float64{1, 2})
+	b, _ := FromSlice(1, 2, []float64{10, 20})
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[1] != 22 {
+		t.Errorf("AddInPlace = %v", a.Data)
+	}
+	if err := a.AxpyInPlace(0.5, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0] != 16 {
+		t.Errorf("AxpyInPlace = %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 32 {
+		t.Errorf("Scale = %v", a.Data)
+	}
+	a.Zero()
+	if a.Data[0] != 0 || a.Data[1] != 0 {
+		t.Error("Zero failed")
+	}
+	bad := New(9, 9)
+	if err := a.AddInPlace(bad); err == nil {
+		t.Error("AddInPlace shape mismatch should fail")
+	}
+	if err := a.AxpyInPlace(1, bad); err == nil {
+		t.Error("AxpyInPlace shape mismatch should fail")
+	}
+}
+
+func TestAddRowVectorAndColumnSums(t *testing.T) {
+	m, _ := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	out, err := AddRowVector(m, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(1, 2) != 36 {
+		t.Errorf("AddRowVector = %v", out.Data)
+	}
+	if _, err := AddRowVector(m, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	sums := m.ColumnSums()
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Errorf("ColumnSums = %v, want %v", sums, want)
+		}
+	}
+}
+
+func TestNormsAndDots(t *testing.T) {
+	if n := Norm2([]float64{3, 4}); !almostEqual(n, 5, 1e-12) {
+		t.Errorf("Norm2 = %v", n)
+	}
+	d, err := Dot([]float64{1, 2}, []float64{3, 4})
+	if err != nil || d != 11 {
+		t.Errorf("Dot = %v, %v", d, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Dot length mismatch should fail")
+	}
+	cs, err := CosineSimilarity([]float64{1, 0}, []float64{1, 0})
+	if err != nil || !almostEqual(cs, 1, 1e-12) {
+		t.Errorf("cosine of parallel = %v", cs)
+	}
+	cs, _ = CosineSimilarity([]float64{1, 0}, []float64{0, 1})
+	if !almostEqual(cs, 0, 1e-12) {
+		t.Errorf("cosine of orthogonal = %v", cs)
+	}
+	cs, _ = CosineSimilarity([]float64{0, 0}, []float64{1, 1})
+	if cs != 0 {
+		t.Errorf("cosine with zero vector = %v, want 0", cs)
+	}
+	m, _ := FromSlice(1, 2, []float64{3, 4})
+	if !almostEqual(m.FrobeniusNorm(), 5, 1e-12) {
+		t.Error("FrobeniusNorm")
+	}
+	if !almostEqual(m.SumSquares(), 25, 1e-12) {
+		t.Error("SumSquares")
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := GlorotUniform(100, 50, r)
+	bound := math.Sqrt(6.0 / 150.0)
+	for _, v := range m.Data {
+		if v < -bound || v > bound {
+			t.Fatalf("Glorot sample %v outside [-%v,%v]", v, bound, bound)
+		}
+	}
+	u := RandUniform(10, 10, 0.5, r)
+	for _, v := range u.Data {
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("uniform sample %v outside scale", v)
+		}
+	}
+}
+
+func TestApplyAndClone(t *testing.T) {
+	m, _ := FromSlice(1, 3, []float64{1, -2, 3})
+	abs := m.Apply(math.Abs)
+	if abs.Data[1] != 2 {
+		t.Errorf("Apply = %v", abs.Data)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	x := RandUniform(128, 512, 1, r)
+	w := RandUniform(512, 128, 1, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MatMul(x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package friendseeker
+
+import (
+	"fmt"
+)
+
+// ProtocolResult bundles everything the paper's evaluation protocol
+// produces for one run.
+type ProtocolResult struct {
+	// Score is precision/recall/F1 on the held-out pairs.
+	Score Score
+	// TrainReport and InferReport expose the run internals.
+	TrainReport *TrainReport
+	InferReport *InferReport
+	// Attack is the trained model (reusable for further Infer calls or
+	// Save).
+	Attack *FriendSeeker
+	// Split is the labelled-pair split used.
+	Split *PairSplit
+}
+
+// RunProtocol executes the paper's full evaluation protocol on a view in
+// one call: split the labelled pairs 70/30, train the attack, decide every
+// pair of the view, and score the held-out 30%. It is the programmatic
+// equivalent of `cmd/friendseeker`; see examples/quickstart for the
+// step-by-step version.
+func RunProtocol(view *View, cfg Config, seed int64) (*ProtocolResult, error) {
+	split, err := view.SplitPairs(0.7, 3, seed)
+	if err != nil {
+		return nil, fmt.Errorf("friendseeker: split: %w", err)
+	}
+	attack, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := attack.Train(view.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		return nil, fmt.Errorf("friendseeker: train: %w", err)
+	}
+	trainRep, err := attack.LastTrainReport()
+	if err != nil {
+		return nil, err
+	}
+	pairs, _ := view.AllPairs()
+	decisions, inferRep, err := attack.Infer(view.Dataset, pairs)
+	if err != nil {
+		return nil, fmt.Errorf("friendseeker: infer: %w", err)
+	}
+	evalPreds, err := split.EvalDecisionsFrom(pairs, decisions)
+	if err != nil {
+		return nil, err
+	}
+	conf, err := Evaluate(evalPreds, split.EvalLabels)
+	if err != nil {
+		return nil, err
+	}
+	return &ProtocolResult{
+		Score: Score{
+			Precision: conf.Precision(),
+			Recall:    conf.Recall(),
+			F1:        conf.F1(),
+		},
+		TrainReport: trainRep,
+		InferReport: inferRep,
+		Attack:      attack,
+		Split:       split,
+	}, nil
+}
