@@ -1,0 +1,24 @@
+# Build, test and verification entry points. `make check` is the tier-1
+# gate; `make race` runs the concurrency-sensitive packages (the core
+# pipeline and the public facade) under the race detector, which is how
+# the Train-once/Infer-concurrently contract is enforced.
+
+GO ?= go
+
+.PHONY: all vet build test race check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... .
+
+check: vet build test race

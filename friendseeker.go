@@ -19,6 +19,18 @@
 // and classified by an RBF-kernel SVM. The graph is re-derived and the
 // process iterates until fewer than 1% of edges change.
 //
+// # Concurrency
+//
+// Train and Save are exclusive: neither may overlap with any other call
+// on the same FriendSeeker. Once a model is trained (or restored with
+// LoadModel), it is strictly read-only at inference time: Infer and
+// InferAfterIterations are safe to call from any number of goroutines on
+// the same model, including against target datasets whose POI universe
+// differs from the training data — unseen POIs are resolved through a
+// per-call overlay, never written into the model. One trained model can
+// therefore serve concurrent inference traffic, and Save writes the same
+// bytes no matter how many inferences ran before it.
+//
 // # Quick start
 //
 //	world, _ := friendseeker.GenerateWorld(friendseeker.TinyWorld(1))

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// TestConcurrentInferMatchesSerial is the concurrency contract test: one
+// loaded model serves four goroutines calling Infer plus one calling
+// InferAfterIterations, against a target dataset carrying POIs the
+// training STD has never seen. Run under -race (the Makefile's race
+// target does), it proves inference is read-only; the result comparison
+// proves it is also deterministic under contention.
+func TestConcurrentInferMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	w, err := synth.Generate(synth.Tiny(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(73)
+	cfg.Epochs = 10
+	trained, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trained.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve from a loaded model, the production shape (train once, save,
+	// load in the serving process, infer from many goroutines).
+	var buf bytes.Buffer
+	if err := trained.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	model, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target := withUnseenPOIs(t, w.Dataset)
+	pairs := split.EvalPairs
+
+	serialInfer, _, err := model.Infer(target, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRounds, err := model.InferAfterIterations(target, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgBefore := model.Config()
+
+	const inferCalls = 4
+	results := make([][]bool, inferCalls+1)
+	errs := make([]error, inferCalls+1)
+	var wg sync.WaitGroup
+	for g := 0; g < inferCalls; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], _, errs[g] = model.Infer(target, pairs)
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[inferCalls], errs[inferCalls] = model.InferAfterIterations(target, pairs, 2)
+	}()
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	for g := 0; g < inferCalls; g++ {
+		for i := range serialInfer {
+			if results[g][i] != serialInfer[i] {
+				t.Fatalf("concurrent Infer %d diverged from serial at pair %d", g, i)
+			}
+		}
+	}
+	for i := range serialRounds {
+		if results[inferCalls][i] != serialRounds[i] {
+			t.Fatalf("concurrent InferAfterIterations diverged from serial at pair %d", i)
+		}
+	}
+	if !reflect.DeepEqual(cfgBefore, model.Config()) {
+		t.Error("config mutated by concurrent inference")
+	}
+}

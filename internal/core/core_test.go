@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -259,5 +260,62 @@ func TestSocialFeatureWidth(t *testing.T) {
 		if got := socialFeatureWidth(tt.k, tt.d, tt.count); got != tt.want {
 			t.Errorf("socialFeatureWidth(%d,%d,%v) = %d, want %d", tt.k, tt.d, tt.count, got, tt.want)
 		}
+	}
+}
+
+// TestTrainKeepsConfigPristine: a FeatureDim larger than the STD's input
+// width is clamped for the autoencoder, but Config() must keep reporting
+// exactly what the caller set; the clamped value is exposed separately.
+func TestTrainKeepsConfigPristine(t *testing.T) {
+	w, err := synth.Generate(synth.Tiny(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(43)
+	cfg.Sigma = 1000 // one coarse grid keeps InputDim tiny
+	cfg.FeatureDim = 4096
+	cfg.Epochs = 5
+	cfg.MaxIterations = 2
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Config()
+	if fs.EffectiveFeatureDim() != 0 {
+		t.Errorf("EffectiveFeatureDim before Train = %d", fs.EffectiveFeatureDim())
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+	after := fs.Config()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("Train mutated config:\nbefore %+v\nafter  %+v", before, after)
+	}
+	if after.FeatureDim != 4096 {
+		t.Errorf("Config().FeatureDim = %d, want the caller's 4096", after.FeatureDim)
+	}
+	rep, err := fs.LastTrainReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EffectiveFeatureDim != rep.InputDim {
+		t.Errorf("EffectiveFeatureDim = %d, want clamped to InputDim %d",
+			rep.EffectiveFeatureDim, rep.InputDim)
+	}
+	if fs.EffectiveFeatureDim() != rep.EffectiveFeatureDim {
+		t.Errorf("accessor %d != report %d", fs.EffectiveFeatureDim(), rep.EffectiveFeatureDim)
+	}
+
+	// InferAfterIterations must not touch config either (it used to swap
+	// MaxIterations/ConvergeThreshold in and out of fs.cfg).
+	if _, err := fs.InferAfterIterations(w.Dataset, split.EvalPairs, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, fs.Config()) {
+		t.Error("InferAfterIterations mutated config")
 	}
 }

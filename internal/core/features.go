@@ -12,21 +12,22 @@ import (
 )
 
 // embeddingCache memoises presence-proximity features per pair for one
-// dataset: phase 2 needs h for every edge of every reachable subgraph, and
-// edges recur across subgraphs and iterations.
+// dataset view: phase 2 needs h for every edge of every reachable
+// subgraph, and edges recur across subgraphs and iterations. The cache is
+// per inference call; the view, autoencoder and scaler it reads are all
+// read-only, so a trained model is never written through it.
 type embeddingCache struct {
-	div    *joc.Division
+	view   *joc.DatasetView
 	ae     *nn.SupervisedAutoencoder
-	ds     *checkin.Dataset
 	scaler *featureScaler
 
 	mu  sync.Mutex
 	mem map[checkin.Pair][]float64
 }
 
-func newEmbeddingCache(div *joc.Division, ae *nn.SupervisedAutoencoder, ds *checkin.Dataset, scaler *featureScaler) *embeddingCache {
+func newEmbeddingCache(view *joc.DatasetView, ae *nn.SupervisedAutoencoder, scaler *featureScaler) *embeddingCache {
 	return &embeddingCache{
-		div: div, ae: ae, ds: ds, scaler: scaler,
+		view: view, ae: ae, scaler: scaler,
 		mem: make(map[checkin.Pair][]float64),
 	}
 }
@@ -41,7 +42,7 @@ func (c *embeddingCache) get(p checkin.Pair) ([]float64, error) {
 	if ok {
 		return h, nil
 	}
-	v, err := c.div.BuildFlattened(c.ds, p.A, p.B)
+	v, err := c.view.BuildFlattened(p.A, p.B)
 	if err != nil {
 		return nil, fmt.Errorf("core: joc for pair (%d,%d): %w", p.A, p.B, err)
 	}
@@ -120,19 +121,28 @@ func socialProximityFeature(sub *graph.ReachableSubgraph, cache *embeddingCache,
 	return out, nil
 }
 
+// featureParams carries the knobs of phase-2 feature extraction. Dim is
+// the *effective* bottleneck width of the trained autoencoder, which may
+// be smaller than the configured FeatureDim when a tiny STD undercuts it;
+// keeping it separate lets Config stay exactly what the caller set.
+type featureParams struct {
+	K, Dim, MaxPathsPerLength int
+	UsePathCounts             bool
+}
+
 // compositeFeature concatenates the pair's own presence feature with its
 // social proximity feature, the input of classifier C'.
-func compositeFeature(pair checkin.Pair, g *graph.Graph, cache *embeddingCache, cfg Config) ([]float64, error) {
+func compositeFeature(pair checkin.Pair, g *graph.Graph, cache *embeddingCache, fp featureParams) ([]float64, error) {
 	h, err := cache.get(pair)
 	if err != nil {
 		return nil, err
 	}
-	sub, err := graph.KHopReachableSubgraph(g, pair.A, pair.B, cfg.K,
-		graph.WithMaxPathsPerLength(cfg.MaxPathsPerLength))
+	sub, err := graph.KHopReachableSubgraph(g, pair.A, pair.B, fp.K,
+		graph.WithMaxPathsPerLength(fp.MaxPathsPerLength))
 	if err != nil {
 		return nil, fmt.Errorf("core: subgraph for pair (%d,%d): %w", pair.A, pair.B, err)
 	}
-	s, err := socialProximityFeature(sub, cache, cfg.K, cfg.FeatureDim, cfg.UsePathCounts)
+	s, err := socialProximityFeature(sub, cache, fp.K, fp.Dim, fp.UsePathCounts)
 	if err != nil {
 		return nil, err
 	}

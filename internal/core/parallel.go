@@ -6,11 +6,18 @@ import (
 )
 
 // parallelFor runs fn(i) for i in [0,n) across min(GOMAXPROCS, n) workers
-// and returns the first error (if any). Each index is processed exactly
+// and returns the first error (if any). Each index is processed at most
 // once; callers write results into index-addressed slots, so the output is
 // deterministic regardless of scheduling. With a single CPU the loop runs
 // inline, avoiding goroutine overhead on the machines the benchmarks
 // calibrate for.
+//
+// Error handling: once any fn call returns an error, no further fn calls
+// start — workers stop instead of draining the remaining indices.
+// In-flight calls run to completion, and the error of the lowest failing
+// index wins. That winner is deterministic: indices are handed out in
+// increasing order, so the lowest failing index is always started before
+// any later error can stop the fan-out.
 func parallelFor(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -29,10 +36,9 @@ func parallelFor(n int, fn func(i int) error) error {
 	}
 
 	var (
-		next int
-		mu   sync.Mutex
-
-		errOnce  sync.Once
+		mu       sync.Mutex
+		next     int
+		errIdx   int
 		firstErr error
 
 		wg sync.WaitGroup
@@ -40,12 +46,19 @@ func parallelFor(n int, fn func(i int) error) error {
 	grab := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= n {
+		if firstErr != nil || next >= n {
 			return 0, false
 		}
 		i := next
 		next++
 		return i, true
+	}
+	record := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil || i < errIdx {
+			firstErr, errIdx = err, i
+		}
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -57,7 +70,7 @@ func parallelFor(n int, fn func(i int) error) error {
 					return
 				}
 				if err := fn(i); err != nil {
-					errOnce.Do(func() { firstErr = err })
+					record(i, err)
 					return
 				}
 			}

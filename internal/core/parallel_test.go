@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/friendseeker/friendseeker/internal/metrics"
 	"github.com/friendseeker/friendseeker/internal/synth"
@@ -101,5 +102,86 @@ func TestInferParallelMatchesSerial(t *testing.T) {
 	}
 	if c.F1() <= 0.2 {
 		t.Errorf("parallel F1 = %.3f", c.F1())
+	}
+}
+
+// TestParallelForFirstErrorWinsDeterministically: the error of the lowest
+// failing index wins, regardless of which failure is observed first in
+// wall-clock time. Index 30 fails slowly, index 60 fails instantly; the
+// slow, lower-index error must be returned every time.
+func TestParallelForFirstErrorWinsDeterministically(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := parallelFor(200, func(i int) error {
+			switch i {
+			case 30:
+				time.Sleep(5 * time.Millisecond)
+				return errLow
+			case 60:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: error = %v, want errLow", trial, err)
+		}
+	}
+}
+
+// TestParallelForStopsSchedulingAfterError: once an error is recorded, no
+// further fn(i) calls start — without cancellation all n indices would
+// run; with it only the handful already in flight do.
+func TestParallelForStopsSchedulingAfterError(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	const n = 1000
+	var started int32
+	sentinel := errors.New("boom")
+	err := parallelFor(n, func(i int) error {
+		atomic.AddInt32(&started, 1)
+		if i == 0 {
+			return sentinel
+		}
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	// At most the workers that had already grabbed an index before the
+	// error was recorded (plus one grab races) can have started.
+	if got := atomic.LoadInt32(&started); got > 8 {
+		t.Errorf("%d calls started after early error, want <= 8", got)
+	}
+}
+
+// TestParallelForInlineErrorPath: the single-worker/inline path (n == 1 or
+// GOMAXPROCS == 1) propagates the error and stops at the failing index.
+func TestParallelForInlineErrorPath(t *testing.T) {
+	sentinel := errors.New("boom")
+	if err := parallelFor(1, func(int) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("n=1 error = %v, want sentinel", err)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	var calls int32
+	err := parallelFor(100, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		if i == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("inline error = %v, want sentinel", err)
+	}
+	if calls != 6 {
+		t.Errorf("inline path ran %d calls after error at index 5, want 6", calls)
 	}
 }

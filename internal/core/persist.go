@@ -12,8 +12,10 @@ import (
 	"github.com/friendseeker/friendseeker/internal/svm"
 )
 
-// modelFormatVersion guards against loading incompatible files.
-const modelFormatVersion = 1
+// modelFormatVersion guards against loading incompatible files. Version 2
+// stores the division's POI cells as a sorted slice (deterministic,
+// byte-stable encoding) instead of a map.
+const modelFormatVersion = 2
 
 // modelFile is the on-disk representation of a trained FriendSeeker.
 type modelFile struct {
@@ -30,7 +32,10 @@ type modelFile struct {
 
 // Save serialises the trained attack (STD, autoencoder weights, feature
 // scaler, KNN reference set, SVM support vectors) so Infer can run in a
-// later process without retraining. The format is Go gob.
+// later process without retraining. The format is Go gob. Save is
+// deterministic — saving the same model twice yields byte-identical
+// output — and inference never mutates the model, so the bytes written
+// here are independent of any Infer calls made before or after.
 func (fs *FriendSeeker) Save(w io.Writer) error {
 	if !fs.trained {
 		return ErrNotTrained
@@ -102,6 +107,9 @@ func Load(r io.Reader) (*FriendSeeker, error) {
 	out.ae = ae
 	out.phase1 = phase1
 	out.phase2 = phase2
+	// The effective dim is intrinsic to the trained autoencoder, so derive
+	// it from the restored weights rather than trusting a report field.
+	out.effDim = ae.Config().BottleneckDim
 	out.trainRep = mf.TrainReport
 	if len(mf.ScalerMean) > 0 {
 		if len(mf.ScalerMean) != len(mf.ScalerStd) {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
 	"github.com/friendseeker/friendseeker/internal/synth"
 )
 
@@ -78,6 +80,108 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	for i := range origPreds {
 		if origPreds[i] != restPreds[i] {
 			t.Fatalf("restored model diverges at pair %d", i)
+		}
+	}
+}
+
+// withUnseenPOIs returns a copy of ds extended with novel POIs (unknown
+// to any division trained on ds) plus check-ins at them by existing users.
+func withUnseenPOIs(t *testing.T, ds *checkin.Dataset) *checkin.Dataset {
+	t.Helper()
+	pois := ds.POIs()
+	var maxID checkin.POIID
+	for _, p := range pois {
+		if p.ID > maxID {
+			maxID = p.ID
+		}
+	}
+	novel := checkin.POI{
+		ID:     maxID + 1,
+		Center: geo.Point{Lat: pois[0].Center.Lat + 0.002, Lng: pois[0].Center.Lng + 0.002},
+	}
+	pois = append(pois, novel)
+
+	users := ds.Users()
+	if len(users) < 2 {
+		t.Fatal("need two users")
+	}
+	_, last := ds.Span()
+	cs := ds.AllCheckIns()
+	cs = append(cs,
+		checkin.CheckIn{User: users[0], POI: novel.ID, Time: last},
+		checkin.CheckIn{User: users[1], POI: novel.ID, Time: last},
+	)
+	out, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSaveUnchangedByInfer guards against cross-dataset leakage through
+// persistence: inferring on a target dataset with POIs the training STD
+// has never seen must not change what Save writes — the model file is
+// byte-identical before and after.
+func TestSaveUnchangedByInfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	w, err := synth.Generate(synth.Tiny(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(93)
+	cfg.Epochs = 10
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+
+	var before bytes.Buffer
+	if err := fs.Save(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	target := withUnseenPOIs(t, w.Dataset)
+	if _, _, err := fs.Infer(target, split.EvalPairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.InferAfterIterations(target, split.EvalPairs, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var after bytes.Buffer
+	if err := fs.Save(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("model bytes changed after Infer: %d -> %d bytes", before.Len(), after.Len())
+	}
+
+	// And inference on the original dataset is unaffected by the
+	// intervening target-dataset call (no contamination).
+	restored, err := Load(bytes.NewReader(before.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := restored.Infer(w.Dataset, split.EvalPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := fs.Infer(w.Dataset, split.EvalPairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("post-target inference diverges at pair %d", i)
 		}
 	}
 }

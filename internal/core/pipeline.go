@@ -19,14 +19,23 @@ import (
 // the supervised autoencoder, the phase-1 KNN classifier C and the
 // phase-2 SVM classifier C' on a labelled pair sample; Infer runs both
 // phases against a target dataset.
+//
+// Concurrency: Train and Save must not overlap with any other call. Once
+// trained (or loaded), the model is strictly read-only at inference time —
+// every per-call artefact (POI overlay, embedding cache, graphs) lives on
+// the call stack — so Infer and InferAfterIterations are safe to call from
+// any number of goroutines on the same model.
 type FriendSeeker struct {
 	cfg Config
 
-	div      *joc.Division
-	ae       *nn.SupervisedAutoencoder
-	scaler   *featureScaler
-	phase1   *knn.Classifier
-	phase2   *svm.Model
+	div    *joc.Division
+	ae     *nn.SupervisedAutoencoder
+	scaler *featureScaler
+	phase1 *knn.Classifier
+	phase2 *svm.Model
+	// effDim is the bottleneck width actually trained; it may be clamped
+	// below cfg.FeatureDim by a tiny STD, and cfg stays pristine.
+	effDim   int
 	trained  bool
 	trainRep *TrainReport
 }
@@ -88,11 +97,27 @@ func New(cfg Config) (*FriendSeeker, error) {
 	return &FriendSeeker{cfg: cfg}, nil
 }
 
-// Config returns the effective (defaults-filled) configuration.
+// Config returns the effective (defaults-filled) configuration, exactly
+// as the caller set it: Train never rewrites it.
 func (fs *FriendSeeker) Config() Config { return fs.cfg }
 
 // Trained reports whether Train has completed.
 func (fs *FriendSeeker) Trained() bool { return fs.trained }
+
+// EffectiveFeatureDim returns the bottleneck width the trained model
+// actually uses, which may be smaller than Config().FeatureDim when the
+// STD undercuts the requested dimension. Zero before Train.
+func (fs *FriendSeeker) EffectiveFeatureDim() int { return fs.effDim }
+
+// featureParams bundles the phase-2 feature knobs with the effective dim.
+func (fs *FriendSeeker) featureParams() featureParams {
+	return featureParams{
+		K:                 fs.cfg.K,
+		Dim:               fs.effDim,
+		MaxPathsPerLength: fs.cfg.MaxPathsPerLength,
+		UsePathCounts:     fs.cfg.UsePathCounts,
+	}
+}
 
 // TrainReport summarises a training run.
 type TrainReport struct {
@@ -100,6 +125,9 @@ type TrainReport struct {
 	InputDim int
 	// SpatialCells and TimeSlots are the STD dimensions.
 	SpatialCells, TimeSlots int
+	// EffectiveFeatureDim is the bottleneck width actually trained (the
+	// configured FeatureDim clamped to InputDim).
+	EffectiveFeatureDim int
 	// AutoencoderLoss holds the per-epoch combined losses of Algorithm 1.
 	AutoencoderLoss []float64
 	// Phase2Iterations is the number of refinement rounds the training
@@ -196,7 +224,7 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 		return fmt.Errorf("core: train autoencoder: %w", err)
 	}
 	fs.ae = ae
-	fs.cfg.FeatureDim = d
+	fs.effDim = d
 
 	// Phase 1b: KNN classifier C over bottleneck features.
 	h, err := ae.Encode(x)
@@ -233,13 +261,17 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 	// candidate pair set (pairs sharing a spatial grid, plus all labelled
 	// pairs); physically-implausible pairs are phase-1 negatives by
 	// construction and only enter the graph if a later round adds them.
-	cache := newEmbeddingCache(div, ae, ds, fs.scaler)
+	view, err := joc.NewDatasetView(div, ds)
+	if err != nil {
+		return fmt.Errorf("core: train view: %w", err)
+	}
+	cache := newEmbeddingCache(view, ae, fs.scaler)
 	labelled := make(map[checkin.Pair]int, len(pairs))
 	for i, p := range pairs {
 		cache.seed(pairs[i], embeds[i])
 		labelled[p] = i
 	}
-	idx := &sharedCellIndex{cells: div.UserSpatialCells(ds)}
+	idx := &sharedCellIndex{cells: view.UserSpatialCells()}
 	universe := make([]checkin.Pair, 0, len(pairs)*2)
 	universe = append(universe, pairs...)
 	users := ds.Users()
@@ -286,10 +318,11 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 	}
 
 	rep := &TrainReport{
-		InputDim:        inputDim,
-		SpatialCells:    div.NumSpatialCells(),
-		TimeSlots:       div.NumTimeSlots(),
-		AutoencoderLoss: stats.Loss,
+		InputDim:            inputDim,
+		SpatialCells:        div.NumSpatialCells(),
+		TimeSlots:           div.NumTimeSlots(),
+		EffectiveFeatureDim: d,
+		AutoencoderLoss:     stats.Loss,
 	}
 	r := rand.New(rand.NewSource(fs.cfg.Seed + 2))
 	var model *svm.Model
@@ -299,7 +332,7 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 		feats := make([][]float64, len(pairs))
 		frozenG := g
 		if err := parallelFor(len(pairs), func(i int) error {
-			f, err := compositeFeature(pairs[i], frozenG, cache, fs.cfg)
+			f, err := compositeFeature(pairs[i], frozenG, cache, fs.featureParams())
 			if err != nil {
 				return fmt.Errorf("core: composite feature: %w", err)
 			}
@@ -361,7 +394,7 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 				f = feats[li]
 			} else {
 				var err error
-				f, err = compositeFeature(p, frozenG, cache, fs.cfg)
+				f, err = compositeFeature(p, frozenG, cache, fs.featureParams())
 				if err != nil {
 					return fmt.Errorf("core: composite feature: %w", err)
 				}
@@ -449,6 +482,14 @@ func (s *sharedCellIndex) shares(a, b checkin.UserID) bool {
 	return false
 }
 
+// inferOpts overrides the phase-2 loop bounds for one inference call.
+// Carrying them per call (instead of rewriting fs.cfg, as an earlier
+// version did) keeps the model read-only during inference.
+type inferOpts struct {
+	maxIterations     int
+	convergeThreshold float64
+}
+
 // Infer runs the trained attack against a target dataset: phase 1 builds
 // the initial social graph from presence features; phase 2 iteratively
 // refines it with social-proximity features until fewer than
@@ -456,21 +497,39 @@ func (s *sharedCellIndex) shares(a, b checkin.UserID) bool {
 // pruning close-range strangers. It returns the final decision per queried
 // pair, aligned with pairs.
 //
+// Infer never mutates the model: target-dataset POIs the training STD has
+// never seen are resolved through a per-call joc.DatasetView overlay, so
+// Infer is safe to call from any number of goroutines on a trained or
+// loaded model, and repeated calls on different datasets cannot
+// contaminate each other.
+//
 // Candidate filtering (documented in DESIGN.md): pairs sharing no spatial
 // grid are phase-1 negatives without encoding, and pairs that additionally
 // have no path within K hops of the evolving graph stay negative without
 // an SVM evaluation. This bounds all-pairs inference while never skipping
 // a pair that either phase could possibly accept.
 func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, *InferReport, error) {
+	return fs.infer(ds, pairs, inferOpts{
+		maxIterations:     fs.cfg.MaxIterations,
+		convergeThreshold: fs.cfg.ConvergeThreshold,
+	})
+}
+
+// infer is the shared inference path behind Infer and
+// InferAfterIterations. It reads the trained model but never writes it.
+func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts inferOpts) ([]bool, *InferReport, error) {
 	if !fs.trained {
 		return nil, nil, ErrNotTrained
 	}
 	if len(pairs) == 0 {
 		return nil, nil, errors.New("core: no pairs to infer")
 	}
-	fs.div.AdoptPOIs(ds)
-	cache := newEmbeddingCache(fs.div, fs.ae, ds, fs.scaler)
-	idx := &sharedCellIndex{cells: fs.div.UserSpatialCells(ds)}
+	view, err := joc.NewDatasetView(fs.div, ds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: infer view: %w", err)
+	}
+	cache := newEmbeddingCache(view, fs.ae, fs.scaler)
+	idx := &sharedCellIndex{cells: view.UserSpatialCells()}
 
 	// Phase 1: presence features + C. Candidate pairs are scored in
 	// parallel (index-addressed writes keep the result deterministic);
@@ -484,7 +543,7 @@ func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool
 		g.AddNode(p.B)
 		candidate[i] = idx.shares(p.A, p.B)
 	}
-	err := parallelFor(len(pairs), func(i int) error {
+	err = parallelFor(len(pairs), func(i int) error {
 		if !candidate[i] {
 			return nil
 		}
@@ -518,9 +577,11 @@ func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool
 	// Phase 2: iterate C' over composite features. Per iteration, the
 	// serial pre-pass decides which pairs need evaluation (reachability is
 	// memoised per source), the expensive feature + SVM work fans out in
-	// parallel, and the graph update is serial.
+	// parallel, and the graph update is serial. With a zero iteration
+	// budget the loop is skipped and the phase-1 decisions stand.
 	decisions := make([]bool, len(pairs))
-	for iter := 0; iter < fs.cfg.MaxIterations; iter++ {
+	copy(decisions, positive)
+	for iter := 0; iter < opts.maxIterations; iter++ {
 		reach := make(map[checkin.UserID]map[checkin.UserID]int)
 		within := func(a, b checkin.UserID) bool {
 			d, ok := reach[a]
@@ -545,7 +606,7 @@ func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool
 				return nil
 			}
 			p := pairs[i]
-			f, err := compositeFeature(p, frozen, cache, fs.cfg)
+			f, err := compositeFeature(p, frozen, cache, fs.featureParams())
 			if err != nil {
 				return err
 			}
@@ -576,7 +637,7 @@ func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool
 		rep.DiffRatios = append(rep.DiffRatios, diff)
 		rep.Iterations = iter + 1
 		g = next
-		if diff < fs.cfg.ConvergeThreshold {
+		if diff < opts.convergeThreshold {
 			break
 		}
 	}
@@ -586,39 +647,17 @@ func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool
 
 // InferAfterIterations is Infer with an explicit round budget, used by the
 // Fig. 10 experiment (accuracy as a function of iteration count). A budget
-// of 0 returns the phase-1 decisions.
+// of 0 returns the phase-1 decisions. Like Infer it never mutates the
+// model, so it too is safe for concurrent use.
 func (fs *FriendSeeker) InferAfterIterations(ds *checkin.Dataset, pairs []checkin.Pair, rounds int) ([]bool, error) {
-	if !fs.trained {
-		return nil, ErrNotTrained
+	if rounds < 0 {
+		rounds = 0
 	}
-	saved := fs.cfg
-	fs.cfg.MaxIterations = rounds
 	// Force every requested round to run by disabling early convergence
-	// (threshold cannot be zero, so use a tiny epsilon).
-	fs.cfg.ConvergeThreshold = 1e-12
-	defer func() { fs.cfg = saved }()
-
-	if rounds == 0 {
-		fs.div.AdoptPOIs(ds)
-		cache := newEmbeddingCache(fs.div, fs.ae, ds, fs.scaler)
-		idx := &sharedCellIndex{cells: fs.div.UserSpatialCells(ds)}
-		out := make([]bool, len(pairs))
-		for i, p := range pairs {
-			if !idx.shares(p.A, p.B) {
-				continue
-			}
-			h, err := cache.get(p)
-			if err != nil {
-				return nil, err
-			}
-			score, err := fs.phase1.PredictProba(h)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = score >= fs.cfg.Phase1Threshold
-		}
-		return out, nil
-	}
-	decisions, _, err := fs.Infer(ds, pairs)
+	// (the threshold cannot be zero, so use a tiny epsilon).
+	decisions, _, err := fs.infer(ds, pairs, inferOpts{
+		maxIterations:     rounds,
+		convergeThreshold: 1e-12,
+	})
 	return decisions, err
 }

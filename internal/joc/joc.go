@@ -120,6 +120,18 @@ func (d *Division) SpatialCellOfPOI(p checkin.POIID) (int, bool) {
 	return c, ok
 }
 
+// cellResolver maps a POI to its spatial grid. Division resolves from the
+// cells fixed at build time; DatasetView adds a read-only overlay for POIs
+// the division has never seen.
+type cellResolver interface {
+	poiCellOf(p checkin.POIID) (int, bool)
+}
+
+func (d *Division) poiCellOf(p checkin.POIID) (int, bool) {
+	c, ok := d.poiCell[p]
+	return c, ok
+}
+
 // TimeSlot returns the slot index of an instant, clamped to [0, J).
 func (d *Division) TimeSlot(t time.Time) int {
 	if t.Before(d.start) {
@@ -201,8 +213,14 @@ func (o *JOC) Flatten() []float64 {
 
 // Build constructs the JOC of pair (a,b) over the division. Check-ins at
 // POIs outside the division's POI universe are skipped (they cannot occur
-// for datasets the division was built from).
+// for datasets the division was built from; target datasets with unseen
+// POIs go through a DatasetView).
 func (d *Division) Build(ds *checkin.Dataset, a, b checkin.UserID) (*JOC, error) {
+	return buildJOC(d, d, ds, a, b)
+}
+
+// buildJOC is the shared JOC construction over any cell resolver.
+func buildJOC(d *Division, res cellResolver, ds *checkin.Dataset, a, b checkin.UserID) (*JOC, error) {
 	ta, err := ds.Trajectory(a)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, a)
@@ -226,10 +244,11 @@ func (d *Division) Build(ds *checkin.Dataset, a, b checkin.UserID) (*JOC, error)
 
 	cast := func(tr checkin.Trajectory, counts []float64, pois map[int]map[checkin.POIID]struct{}) {
 		for _, c := range tr.CheckIns {
-			i, j, ok := d.CellOf(c)
+			i, ok := res.poiCellOf(c.POI)
 			if !ok {
 				continue
 			}
+			j := d.TimeSlot(c.Time)
 			k := o.cellIdx(i, j)
 			counts[k]++
 			s, ok := pois[k]
@@ -270,23 +289,16 @@ func (d *Division) BuildFlattened(ds *checkin.Dataset, a, b checkin.UserID) ([]f
 	return o.Flatten(), nil
 }
 
-// AdoptPOIs registers any POIs of ds not yet known to the division,
-// resolving them to grids by (clamped) location. The attacker's STD is
-// fixed at training time; target datasets with previously unseen POIs are
-// cast into the same grids (the attack model allows disjoint user and POI
-// universes between training and target data).
-func (d *Division) AdoptPOIs(ds *checkin.Dataset) {
-	for _, p := range ds.POIs() {
-		if _, known := d.poiCell[p.ID]; !known {
-			d.poiCell[p.ID] = d.sd.LocateClamped(p.Center)
-		}
-	}
-}
-
 // UserSpatialCells returns, per user, the set of spatial grid indices the
 // user has check-ins in. Candidate generation uses shared grids as a cheap
 // physical-proximity filter.
 func (d *Division) UserSpatialCells(ds *checkin.Dataset) map[checkin.UserID]map[int]struct{} {
+	return userSpatialCells(d, ds)
+}
+
+// userSpatialCells is the shared per-user grid-set computation over any
+// cell resolver.
+func userSpatialCells(res cellResolver, ds *checkin.Dataset) map[checkin.UserID]map[int]struct{} {
 	out := make(map[checkin.UserID]map[int]struct{}, ds.NumUsers())
 	for _, u := range ds.Users() {
 		tr, err := ds.Trajectory(u)
@@ -295,7 +307,7 @@ func (d *Division) UserSpatialCells(ds *checkin.Dataset) map[checkin.UserID]map[
 		}
 		s := make(map[int]struct{})
 		for _, c := range tr.CheckIns {
-			if cell, ok := d.poiCell[c.POI]; ok {
+			if cell, ok := res.poiCellOf(c.POI); ok {
 				s[cell] = struct{}{}
 			}
 		}

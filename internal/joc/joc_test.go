@@ -306,3 +306,137 @@ func TestDivisionSnapshotRoundTrip(t *testing.T) {
 		t.Error("nil snapshot should fail")
 	}
 }
+
+// targetDataset extends smallDataset with a POI the division has never
+// seen (ID 5, co-located with POI 1) plus check-ins at it, mimicking a
+// target dataset whose POI universe is disjoint from the training data.
+func targetDataset(t *testing.T) *checkin.Dataset {
+	t.Helper()
+	pois := []checkin.POI{
+		{ID: 1, Center: geo.Point{Lat: 30.1, Lng: 120.1}},
+		{ID: 2, Center: geo.Point{Lat: 30.1, Lng: 121.9}},
+		{ID: 3, Center: geo.Point{Lat: 31.9, Lng: 120.1}},
+		{ID: 4, Center: geo.Point{Lat: 31.9, Lng: 121.9}},
+		{ID: 5, Center: geo.Point{Lat: 30.11, Lng: 120.11}},
+	}
+	cs := []checkin.CheckIn{
+		{User: 10, POI: 1, Time: t0.Add(1 * day)},
+		{User: 10, POI: 5, Time: t0.Add(2 * day)},
+		{User: 20, POI: 5, Time: t0.Add(2 * day)},
+		{User: 30, POI: 4, Time: t0.Add(15 * day)},
+	}
+	ds, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetViewResolvesUnseenPOIsWithoutMutation(t *testing.T) {
+	train := smallDataset(t)
+	d, err := NewDivision(train, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Snapshot()
+
+	target := targetDataset(t)
+	v, err := NewDatasetView(d, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.UnseenPOIs() != 1 {
+		t.Errorf("UnseenPOIs = %d, want 1", v.UnseenPOIs())
+	}
+	if v.Division() != d || v.Dataset() != target {
+		t.Error("view does not expose its division/dataset")
+	}
+	if v.InputDim() != d.InputDim() {
+		t.Errorf("view InputDim = %d, want %d", v.InputDim(), d.InputDim())
+	}
+
+	// The division never learns POI 5; the view resolves it to POI 1's
+	// grid (same corner of the region).
+	if _, ok := d.SpatialCellOfPOI(5); ok {
+		t.Fatal("division adopted the unseen POI")
+	}
+	cell5, ok := v.SpatialCellOfPOI(5)
+	if !ok {
+		t.Fatal("view cannot resolve the unseen POI")
+	}
+	cell1, _ := d.SpatialCellOfPOI(1)
+	if cell5 != cell1 {
+		t.Errorf("unseen POI resolved to cell %d, want %d", cell5, cell1)
+	}
+
+	// Check-ins at the unseen POI count: users 10 and 20 share POI 5 in
+	// slot 0, so the JOC has co-occurrence there.
+	o, err := v.Build(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb, nab := o.At(cell1, 0)
+	if na < 2 || nb < 1 || nab < 1 {
+		t.Errorf("view JOC cell (%d,0) = (%v,%v,%v), want co-occurrence", cell1, na, nb, nab)
+	}
+	cells := v.UserSpatialCells()
+	if _, ok := cells[20][cell1]; !ok {
+		t.Error("user 20's unseen-POI check-in missing from spatial cells")
+	}
+
+	// The division is byte-identical to its pre-view snapshot.
+	after := d.Snapshot()
+	if len(before.POICells) != len(after.POICells) {
+		t.Fatalf("division POI cells changed: %d -> %d", len(before.POICells), len(after.POICells))
+	}
+	for i := range before.POICells {
+		if before.POICells[i] != after.POICells[i] {
+			t.Fatalf("division POI cell %d changed", i)
+		}
+	}
+}
+
+func TestDatasetViewMatchesDivisionOnTrainingData(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewDatasetView(d, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.UnseenPOIs() != 0 {
+		t.Errorf("UnseenPOIs = %d on the division's own dataset", v.UnseenPOIs())
+	}
+	want, err := d.BuildFlattened(ds, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.BuildFlattened(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("view JOC differs from division JOC at %d", i)
+		}
+	}
+	if _, err := v.Build(10, 999); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown user error = %v", err)
+	}
+}
+
+func TestDatasetViewValidation(t *testing.T) {
+	ds := smallDataset(t)
+	d, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDatasetView(nil, ds); err == nil {
+		t.Error("nil division should fail")
+	}
+	if _, err := NewDatasetView(d, nil); err == nil {
+		t.Error("nil dataset should fail")
+	}
+}

@@ -3,15 +3,25 @@ package joc
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/geo"
 )
 
+// POICellEntry pins one POI's resolved grid in a snapshot.
+type POICellEntry struct {
+	POI  checkin.POIID
+	Cell int
+}
+
 // Snapshot is the serialisable state of a Division. The spatial division
 // is rebuilt deterministically from the original build points plus its
 // shape parameters (sigma for quadtrees, rows/cols for uniform grids).
+// POI cells are stored as a slice sorted by POI ID — not a map — so that
+// encoding a snapshot is deterministic and saving the same model twice
+// yields byte-identical output.
 type Snapshot struct {
 	Sigma      int
 	Rows, Cols int
@@ -19,17 +29,18 @@ type Snapshot struct {
 	Start      time.Time
 	Slots      int
 	Points     []geo.Point
-	POICells   map[checkin.POIID]int
+	POICells   []POICellEntry
 }
 
 // Snapshot captures the division.
 func (d *Division) Snapshot() *Snapshot {
 	points := make([]geo.Point, len(d.points))
 	copy(points, d.points)
-	cells := make(map[checkin.POIID]int, len(d.poiCell))
+	cells := make([]POICellEntry, 0, len(d.poiCell))
 	for k, v := range d.poiCell {
-		cells[k] = v
+		cells = append(cells, POICellEntry{POI: k, Cell: v})
 	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].POI < cells[j].POI })
 	return &Snapshot{
 		Sigma:    d.sigma,
 		Rows:     d.rows,
@@ -69,11 +80,11 @@ func Restore(snap *Snapshot) (*Division, error) {
 	points := make([]geo.Point, len(snap.Points))
 	copy(points, snap.Points)
 	cells := make(map[checkin.POIID]int, len(snap.POICells))
-	for k, v := range snap.POICells {
-		if v < 0 || v >= sd.NumCells() {
-			return nil, fmt.Errorf("joc: snapshot cell %d out of range [0,%d)", v, sd.NumCells())
+	for _, e := range snap.POICells {
+		if e.Cell < 0 || e.Cell >= sd.NumCells() {
+			return nil, fmt.Errorf("joc: snapshot cell %d out of range [0,%d)", e.Cell, sd.NumCells())
 		}
-		cells[k] = v
+		cells[e.POI] = e.Cell
 	}
 	return &Division{
 		sd:      sd,

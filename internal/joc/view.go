@@ -1,0 +1,90 @@
+package joc
+
+import (
+	"errors"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// DatasetView binds a Division to a target dataset for inference. The
+// attacker's STD is fixed at training time; target datasets may carry
+// previously unseen POIs (the attack model allows disjoint user and POI
+// universes between training and target data). A view resolves those POIs
+// to grids by (clamped) location in a per-view overlay, leaving the
+// Division itself untouched — the overlay is built once at construction
+// and read-only afterwards, so a single trained Division can back any
+// number of concurrent views.
+type DatasetView struct {
+	div     *Division
+	ds      *checkin.Dataset
+	overlay map[checkin.POIID]int // POIs unknown to div; immutable after NewDatasetView
+}
+
+// NewDatasetView resolves every POI of ds that the division has never
+// seen and returns the resulting read-only view.
+func NewDatasetView(div *Division, ds *checkin.Dataset) (*DatasetView, error) {
+	if div == nil {
+		return nil, errors.New("joc: nil division")
+	}
+	if ds == nil {
+		return nil, errors.New("joc: nil dataset")
+	}
+	v := &DatasetView{div: div, ds: ds}
+	for _, p := range ds.POIs() {
+		if _, known := div.poiCell[p.ID]; !known {
+			if v.overlay == nil {
+				v.overlay = make(map[checkin.POIID]int)
+			}
+			v.overlay[p.ID] = div.sd.LocateClamped(p.Center)
+		}
+	}
+	return v, nil
+}
+
+// Division returns the underlying (shared, read-only) division.
+func (v *DatasetView) Division() *Division { return v.div }
+
+// Dataset returns the bound target dataset.
+func (v *DatasetView) Dataset() *checkin.Dataset { return v.ds }
+
+// UnseenPOIs returns how many POIs of the target dataset were unknown to
+// the division and are resolved through the overlay.
+func (v *DatasetView) UnseenPOIs() int { return len(v.overlay) }
+
+// InputDim returns the flattened JOC width of the underlying division.
+func (v *DatasetView) InputDim() int { return v.div.InputDim() }
+
+// poiCellOf implements cellResolver: division cells first, overlay second.
+func (v *DatasetView) poiCellOf(p checkin.POIID) (int, bool) {
+	if c, ok := v.div.poiCell[p]; ok {
+		return c, true
+	}
+	c, ok := v.overlay[p]
+	return c, ok
+}
+
+// SpatialCellOfPOI returns the grid index of a POI, consulting the overlay
+// for POIs the division has never seen.
+func (v *DatasetView) SpatialCellOfPOI(p checkin.POIID) (int, bool) {
+	return v.poiCellOf(p)
+}
+
+// Build constructs the JOC of pair (a,b) over the view's dataset.
+func (v *DatasetView) Build(a, b checkin.UserID) (*JOC, error) {
+	return buildJOC(v.div, v, v.ds, a, b)
+}
+
+// BuildFlattened builds and flattens in one step.
+func (v *DatasetView) BuildFlattened(a, b checkin.UserID) ([]float64, error) {
+	o, err := v.Build(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return o.Flatten(), nil
+}
+
+// UserSpatialCells returns, per user of the view's dataset, the set of
+// spatial grid indices the user has check-ins in.
+func (v *DatasetView) UserSpatialCells() map[checkin.UserID]map[int]struct{} {
+	return userSpatialCells(v, v.ds)
+}
