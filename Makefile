@@ -4,8 +4,11 @@
 # the Train-once/Infer-concurrently contract is enforced.
 
 GO ?= go
+# Repetitions per benchmark; raise (e.g. BENCH_COUNT=10) for benchstat
+# confidence intervals.
+BENCH_COUNT ?= 5
 
-.PHONY: all vet build test race check
+.PHONY: all vet build test race check bench
 
 all: check
 
@@ -18,7 +21,18 @@ build:
 test:
 	$(GO) test ./...
 
+# The race detector slows the core suite ~10-15x, far past go test's
+# default 10-minute timeout, hence the explicit -timeout.
 race:
-	$(GO) test -race ./internal/core/... .
+	$(GO) test -race -timeout 90m ./internal/core/... .
 
 check: vet build test race
+
+# Micro-benchmarks of the batched scoring kernels plus the end-to-end
+# attack. Output is benchstat-comparable: redirect to a file before and
+# after a change and run `benchstat old.txt new.txt`.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMulKernels|BenchmarkEncodeBatch|BenchmarkSVMPredictBatch|BenchmarkKNNPredictBatch' \
+		-benchmem -count=$(BENCH_COUNT) \
+		./internal/tensor ./internal/nn ./internal/svm ./internal/knn
+	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndAttack' -benchmem -count=$(BENCH_COUNT) -timeout 60m .

@@ -117,6 +117,7 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 		b.Fatal(err)
 	}
 	pairs, _ := world.FullView().AllPairs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		attack, err := New(Config{Sigma: 120, FeatureDim: 16, Epochs: 12, Seed: 3})

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/graph"
+	"github.com/friendseeker/friendseeker/internal/svm"
+)
+
+// phase2Features computes composite features for every pair with eval[i]
+// set (or every pair when eval is nil) against the frozen graph g, in
+// three batched stages:
+//
+//  1. the k-hop reachable subgraphs fan out in parallel (pure graph work,
+//     no embeddings touched);
+//  2. a prefetch pass collects every edge embedding those subgraphs will
+//     need and batch-encodes the still-missing ones through one forward
+//     pass per chunk;
+//  3. the features assemble in parallel from what are now pure cache hits.
+//
+// The returned slice is aligned with pairs; skipped entries stay nil.
+func phase2Features(pairs []checkin.Pair, eval []bool, g *graph.Graph, cache *embeddingCache, fp featureParams) ([][]float64, error) {
+	n := len(pairs)
+	subs := make([]*graph.ReachableSubgraph, n)
+	// One Khopper per worker: the CSR index is built a handful of times per
+	// batch instead of deep-copying the graph once per pair, and all BFS/DFS
+	// scratch is reused across the pairs a worker processes.
+	opts := []graph.KHopOption{graph.WithMaxPathsPerLength(fp.MaxPathsPerLength)}
+	khPool := sync.Pool{New: func() any { return graph.NewKhopper(g) }}
+	if err := parallelFor(n, func(i int) error {
+		if eval != nil && !eval[i] {
+			return nil
+		}
+		kh := khPool.Get().(*graph.Khopper)
+		sub, err := kh.Subgraph(pairs[i].A, pairs[i].B, fp.K, opts...)
+		khPool.Put(kh)
+		if err != nil {
+			return fmt.Errorf("core: subgraph for pair (%d,%d): %w", pairs[i].A, pairs[i].B, err)
+		}
+		subs[i] = sub
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var frontier []checkin.Pair
+	for i, sub := range subs {
+		if sub != nil {
+			frontier = subgraphEdgePairs(frontier, pairs[i], sub)
+		}
+	}
+	if err := cache.encodeMissing(frontier); err != nil {
+		return nil, err
+	}
+
+	feats := make([][]float64, n)
+	if err := parallelFor(n, func(i int) error {
+		if subs[i] == nil {
+			return nil
+		}
+		f, err := compositeFromSub(pairs[i], subs[i], cache, fp)
+		if err != nil {
+			return fmt.Errorf("core: composite feature: %w", err)
+		}
+		feats[i] = f
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return feats, nil
+}
+
+// svmScores runs the batched SVM path over the non-nil rows of feats and
+// returns scores aligned with feats (zero where the feature is nil).
+func svmScores(model *svm.Model, feats [][]float64) ([]float64, error) {
+	idx := make([]int, 0, len(feats))
+	packed := make([][]float64, 0, len(feats))
+	for i, f := range feats {
+		if f != nil {
+			idx = append(idx, i)
+			packed = append(packed, f)
+		}
+	}
+	batch, err := model.PredictProbaBatch(packed)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase-2 predict: %w", err)
+	}
+	scores := make([]float64, len(feats))
+	for j, i := range idx {
+		scores[i] = batch[j]
+	}
+	return scores, nil
+}

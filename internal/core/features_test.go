@@ -19,7 +19,7 @@ func stubCache(d int, vecs map[checkin.Pair][]float64) *embeddingCache {
 		}
 		mem[p] = v
 	}
-	return &embeddingCache{mem: mem}
+	return &embeddingCache{mem: mem, inflight: make(map[checkin.Pair]*flight)}
 }
 
 func TestSocialProximityFeatureSums(t *testing.T) {

@@ -176,21 +176,28 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 	}
 	fs.div = div
 
-	// Phase 1a: JOCs and Algorithm 1.
+	// Phase 1a: JOCs and Algorithm 1. All training JOCs build in parallel
+	// straight into the batch matrix.
 	inputDim := div.InputDim()
 	x := tensor.New(len(pairs), inputDim)
 	y01 := make([]float64, len(pairs))
 	yInt := make([]int, len(pairs))
-	for i, p := range pairs {
+	for i := range pairs {
+		if labels[i] {
+			y01[i] = 1
+			yInt[i] = 1
+		}
+	}
+	if err := parallelFor(len(pairs), func(i int) error {
+		p := pairs[i]
 		v, err := div.BuildFlattened(ds, p.A, p.B)
 		if err != nil {
 			return fmt.Errorf("core: train joc %d: %w", i, err)
 		}
 		copy(x.Row(i), v)
-		if labels[i] {
-			y01[i] = 1
-			yInt[i] = 1
-		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	if !fs.cfg.NoStandardize {
 		fs.scaler = fitScaler(x)
@@ -287,28 +294,45 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 		}
 	}
 
+	// Unlabelled universe pairs batch: JOCs build in parallel, one forward
+	// pass encodes them, one batched KNN call scores them. Labelled pairs
+	// go through leave-one-out instead: in-sample KNN predictions are
+	// trivially perfect (the query is its own nearest neighbour), which
+	// would seed C' with a noise-free graph it never sees at inference
+	// time.
+	unlabelled := make([]checkin.Pair, 0, len(universe))
+	for _, p := range universe {
+		if _, ok := labelled[p]; !ok {
+			unlabelled = append(unlabelled, p)
+		}
+	}
+	if err := cache.encodeMissing(unlabelled); err != nil {
+		return err
+	}
+	uEmbeds, err := cache.getAll(unlabelled)
+	if err != nil {
+		return err
+	}
+	uScores, err := c1.PredictProbaBatch(uEmbeds)
+	if err != nil {
+		return fmt.Errorf("core: phase-1 predict: %w", err)
+	}
+	scoreOf := make(map[checkin.Pair]float64, len(unlabelled))
+	for i, p := range unlabelled {
+		scoreOf[p] = uScores[i]
+	}
+
 	g := graph.NewGraph()
 	for _, u := range users {
 		g.AddNode(u)
 	}
 	for _, p := range universe {
-		var score float64
-		if li, ok := labelled[p]; ok {
-			// Leave-one-out: in-sample KNN predictions are trivially
-			// perfect (the query is its own nearest neighbour), which
-			// would seed C' with a noise-free graph it never sees at
-			// inference time.
-			score, err = c1.PredictProbaLOO(li)
-		} else {
-			var h []float64
-			h, err = cache.get(p)
+		score, ok := scoreOf[p]
+		if !ok {
+			score, err = c1.PredictProbaLOO(labelled[p])
 			if err != nil {
-				return err
+				return fmt.Errorf("core: phase-1 predict: %w", err)
 			}
-			score, err = c1.PredictProba(h)
-		}
-		if err != nil {
-			return fmt.Errorf("core: phase-1 predict: %w", err)
 		}
 		if score >= fs.cfg.Phase1Threshold {
 			if err := g.AddEdge(p.A, p.B); err != nil {
@@ -325,20 +349,16 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 		AutoencoderLoss:     stats.Loss,
 	}
 	r := rand.New(rand.NewSource(fs.cfg.Seed + 2))
+	fp := fs.featureParams()
 	var model *svm.Model
 	for iter := 0; iter < fs.cfg.MaxIterations; iter++ {
 		// Fit C' on the labelled pairs' composite features under the
-		// current graph.
-		feats := make([][]float64, len(pairs))
+		// current graph: subgraphs fan out in parallel, the round's
+		// missing edge embeddings batch-encode once, then the features
+		// assemble from cache hits.
 		frozenG := g
-		if err := parallelFor(len(pairs), func(i int) error {
-			f, err := compositeFeature(pairs[i], frozenG, cache, fs.featureParams())
-			if err != nil {
-				return fmt.Errorf("core: composite feature: %w", err)
-			}
-			feats[i] = f
-			return nil
-		}); err != nil {
+		feats, err := phase2Features(pairs, nil, frozenG, cache, fp)
+		if err != nil {
 			return err
 		}
 		trainX, trainY := feats, yInt
@@ -377,36 +397,37 @@ func (fs *FriendSeeker) Train(ds *checkin.Dataset, pairs []checkin.Pair, labels 
 			return ok
 		}
 		// Serial pre-pass: which universe pairs need evaluation (the
-		// reachability memo is not thread-safe).
+		// reachability memo is not thread-safe). Labelled pairs reuse the
+		// features just computed against the same frozen graph; the rest
+		// go through the batched subgraph/prefetch/score pipeline.
 		evaluate := make([]bool, len(universe))
+		needFeature := make([]bool, len(universe))
 		for i, p := range universe {
 			_, isLabelled := labelled[p]
 			evaluate[i] = isLabelled || idx.shares(p.A, p.B) || within(p.A, p.B)
+			needFeature[i] = evaluate[i] && !isLabelled
+		}
+		uFeats, err := phase2Features(universe, needFeature, frozenG, cache, fp)
+		if err != nil {
+			return err
+		}
+		for i, p := range universe {
+			if !evaluate[i] {
+				continue
+			}
+			if li, ok := labelled[p]; ok {
+				uFeats[i] = feats[li]
+			}
+		}
+		scores, err := svmScores(model, uFeats)
+		if err != nil {
+			return err
 		}
 		accept := make([]bool, len(universe))
-		if err := parallelFor(len(universe), func(i int) error {
-			if !evaluate[i] {
-				return nil
+		for i, p := range universe {
+			if evaluate[i] {
+				accept[i] = fs.edgeDecision(scores[i], frozenG.HasEdge(p.A, p.B))
 			}
-			p := universe[i]
-			var f []float64
-			if li, ok := labelled[p]; ok {
-				f = feats[li]
-			} else {
-				var err error
-				f, err = compositeFeature(p, frozenG, cache, fs.featureParams())
-				if err != nil {
-					return fmt.Errorf("core: composite feature: %w", err)
-				}
-			}
-			score, err := model.PredictProba(f)
-			if err != nil {
-				return fmt.Errorf("core: phase-2 predict: %w", err)
-			}
-			accept[i] = fs.edgeDecision(score, frozenG.HasEdge(p.A, p.B))
-			return nil
-		}); err != nil {
-			return err
 		}
 		for i, p := range universe {
 			if accept[i] {
@@ -531,35 +552,37 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 	cache := newEmbeddingCache(view, fs.ae, fs.scaler)
 	idx := &sharedCellIndex{cells: view.UserSpatialCells()}
 
-	// Phase 1: presence features + C. Candidate pairs are scored in
-	// parallel (index-addressed writes keep the result deterministic);
-	// the graph is assembled serially afterwards.
+	// Phase 1: presence features + C. All candidate JOCs build in
+	// parallel into one batch, encode through a single forward pass, and
+	// score through the batched KNN path.
 	g := graph.NewGraph()
 	phase1Preds := make(map[checkin.Pair]bool, len(pairs))
 	candidate := make([]bool, len(pairs))
 	positive := make([]bool, len(pairs))
+	candPairs := make([]checkin.Pair, 0, len(pairs))
+	candIdx := make([]int, 0, len(pairs))
 	for i, p := range pairs {
 		g.AddNode(p.A)
 		g.AddNode(p.B)
 		candidate[i] = idx.shares(p.A, p.B)
+		if candidate[i] {
+			candPairs = append(candPairs, p)
+			candIdx = append(candIdx, i)
+		}
 	}
-	err = parallelFor(len(pairs), func(i int) error {
-		if !candidate[i] {
-			return nil
-		}
-		h, err := cache.get(pairs[i])
-		if err != nil {
-			return err
-		}
-		score, err := fs.phase1.PredictProba(h)
-		if err != nil {
-			return fmt.Errorf("core: phase-1 predict: %w", err)
-		}
-		positive[i] = score >= fs.cfg.Phase1Threshold
-		return nil
-	})
+	if err := cache.encodeMissing(candPairs); err != nil {
+		return nil, nil, err
+	}
+	embeds, err := cache.getAll(candPairs)
 	if err != nil {
 		return nil, nil, err
+	}
+	scores, err := fs.phase1.PredictProbaBatch(embeds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: phase-1 predict: %w", err)
+	}
+	for j, i := range candIdx {
+		positive[i] = scores[j] >= fs.cfg.Phase1Threshold
 	}
 	for i, p := range pairs {
 		phase1Preds[p] = positive[i]
@@ -576,9 +599,12 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 
 	// Phase 2: iterate C' over composite features. Per iteration, the
 	// serial pre-pass decides which pairs need evaluation (reachability is
-	// memoised per source), the expensive feature + SVM work fans out in
-	// parallel, and the graph update is serial. With a zero iteration
-	// budget the loop is skipped and the phase-1 decisions stand.
+	// memoised per source), a prefetch pass walks the round's subgraphs
+	// and batch-encodes every still-missing edge embedding, the composite
+	// features assemble in parallel from cache hits, and one batched SVM
+	// call scores every evaluated pair. With a zero iteration budget the
+	// loop is skipped and the phase-1 decisions stand.
+	fp := fs.featureParams()
 	decisions := make([]bool, len(pairs))
 	copy(decisions, positive)
 	for iter := 0; iter < opts.maxIterations; iter++ {
@@ -601,24 +627,18 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		}
 
 		frozen := g // read-only within the parallel section
-		err := parallelFor(len(pairs), func(i int) error {
-			if !evaluate[i] {
-				return nil
-			}
-			p := pairs[i]
-			f, err := compositeFeature(p, frozen, cache, fs.featureParams())
-			if err != nil {
-				return err
-			}
-			score, err := fs.phase2.PredictProba(f)
-			if err != nil {
-				return fmt.Errorf("core: phase-2 predict: %w", err)
-			}
-			decisions[i] = fs.edgeDecision(score, frozen.HasEdge(p.A, p.B))
-			return nil
-		})
+		feats, err := phase2Features(pairs, evaluate, frozen, cache, fp)
 		if err != nil {
 			return nil, nil, err
+		}
+		scores, err := svmScores(fs.phase2, feats)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, p := range pairs {
+			if evaluate[i] {
+				decisions[i] = fs.edgeDecision(scores[i], frozen.HasEdge(p.A, p.B))
+			}
 		}
 
 		next := graph.NewGraph()

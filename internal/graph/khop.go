@@ -102,6 +102,11 @@ func WithMaxPathsPerLength(n int) KHopOption {
 //	        graph, add them, then exclude their intermediate vertices (and
 //	        hence all their edges) from the working graph.
 //	Step 3: l++; repeat until l > k.
+//
+// KHopReachableSubgraph is the one-shot form: it indexes g and extracts a
+// single subgraph. Callers extracting subgraphs for many pairs of the same
+// graph should build one Khopper per worker and call Subgraph on it, which
+// amortises the indexing and reuses all traversal scratch.
 func KHopReachableSubgraph(g *Graph, a, b checkin.UserID, k int, opts ...KHopOption) (*ReachableSubgraph, error) {
 	if a == b {
 		return nil, fmt.Errorf("graph: k-hop subgraph of identical endpoints %d", a)
@@ -109,88 +114,7 @@ func KHopReachableSubgraph(g *Graph, a, b checkin.UserID, k int, opts ...KHopOpt
 	if k < 2 {
 		return nil, fmt.Errorf("graph: k must be >= 2, got %d", k)
 	}
-	cfg := khopConfig{}
-	for _, o := range opts {
-		o(&cfg)
-	}
-
-	sub := &ReachableSubgraph{A: a, B: b, K: k, PathsByLen: make(map[int][]Path, k-1)}
-	if !g.HasNode(a) || !g.HasNode(b) {
-		return sub, nil
-	}
-
-	work := g.Clone()
-	// The direct edge can never lie on a length>=2 simple path between a
-	// and b, but removing it makes the induced-path guarantee of Theorem 1
-	// exact for pairs that are already connected.
-	work.RemoveEdge(a, b)
-
-	for l := 2; l <= k; l++ {
-		paths := pathsOfLength(work, a, b, l, cfg.maxPathsPerLen)
-		if len(paths) == 0 {
-			continue
-		}
-		sub.PathsByLen[l] = paths
-		for _, p := range paths {
-			for _, v := range p[1 : len(p)-1] {
-				work.RemoveNode(v)
-			}
-		}
-	}
-	return sub, nil
-}
-
-// pathsOfLength enumerates simple paths of exactly length l between a and b
-// via depth-limited DFS with distance pruning. Neighbour expansion follows
-// ascending user-ID order, so results are deterministic.
-func pathsOfLength(g *Graph, a, b checkin.UserID, l, maxPaths int) []Path {
-	distToB := g.BFSDistances(b, l)
-	if d, ok := distToB[a]; !ok || d > l {
-		return nil
-	}
-
-	var (
-		out     []Path
-		stack   = make([]checkin.UserID, 0, l+1)
-		onStack = make(map[checkin.UserID]struct{}, l+1)
-	)
-	var dfs func(u checkin.UserID, depth int)
-	dfs = func(u checkin.UserID, depth int) {
-		if maxPaths > 0 && len(out) >= maxPaths {
-			return
-		}
-		stack = append(stack, u)
-		onStack[u] = struct{}{}
-		defer func() {
-			stack = stack[:len(stack)-1]
-			delete(onStack, u)
-		}()
-
-		if depth == l {
-			if u == b {
-				p := make(Path, len(stack))
-				copy(p, stack)
-				out = append(out, p)
-			}
-			return
-		}
-		remaining := l - depth
-		for _, v := range g.Neighbors(u) {
-			if _, visited := onStack[v]; visited {
-				continue
-			}
-			if v == b && remaining != 1 {
-				continue // b may only appear as the terminal vertex
-			}
-			d, reach := distToB[v]
-			if !reach || d > remaining-1 {
-				continue
-			}
-			dfs(v, depth+1)
-		}
-	}
-	dfs(a, 0)
-	return out
+	return NewKhopper(g).Subgraph(a, b, k, opts...)
 }
 
 // CountPathsUpTo returns, for each length l in [2,k], the number of simple
@@ -198,14 +122,8 @@ func pathsOfLength(g *Graph, a, b checkin.UserID, l, maxPaths int) []Path {
 // is the raw statistic behind the paper's Fig. 5 CDFs (numbers of k-length
 // paths for friends vs non-friends).
 func CountPathsUpTo(g *Graph, a, b checkin.UserID, k int, maxPaths int) map[int]int {
-	out := make(map[int]int, k-1)
 	if a == b || !g.HasNode(a) || !g.HasNode(b) {
-		return out
+		return make(map[int]int, k-1)
 	}
-	work := g.Clone()
-	work.RemoveEdge(a, b)
-	for l := 2; l <= k; l++ {
-		out[l] = len(pathsOfLength(work, a, b, l, maxPaths))
-	}
-	return out
+	return NewKhopper(g).CountPaths(a, b, k, maxPaths)
 }

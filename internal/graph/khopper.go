@@ -1,0 +1,229 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// Khopper extracts k-hop reachable subgraphs repeatedly over one frozen
+// graph. It indexes the graph once into sorted CSR adjacency and reuses
+// dense scratch arrays across calls, so a Subgraph call allocates only its
+// result — the naive construction deep-copies the whole graph per pair,
+// which dominates the allocation profile of the phase-2 loop.
+//
+// A Khopper snapshots the graph at construction: mutations to g after
+// NewKhopper are not observed. The scratch state makes it unsafe for
+// concurrent use; give each worker its own Khopper.
+type Khopper struct {
+	ids  []checkin.UserID // sorted vertices; position = dense index
+	off  []int32          // CSR row offsets into nbrs, len(ids)+1
+	nbrs []int32          // concatenated neighbour indices, ascending per row
+
+	// Scratch reused across Subgraph calls.
+	removed []bool   // vertices consumed by shorter rounds
+	remList []int32  // which entries of removed to undo
+	dist    []int32  // BFS hop distance to the current target
+	stamp   []uint32 // dist[v] is valid iff stamp[v] == epoch
+	epoch   uint32
+	front   []int32
+	next    []int32
+	onStack []bool
+	stack   []int32
+}
+
+// NewKhopper indexes g for repeated subgraph extraction.
+func NewKhopper(g *Graph) *Khopper {
+	kh := &Khopper{ids: g.Nodes()}
+	n := len(kh.ids)
+	kh.off = make([]int32, n+1)
+	for i, u := range kh.ids {
+		kh.off[i+1] = kh.off[i] + int32(len(g.adj[u]))
+	}
+	kh.nbrs = make([]int32, kh.off[n])
+	for i, u := range kh.ids {
+		o := kh.off[i]
+		for v := range g.adj[u] {
+			kh.nbrs[o] = kh.index(v)
+			o++
+		}
+		// Dense indices follow ascending user-ID order, so sorting them
+		// reproduces the deterministic neighbour order of Graph.Neighbors.
+		slices.Sort(kh.nbrs[kh.off[i]:o])
+	}
+	kh.removed = make([]bool, n)
+	kh.dist = make([]int32, n)
+	kh.stamp = make([]uint32, n)
+	kh.onStack = make([]bool, n)
+	return kh
+}
+
+// index returns the dense index of u by binary search, or -1 if absent.
+func (kh *Khopper) index(u checkin.UserID) int32 {
+	lo, hi := 0, len(kh.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if kh.ids[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(kh.ids) && kh.ids[lo] == u {
+		return int32(lo)
+	}
+	return -1
+}
+
+// Subgraph extracts the k-hop reachable subgraph between a and b, exactly
+// as KHopReachableSubgraph does, reusing the Khopper's index and scratch.
+func (kh *Khopper) Subgraph(a, b checkin.UserID, k int, opts ...KHopOption) (*ReachableSubgraph, error) {
+	if a == b {
+		return nil, fmt.Errorf("graph: k-hop subgraph of identical endpoints %d", a)
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("graph: k must be >= 2, got %d", k)
+	}
+	cfg := khopConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	sub := &ReachableSubgraph{A: a, B: b, K: k, PathsByLen: make(map[int][]Path, k-1)}
+	ai, bi := kh.index(a), kh.index(b)
+	if ai < 0 || bi < 0 {
+		return sub, nil
+	}
+
+	for l := 2; l <= k; l++ {
+		_, paths := kh.pathsOfLength(ai, bi, l, cfg.maxPathsPerLen, true)
+		if len(paths) == 0 {
+			continue
+		}
+		sub.PathsByLen[l] = paths
+		// Consume the intermediate vertices (the overlay equivalent of
+		// RemoveNode on a working copy): longer rounds skip them.
+		for _, p := range paths {
+			for _, v := range p[1 : len(p)-1] {
+				vi := kh.index(v)
+				if !kh.removed[vi] {
+					kh.removed[vi] = true
+					kh.remList = append(kh.remList, vi)
+				}
+			}
+		}
+	}
+
+	for _, vi := range kh.remList {
+		kh.removed[vi] = false
+	}
+	kh.remList = kh.remList[:0]
+	return sub, nil
+}
+
+// CountPaths counts simple paths of each length l in [2,k] between a and b
+// without consuming vertices, as CountPathsUpTo does.
+func (kh *Khopper) CountPaths(a, b checkin.UserID, k, maxPaths int) map[int]int {
+	out := make(map[int]int, k-1)
+	if a == b {
+		return out
+	}
+	ai, bi := kh.index(a), kh.index(b)
+	if ai < 0 || bi < 0 {
+		return out
+	}
+	for l := 2; l <= k; l++ {
+		out[l], _ = kh.pathsOfLength(ai, bi, l, maxPaths, false)
+	}
+	return out
+}
+
+// bfsToTarget computes hop distances to bi for every vertex within maxHops,
+// over the working graph (g minus removed vertices minus the ai-bi edge).
+// Distances land in kh.dist, validity in kh.stamp (== kh.epoch).
+func (kh *Khopper) bfsToTarget(ai, bi int32, maxHops int) {
+	kh.epoch++
+	if kh.epoch == 0 { // uint32 wrap: stale stamps could alias, reset
+		clear(kh.stamp)
+		kh.epoch = 1
+	}
+	kh.dist[bi] = 0
+	kh.stamp[bi] = kh.epoch
+	kh.front = append(kh.front[:0], bi)
+	for d := int32(1); len(kh.front) > 0 && int(d) <= maxHops; d++ {
+		kh.next = kh.next[:0]
+		for _, u := range kh.front {
+			for _, v := range kh.nbrs[kh.off[u]:kh.off[u+1]] {
+				if kh.removed[v] || kh.stamp[v] == kh.epoch {
+					continue
+				}
+				if (u == ai && v == bi) || (u == bi && v == ai) {
+					continue
+				}
+				kh.dist[v] = d
+				kh.stamp[v] = kh.epoch
+				kh.next = append(kh.next, v)
+			}
+		}
+		kh.front, kh.next = kh.next, kh.front
+	}
+}
+
+// pathsOfLength enumerates simple paths of exactly length l between ai and
+// bi over the working graph, in the deterministic ascending-neighbour DFS
+// order of the map-based implementation. With collect=false it skips
+// materializing the paths and only the count is meaningful.
+func (kh *Khopper) pathsOfLength(ai, bi int32, l, maxPaths int, collect bool) (int, []Path) {
+	kh.bfsToTarget(ai, bi, l)
+	if kh.stamp[ai] != kh.epoch || kh.dist[ai] > int32(l) {
+		return 0, nil
+	}
+
+	var out []Path
+	found := 0
+	kh.stack = kh.stack[:0]
+	var dfs func(u int32, depth int)
+	dfs = func(u int32, depth int) {
+		if maxPaths > 0 && found >= maxPaths {
+			return
+		}
+		kh.stack = append(kh.stack, u)
+		kh.onStack[u] = true
+
+		if depth == l {
+			if u == bi {
+				found++
+				if collect {
+					p := make(Path, len(kh.stack))
+					for i, vi := range kh.stack {
+						p[i] = kh.ids[vi]
+					}
+					out = append(out, p)
+				}
+			}
+		} else {
+			remaining := int32(l - depth)
+			for _, v := range kh.nbrs[kh.off[u]:kh.off[u+1]] {
+				if kh.removed[v] || kh.onStack[v] {
+					continue
+				}
+				if (u == ai && v == bi) || (u == bi && v == ai) {
+					continue
+				}
+				if v == bi && remaining != 1 {
+					continue // bi may only appear as the terminal vertex
+				}
+				if kh.stamp[v] != kh.epoch || kh.dist[v] > remaining-1 {
+					continue
+				}
+				dfs(v, depth+1)
+			}
+		}
+
+		kh.stack = kh.stack[:len(kh.stack)-1]
+		kh.onStack[u] = false
+	}
+	dfs(ai, 0)
+	return found, out
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// refKHopSubgraph is the original clone-based construction, kept here as
+// the reference the CSR-indexed Khopper must reproduce exactly.
+func refKHopSubgraph(g *Graph, a, b checkin.UserID, k, maxPaths int) *ReachableSubgraph {
+	sub := &ReachableSubgraph{A: a, B: b, K: k, PathsByLen: make(map[int][]Path, k-1)}
+	if !g.HasNode(a) || !g.HasNode(b) {
+		return sub
+	}
+	work := g.Clone()
+	work.RemoveEdge(a, b)
+	for l := 2; l <= k; l++ {
+		paths := refPathsOfLength(work, a, b, l, maxPaths)
+		if len(paths) == 0 {
+			continue
+		}
+		sub.PathsByLen[l] = paths
+		for _, p := range paths {
+			for _, v := range p[1 : len(p)-1] {
+				work.RemoveNode(v)
+			}
+		}
+	}
+	return sub
+}
+
+func refPathsOfLength(g *Graph, a, b checkin.UserID, l, maxPaths int) []Path {
+	distToB := g.BFSDistances(b, l)
+	if d, ok := distToB[a]; !ok || d > l {
+		return nil
+	}
+	var (
+		out     []Path
+		stack   = make([]checkin.UserID, 0, l+1)
+		onStack = make(map[checkin.UserID]struct{}, l+1)
+	)
+	var dfs func(u checkin.UserID, depth int)
+	dfs = func(u checkin.UserID, depth int) {
+		if maxPaths > 0 && len(out) >= maxPaths {
+			return
+		}
+		stack = append(stack, u)
+		onStack[u] = struct{}{}
+		defer func() {
+			stack = stack[:len(stack)-1]
+			delete(onStack, u)
+		}()
+		if depth == l {
+			if u == b {
+				p := make(Path, len(stack))
+				copy(p, stack)
+				out = append(out, p)
+			}
+			return
+		}
+		remaining := l - depth
+		for _, v := range g.Neighbors(u) {
+			if _, visited := onStack[v]; visited {
+				continue
+			}
+			if v == b && remaining != 1 {
+				continue
+			}
+			d, reach := distToB[v]
+			if !reach || d > remaining-1 {
+				continue
+			}
+			dfs(v, depth+1)
+		}
+	}
+	dfs(a, 0)
+	return out
+}
+
+func randGraph(t *testing.T, n, m int, seed int64) *Graph {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(checkin.UserID(i + 1))
+	}
+	for e := 0; e < m; e++ {
+		a := checkin.UserID(r.Intn(n) + 1)
+		b := checkin.UserID(r.Intn(n) + 1)
+		if a == b {
+			continue
+		}
+		if err := g.AddEdge(a, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func subgraphsEqual(t *testing.T, tag string, got, want *ReachableSubgraph) {
+	t.Helper()
+	for l := 2; l <= want.K; l++ {
+		gp, wp := got.PathsByLen[l], want.PathsByLen[l]
+		if len(gp) != len(wp) {
+			t.Fatalf("%s: length %d: %d paths, want %d", tag, l, len(gp), len(wp))
+		}
+		for i := range wp {
+			if len(gp[i]) != len(wp[i]) {
+				t.Fatalf("%s: length %d path %d: %v, want %v", tag, l, i, gp[i], wp[i])
+			}
+			for j := range wp[i] {
+				if gp[i][j] != wp[i][j] {
+					t.Fatalf("%s: length %d path %d: %v, want %v", tag, l, i, gp[i], wp[i])
+				}
+			}
+		}
+	}
+}
+
+// TestKhopperMatchesReference fuzzes the CSR-indexed Khopper against the
+// clone-based reference over random graphs, reusing one Khopper across all
+// pairs of a graph so scratch-state leaks between calls would surface.
+func TestKhopperMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{6, 8}, {15, 30}, {40, 100}, {40, 240}, {80, 160},
+	} {
+		t.Run(fmt.Sprintf("n%d_m%d", tc.n, tc.m), func(t *testing.T) {
+			g := randGraph(t, tc.n, tc.m, int64(tc.n*1000+tc.m))
+			kh := NewKhopper(g)
+			r := rand.New(rand.NewSource(int64(tc.m)))
+			for trial := 0; trial < 60; trial++ {
+				a := checkin.UserID(r.Intn(tc.n) + 1)
+				b := checkin.UserID(r.Intn(tc.n) + 1)
+				if a == b {
+					continue
+				}
+				k := 2 + r.Intn(3)        // 2..4
+				maxPaths := r.Intn(3) * 4 // 0, 4 or 8
+				want := refKHopSubgraph(g, a, b, k, maxPaths)
+				got, err := kh.Subgraph(a, b, k, WithMaxPathsPerLength(maxPaths))
+				if err != nil {
+					t.Fatal(err)
+				}
+				subgraphsEqual(t, fmt.Sprintf("pair (%d,%d) k=%d cap=%d", a, b, k, maxPaths), got, want)
+
+				wantCounts := make(map[int]int, k-1)
+				work := g.Clone()
+				work.RemoveEdge(a, b)
+				for l := 2; l <= k; l++ {
+					wantCounts[l] = len(refPathsOfLength(work, a, b, l, maxPaths))
+				}
+				gotCounts := kh.CountPaths(a, b, k, maxPaths)
+				for l := 2; l <= k; l++ {
+					if gotCounts[l] != wantCounts[l] {
+						t.Fatalf("pair (%d,%d) k=%d: count[%d]=%d, want %d", a, b, k, l, gotCounts[l], wantCounts[l])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKhopperAbsentAndDegenerate covers endpoints outside the graph and
+// argument validation, matching KHopReachableSubgraph.
+func TestKhopperAbsentAndDegenerate(t *testing.T) {
+	g := randGraph(t, 5, 6, 1)
+	kh := NewKhopper(g)
+	if _, err := kh.Subgraph(1, 1, 3); err == nil {
+		t.Error("identical endpoints accepted")
+	}
+	if _, err := kh.Subgraph(1, 2, 1); err == nil {
+		t.Error("k < 2 accepted")
+	}
+	sub, err := kh.Subgraph(1, 99, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.Empty() {
+		t.Error("absent endpoint produced paths")
+	}
+	if c := kh.CountPaths(1, 99, 3, 0); len(c) != 0 {
+		t.Errorf("absent endpoint produced counts %v", c)
+	}
+	if c := kh.CountPaths(3, 3, 3, 0); len(c) != 0 {
+		t.Errorf("identical endpoints produced counts %v", c)
+	}
+}

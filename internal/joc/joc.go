@@ -237,12 +237,17 @@ func buildJOC(d *Division, res cellResolver, ds *checkin.Dataset, a, b checkin.U
 		NA: make([]float64, ncells), NB: make([]float64, ncells), NAB: make([]float64, ncells),
 	}
 
-	// Distinct POIs per cell per user, to compute n_ab as the number of
-	// POIs visited by both users whose check-ins land in the cell.
-	poisA := make(map[int]map[checkin.POIID]struct{})
-	poisB := make(map[int]map[checkin.POIID]struct{})
+	// Distinct (cell, POI) visits per user, to compute n_ab as the number
+	// of POIs visited by both users whose check-ins land in the cell. One
+	// flat composite-key map per user, not one map per touched cell.
+	type cellPOI struct {
+		cell int
+		poi  checkin.POIID
+	}
+	poisA := make(map[cellPOI]struct{}, len(ta.CheckIns))
+	poisB := make(map[cellPOI]struct{}, len(tb.CheckIns))
 
-	cast := func(tr checkin.Trajectory, counts []float64, pois map[int]map[checkin.POIID]struct{}) {
+	cast := func(tr checkin.Trajectory, counts []float64, pois map[cellPOI]struct{}) {
 		for _, c := range tr.CheckIns {
 			i, ok := res.poiCellOf(c.POI)
 			if !ok {
@@ -251,30 +256,19 @@ func buildJOC(d *Division, res cellResolver, ds *checkin.Dataset, a, b checkin.U
 			j := d.TimeSlot(c.Time)
 			k := o.cellIdx(i, j)
 			counts[k]++
-			s, ok := pois[k]
-			if !ok {
-				s = make(map[checkin.POIID]struct{})
-				pois[k] = s
-			}
-			s[c.POI] = struct{}{}
+			pois[cellPOI{k, c.POI}] = struct{}{}
 		}
 	}
 	cast(ta, o.NA, poisA)
 	cast(tb, o.NB, poisB)
 
-	for k, sa := range poisA {
-		sb, ok := poisB[k]
-		if !ok {
-			continue
-		}
-		small, large := sa, sb
-		if len(small) > len(large) {
-			small, large = large, small
-		}
-		for p := range small {
-			if _, shared := large[p]; shared {
-				o.NAB[k]++
-			}
+	small, large := poisA, poisB
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for cp := range small {
+		if _, shared := large[cp]; shared {
+			o.NAB[cp.cell]++
 		}
 	}
 	return o, nil

@@ -1,0 +1,118 @@
+package knn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fitKNN builds a fitted classifier over random embeddings.
+func fitKNN(t testing.TB, k, n, dim int, opts ...Option) (*Classifier, [][]float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(19))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		x[i] = v
+		y[i] = r.Intn(2)
+	}
+	c, err := New(k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return c, x
+}
+
+func knnQueries(n, dim int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	q := make([][]float64, n)
+	for i := range q {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		q[i] = v
+	}
+	return q
+}
+
+func TestPredictProbaBatchMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"uniform-euclidean", nil},
+		{"weighted-euclidean", []Option{WithDistanceWeighting()}},
+		{"weighted-cosine", []Option{WithDistanceWeighting(), WithCosineDistance()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := fitKNN(t, 5, 50, 8, tc.opts...)
+			for _, nq := range []int{0, 1, 23} {
+				q := knnQueries(nq, 8, 29)
+				batch, err := c.PredictProbaBatch(q)
+				if err != nil {
+					t.Fatalf("nq=%d: %v", nq, err)
+				}
+				if len(batch) != nq {
+					t.Fatalf("nq=%d: got %d scores", nq, len(batch))
+				}
+				for i, v := range q {
+					p, err := c.PredictProba(v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := math.Abs(p - batch[i]); diff > 1e-12 {
+						t.Errorf("nq=%d sample %d: batch %g vs scalar %g (diff %g)", nq, i, batch[i], p, diff)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPredictProbaBatchAfterLOO(t *testing.T) {
+	// LOO temporarily reorders the training slices; the batch path must
+	// still see the original order once LOO has restored it.
+	c, _ := fitKNN(t, 3, 30, 4, WithDistanceWeighting())
+	q := knnQueries(7, 4, 41)
+	before, err := c.PredictProbaBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := c.PredictProbaLOO(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := c.PredictProbaBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Errorf("sample %d: batch score changed across LOO calls: %g vs %g", i, before[i], after[i])
+		}
+	}
+}
+
+func TestPredictProbaBatchErrors(t *testing.T) {
+	c, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PredictProbaBatch([][]float64{{1}}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted batch returned %v, want ErrNotFitted", err)
+	}
+	fitted, _ := fitKNN(t, 3, 20, 4)
+	if _, err := fitted.PredictProbaBatch([][]float64{{1, 2}}); err == nil {
+		t.Error("width-mismatched query accepted")
+	}
+}

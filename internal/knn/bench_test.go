@@ -1,0 +1,30 @@
+package knn
+
+import "testing"
+
+// BenchmarkKNNPredictBatch compares the per-query scalar scoring loop
+// against the GEMM-backed batched path.
+func BenchmarkKNNPredictBatch(b *testing.B) {
+	const k, n, dim, nq = 10, 500, 16, 256
+	c, _ := fitKNN(b, k, n, dim, WithDistanceWeighting())
+	q := knnQueries(nq, dim, 23)
+
+	b.Run("PredictProbaLoop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, v := range q {
+				if _, err := c.PredictProba(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("PredictProbaBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.PredictProbaBatch(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
 )
 
 // Errors returned by the classifier.
@@ -26,6 +28,14 @@ type Classifier struct {
 
 	points [][]float64
 	labels []int
+
+	// Batched-scoring precomputes, built at Fit and read-only afterwards:
+	// the training points as one row-major matrix plus their squared
+	// norms, so PredictProbaBatch derives all query-to-training distances
+	// from a single GEMM. PredictProbaLOO reorders the points/labels
+	// slices temporarily but never touches these copies.
+	pointsMat *tensor.Matrix
+	norms     []float64
 }
 
 // Option customises a Classifier.
@@ -81,6 +91,11 @@ func (c *Classifier) Fit(x [][]float64, y []int) error {
 	}
 	c.labels = make([]int, len(y))
 	copy(c.labels, y)
+	c.pointsMat = tensor.New(len(x), dim)
+	for i, v := range x {
+		copy(c.pointsMat.Row(i), v)
+	}
+	c.norms = c.pointsMat.RowSquaredNorms()
 	return nil
 }
 
@@ -113,23 +128,15 @@ func (c *Classifier) distance(a, b []float64) float64 {
 	return 1 - dot/math.Sqrt(na*nb)
 }
 
-// neighborVote returns the positive-class vote share among the k nearest
-// training points.
-func (c *Classifier) neighborVote(v []float64) (float64, error) {
-	if !c.Fitted() {
-		return 0, ErrNotFitted
-	}
-	if len(v) != len(c.points[0]) {
-		return 0, fmt.Errorf("knn: query width %d, want %d", len(v), len(c.points[0]))
-	}
-	type cand struct {
-		d     float64
-		label int
-	}
-	cands := make([]cand, len(c.points))
-	for i, p := range c.points {
-		cands[i] = cand{d: c.distance(v, p), label: c.labels[i]}
-	}
+// cand pairs a distance with a training label for neighbour selection.
+type cand struct {
+	d     float64
+	label int
+}
+
+// vote sorts cands by distance and returns the positive vote share among
+// the first k, uniformly or inverse-distance weighted.
+func (c *Classifier) vote(cands []cand) float64 {
 	k := c.k
 	if k > len(cands) {
 		k = len(cands)
@@ -143,7 +150,7 @@ func (c *Classifier) neighborVote(v []float64) (float64, error) {
 		for _, cd := range cands[:k] {
 			pos += cd.label
 		}
-		return float64(pos) / float64(k), nil
+		return float64(pos) / float64(k)
 	}
 	const eps = 1e-9
 	wPos, wAll := 0.0, 0.0
@@ -155,14 +162,84 @@ func (c *Classifier) neighborVote(v []float64) (float64, error) {
 		}
 	}
 	if wAll == 0 {
-		return 0.5, nil
+		return 0.5
 	}
-	return wPos / wAll, nil
+	return wPos / wAll
+}
+
+// neighborVote returns the positive-class vote share among the k nearest
+// training points.
+func (c *Classifier) neighborVote(v []float64) (float64, error) {
+	if !c.Fitted() {
+		return 0, ErrNotFitted
+	}
+	if len(v) != len(c.points[0]) {
+		return 0, fmt.Errorf("knn: query width %d, want %d", len(v), len(c.points[0]))
+	}
+	cands := make([]cand, len(c.points))
+	for i, p := range c.points {
+		cands[i] = cand{d: c.distance(v, p), label: c.labels[i]}
+	}
+	return c.vote(cands), nil
 }
 
 // PredictProba returns the positive-class score for one query vector.
 func (c *Classifier) PredictProba(v []float64) (float64, error) {
 	return c.neighborVote(v)
+}
+
+// PredictProbaBatch scores every query at once: all query-to-training
+// inner products come from one GEMM against the precomputed training
+// matrix, and Euclidean distances follow from the squared-norm identity
+// ||q-p||^2 = ||q||^2 + ||p||^2 - 2 q.p instead of a per-pair subtraction
+// sweep. One candidate buffer is reused across queries. Safe for
+// concurrent use on a fitted classifier, but must not overlap with the
+// leave-one-out calls (which temporarily reorder the training slices).
+func (c *Classifier) PredictProbaBatch(queries [][]float64) ([]float64, error) {
+	if !c.Fitted() {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	dim := c.pointsMat.Cols
+	q := tensor.New(len(queries), dim)
+	for i, v := range queries {
+		if len(v) != dim {
+			return nil, fmt.Errorf("knn: query %d width %d, want %d", i, len(v), dim)
+		}
+		copy(q.Row(i), v)
+	}
+	dots, err := tensor.MatMulABT(q, c.pointsMat)
+	if err != nil {
+		return nil, fmt.Errorf("knn: batch distances: %w", err)
+	}
+	qNorms := q.RowSquaredNorms()
+	cands := make([]cand, len(c.labels))
+	for i := range queries {
+		di := dots.Row(i)
+		if c.cosine {
+			for j, lbl := range c.labels {
+				d := 1.0
+				if qNorms[i] != 0 && c.norms[j] != 0 {
+					d = 1 - di[j]/math.Sqrt(qNorms[i]*c.norms[j])
+				}
+				cands[j] = cand{d: d, label: lbl}
+			}
+		} else {
+			for j, lbl := range c.labels {
+				// Clamp the tiny negative residue cancellation can leave.
+				d2 := qNorms[i] + c.norms[j] - 2*di[j]
+				if d2 < 0 {
+					d2 = 0
+				}
+				cands[j] = cand{d: d2, label: lbl}
+			}
+		}
+		out[i] = c.vote(cands)
+	}
+	return out, nil
 }
 
 // Predict returns the 0/1 decision for one query vector (majority vote).

@@ -305,6 +305,48 @@ func (a *SupervisedAutoencoder) Encode(x *tensor.Matrix) (*tensor.Matrix, error)
 	return h, err
 }
 
+// EncodeBuffers holds the per-layer output matrices of the batch encode
+// fast path, so repeated EncodeInto calls reuse one set of forward-pass
+// buffers instead of allocating fresh activations per call. The zero value
+// is ready to use. Buffers are sized lazily and re-grown only when the
+// batch size changes, so chunked encoding with a fixed chunk size settles
+// into a steady state with zero allocations per batch.
+type EncodeBuffers struct {
+	outs []*tensor.Matrix
+}
+
+// EncodeInto maps a batch of flattened JOCs to their d-dimensional
+// bottleneck features through caller-owned scratch. The returned matrix is
+// owned by buf and valid only until the next EncodeInto call with the same
+// buffers; callers that keep rows must copy them out. The model itself is
+// read-only here, so concurrent EncodeInto calls are safe as long as each
+// goroutine brings its own EncodeBuffers.
+func (a *SupervisedAutoencoder) EncodeInto(x *tensor.Matrix, buf *EncodeBuffers) (*tensor.Matrix, error) {
+	if !a.trained {
+		return nil, ErrNotTrained
+	}
+	if buf == nil {
+		return nil, errors.New("nn: nil encode buffers")
+	}
+	layers := a.Encoder.Layers
+	if len(buf.outs) != len(layers) {
+		buf.outs = make([]*tensor.Matrix, len(layers))
+	}
+	cur := x
+	for i, l := range layers {
+		out := buf.outs[i]
+		if out == nil || out.Rows != x.Rows || out.Cols != l.Out() {
+			out = tensor.New(x.Rows, l.Out())
+			buf.outs[i] = out
+		}
+		if err := l.ForwardInto(cur, out); err != nil {
+			return nil, fmt.Errorf("nn: encode layer %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
 // EncodeOne maps a single flattened JOC to its d-dimensional feature.
 func (a *SupervisedAutoencoder) EncodeOne(v []float64) ([]float64, error) {
 	m, err := tensor.FromSlice(1, len(v), v)

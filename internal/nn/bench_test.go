@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// BenchmarkEncodeBatch compares the per-pair scalar encode (one forward
+// pass per vector, as the pre-batching hot path ran) against EncodeInto
+// over the same vectors with reused buffers.
+func BenchmarkEncodeBatch(b *testing.B) {
+	const inputDim, bottleneck, batch = 96, 16, 256
+	ae := trainedAE(b, inputDim, bottleneck, 64)
+	r := rand.New(rand.NewSource(9))
+	x := tensor.New(batch, inputDim)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+
+	b.Run("EncodeOneLoop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for row := 0; row < batch; row++ {
+				if _, err := ae.EncodeOne(x.Row(row)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("EncodeInto", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf EncodeBuffers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ae.EncodeInto(x, &buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

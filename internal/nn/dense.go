@@ -63,6 +63,25 @@ func (l *Dense) Forward(x *tensor.Matrix) (*tensor.Matrix, *denseCache, error) {
 	return a, &denseCache{x: x, a: a}, nil
 }
 
+// ForwardInto computes act(x @ W + b) into the caller-owned out matrix
+// (x.Rows x l.Out()) without allocating: the inference fast path. The bias
+// add and activation fold into one in-place sweep over the GEMM output.
+func (l *Dense) ForwardInto(x, out *tensor.Matrix) error {
+	if x.Cols != l.W.Rows {
+		return fmt.Errorf("nn: dense forward: input width %d != layer in %d", x.Cols, l.W.Rows)
+	}
+	if err := tensor.MatMulInto(x, l.W, out); err != nil {
+		return fmt.Errorf("nn: dense forward: %w", err)
+	}
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j := range row {
+			row[j] = l.Act.F(row[j] + l.B[j])
+		}
+	}
+	return nil
+}
+
 // denseGrads are the parameter gradients of one layer for one batch.
 type denseGrads struct {
 	dW *tensor.Matrix
@@ -71,18 +90,21 @@ type denseGrads struct {
 
 // Backward consumes the gradient of the loss w.r.t. the layer output and
 // returns the gradient w.r.t. the layer input plus parameter gradients.
+// The implicit-transpose kernels compute x^T @ delta and delta @ W^T
+// directly, so no Transpose() copy of the input batch or the weights is
+// materialised per step.
 func (l *Dense) Backward(cache *denseCache, gradOut *tensor.Matrix) (*tensor.Matrix, *denseGrads, error) {
 	// delta = gradOut .* act'(a)
 	delta := tensor.New(gradOut.Rows, gradOut.Cols)
 	for i := range delta.Data {
 		delta.Data[i] = gradOut.Data[i] * l.Act.Deriv(cache.a.Data[i])
 	}
-	dW, err := tensor.MatMul(cache.x.Transpose(), delta)
+	dW, err := tensor.MatMulATB(cache.x, delta)
 	if err != nil {
 		return nil, nil, fmt.Errorf("nn: dense backward dW: %w", err)
 	}
 	dB := delta.ColumnSums()
-	gradIn, err := tensor.MatMul(delta, l.W.Transpose())
+	gradIn, err := tensor.MatMulABT(delta, l.W)
 	if err != nil {
 		return nil, nil, fmt.Errorf("nn: dense backward gradIn: %w", err)
 	}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
+)
+
+// trainedAE fits a small supervised autoencoder on random data so the
+// encode paths have a real trained model to agree on.
+func trainedAE(t testing.TB, inputDim, bottleneck, samples int) *SupervisedAutoencoder {
+	t.Helper()
+	ae, err := NewSupervisedAutoencoder(AutoencoderConfig{
+		InputDim:      inputDim,
+		BottleneckDim: bottleneck,
+		Alpha:         1,
+		Epochs:        2,
+		Seed:          7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	x := tensor.New(samples, inputDim)
+	y := make([]float64, samples)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat64()
+	}
+	for i := range y {
+		y[i] = float64(r.Intn(2))
+	}
+	if _, err := ae.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return ae
+}
+
+func TestEncodeIntoMatchesEncodeOne(t *testing.T) {
+	ae := trainedAE(t, 24, 4, 40)
+	r := rand.New(rand.NewSource(5))
+	for _, rows := range []int{0, 1, 3, 17, 33} {
+		x := tensor.New(rows, 24)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat64()
+		}
+		var buf EncodeBuffers
+		h, err := ae.EncodeInto(x, &buf)
+		if err != nil {
+			t.Fatalf("rows=%d: %v", rows, err)
+		}
+		if h.Rows != rows || h.Cols != 4 {
+			t.Fatalf("rows=%d: got %dx%d, want %dx4", rows, h.Rows, h.Cols, rows)
+		}
+		for i := 0; i < rows; i++ {
+			one, err := ae.EncodeOne(append([]float64(nil), x.Row(i)...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range one {
+				if d := math.Abs(one[j] - h.At(i, j)); d > 1e-12 {
+					t.Errorf("rows=%d sample %d dim %d: batch %g vs scalar %g (diff %g)",
+						rows, i, j, h.At(i, j), one[j], d)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeIntoReusesBuffers(t *testing.T) {
+	ae := trainedAE(t, 16, 4, 30)
+	x := tensor.New(8, 16)
+	var buf EncodeBuffers
+	h1, err := ae.EncodeInto(x, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ae.EncodeInto(x, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("EncodeInto allocated a fresh output for an unchanged batch size")
+	}
+	// A different batch size must re-grow, not corrupt.
+	x2 := tensor.New(3, 16)
+	h3, err := ae.EncodeInto(x2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.Rows != 3 {
+		t.Errorf("re-grown output has %d rows, want 3", h3.Rows)
+	}
+}
+
+func TestEncodeIntoErrors(t *testing.T) {
+	ae := trainedAE(t, 16, 4, 30)
+	if _, err := ae.EncodeInto(tensor.New(2, 16), nil); err == nil {
+		t.Error("nil buffers accepted")
+	}
+	var buf EncodeBuffers
+	if _, err := ae.EncodeInto(tensor.New(2, 9), &buf); err == nil {
+		t.Error("wrong input width accepted")
+	}
+	untrained, err := NewSupervisedAutoencoder(AutoencoderConfig{InputDim: 16, BottleneckDim: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := untrained.EncodeInto(tensor.New(2, 16), &buf); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("untrained EncodeInto returned %v, want ErrNotTrained", err)
+	}
+}

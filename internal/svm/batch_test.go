@@ -1,0 +1,126 @@
+package svm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fitModel trains a small SVM on a two-blob problem.
+func fitModel(t testing.TB, kernel Kernel, n, dim int) (*Model, [][]float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(13))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		v := make([]float64, dim)
+		center := -1.0
+		if i%2 == 0 {
+			center, y[i] = 1.0, 1
+		}
+		for j := range v {
+			v[j] = center + r.NormFloat64()
+		}
+		x[i] = v
+	}
+	m := New(Config{Kernel: kernel, Seed: 3})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	return m, x
+}
+
+func queries(n, dim int, seed int64) [][]float64 {
+	r := rand.New(rand.NewSource(seed))
+	q := make([][]float64, n)
+	for i := range q {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = 2 * r.NormFloat64()
+		}
+		q[i] = v
+	}
+	return q
+}
+
+func TestDecisionBatchMatchesScalar(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		kernel Kernel
+	}{
+		{"rbf", RBF{Gamma: 0.25}},
+		{"linear", Linear{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, _ := fitModel(t, tc.kernel, 60, 6)
+			for _, nq := range []int{0, 1, 37} {
+				q := queries(nq, 6, 21)
+				batch, err := m.DecisionBatch(q)
+				if err != nil {
+					t.Fatalf("nq=%d: %v", nq, err)
+				}
+				proba, err := m.PredictProbaBatch(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(batch) != nq || len(proba) != nq {
+					t.Fatalf("nq=%d: got %d margins, %d scores", nq, len(batch), len(proba))
+				}
+				for i, v := range q {
+					d, err := m.Decision(v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := math.Abs(d - batch[i]); diff > 1e-12 {
+						t.Errorf("nq=%d sample %d: batch margin %g vs scalar %g (diff %g)", nq, i, batch[i], d, diff)
+					}
+					p, err := m.PredictProba(v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diff := math.Abs(p - proba[i]); diff > 1e-12 {
+						t.Errorf("nq=%d sample %d: batch proba %g vs scalar %g (diff %g)", nq, i, proba[i], p, diff)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecisionBatchAfterRestore(t *testing.T) {
+	m, _ := fitModel(t, RBF{Gamma: 0.5}, 40, 4)
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queries(9, 4, 33)
+	want, err := m.DecisionBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.DecisionBatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if diff := math.Abs(want[i] - got[i]); diff > 1e-12 {
+			t.Errorf("sample %d: restored margin %g vs fitted %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecisionBatchErrors(t *testing.T) {
+	m := New(Config{})
+	if _, err := m.DecisionBatch([][]float64{{1, 2}}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted DecisionBatch returned %v, want ErrNotFitted", err)
+	}
+	fitted, _ := fitModel(t, RBF{Gamma: 0.5}, 30, 4)
+	if _, err := fitted.DecisionBatch([][]float64{{1, 2}}); err == nil {
+		t.Error("width-mismatched query accepted")
+	}
+}

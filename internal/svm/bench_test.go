@@ -1,0 +1,30 @@
+package svm
+
+import "testing"
+
+// BenchmarkSVMPredictBatch compares the per-query scalar scoring loop
+// against the GEMM-backed batched path on an RBF model.
+func BenchmarkSVMPredictBatch(b *testing.B) {
+	const n, dim, nq = 400, 24, 256
+	m, _ := fitModel(b, RBF{Gamma: 1.0 / dim}, n, dim)
+	q := queries(nq, dim, 17)
+
+	b.Run("PredictProbaLoop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, v := range q {
+				if _, err := m.PredictProba(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("PredictProbaBatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.PredictProbaBatch(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -65,6 +65,10 @@ func Restore(snap *Snapshot) (*Model, error) {
 	m.alphaY = make([]float64, len(snap.AlphaY))
 	copy(m.alphaY, snap.AlphaY)
 	m.b = snap.B
-	m.fitted = true
+	dim := 0
+	if len(m.vectors) > 0 {
+		dim = len(m.vectors[0])
+	}
+	m.finishFit(dim)
 	return m, nil
 }

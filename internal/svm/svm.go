@@ -9,6 +9,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/friendseeker/friendseeker/internal/tensor"
 )
 
 // Kernel computes an inner product in feature space.
@@ -108,6 +113,13 @@ type Model struct {
 	alphaY  []float64   // alpha_i * y_i for support vectors
 	b       float64
 	fitted  bool
+
+	// Batched-decision precomputes, built once at Fit/Restore and
+	// read-only afterwards: the support vectors as one row-major matrix
+	// plus their squared norms, so DecisionBatch evaluates the RBF kernel
+	// matrix as a single GEMM through ||x-y||^2 = ||x||^2+||y||^2-2x.y.
+	svMat   *tensor.Matrix
+	svNorms []float64
 }
 
 // New returns an untrained model with the given configuration.
@@ -145,18 +157,41 @@ func (m *Model) Fit(x [][]float64, y []int) error {
 	r := rand.New(rand.NewSource(m.cfg.Seed))
 
 	// Precompute the kernel matrix when it fits comfortably; fall back to
-	// on-the-fly evaluation for big training sets.
+	// on-the-fly evaluation for big training sets. The O(n^2) fill fans
+	// out over bounded workers: rows are handed out through an atomic
+	// counter, and row i writes km[i][j] and km[j][i] for j <= i, so every
+	// element is written by exactly one worker (the one owning max(i,j)).
 	var km [][]float64
 	if n <= 3000 {
+		backing := make([]float64, n*n)
 		km = make([][]float64, n)
 		for i := range km {
-			km[i] = make([]float64, n)
-			for j := 0; j <= i; j++ {
-				v := m.cfg.Kernel.K(x[i], x[j])
-				km[i][j] = v
-				km[j][i] = v
-			}
+			km[i] = backing[i*n : (i+1)*n : (i+1)*n]
 		}
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					for j := 0; j <= i; j++ {
+						v := m.cfg.Kernel.K(x[i], x[j])
+						km[i][j] = v
+						km[j][i] = v
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 	kernel := func(i, j int) float64 {
 		if km != nil {
@@ -247,8 +282,20 @@ func (m *Model) Fit(x [][]float64, y []int) error {
 		}
 	}
 	m.b = b
-	m.fitted = true
+	m.finishFit(dim)
 	return nil
+}
+
+// finishFit builds the batched-decision precomputes and marks the model
+// trained. Called from Fit and Restore; after it returns the model is
+// read-only.
+func (m *Model) finishFit(dim int) {
+	m.svMat = tensor.New(len(m.vectors), dim)
+	for i, v := range m.vectors {
+		copy(m.svMat.Row(i), v)
+	}
+	m.svNorms = m.svMat.RowSquaredNorms()
+	m.fitted = true
 }
 
 // Fitted reports whether the model has been trained.
@@ -303,4 +350,92 @@ func (m *Model) PredictBatch(x [][]float64) ([]int, error) {
 		out[i] = p
 	}
 	return out, nil
+}
+
+// DecisionBatch returns the raw margin for every row of x at once. For the
+// RBF and linear kernels, the query-times-support-vector kernel matrix
+// reduces to one dense GEMM (plus the squared-norm identity for RBF), so
+// the per-query cost is a streaming dot-product sweep instead of
+// len(vectors) scalar kernel evaluations with per-call slice walks. Other
+// kernels fall back to the scalar path. The model is read-only here, so
+// DecisionBatch is safe for concurrent use on a fitted model.
+func (m *Model) DecisionBatch(x [][]float64) ([]float64, error) {
+	if !m.fitted {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out, nil
+	}
+	rbf, isRBF := m.cfg.Kernel.(RBF)
+	if _, isLinear := m.cfg.Kernel.(Linear); !isRBF && !isLinear {
+		for i, v := range x {
+			d, err := m.Decision(v)
+			if err != nil {
+				return nil, fmt.Errorf("svm: sample %d: %w", i, err)
+			}
+			out[i] = d
+		}
+		return out, nil
+	}
+
+	if len(m.alphaY) == 0 {
+		// Degenerate fit with no support vectors: the margin is the bias.
+		for i := range out {
+			out[i] = m.b
+		}
+		return out, nil
+	}
+	dim := m.svMat.Cols
+	q := tensor.New(len(x), dim)
+	for i, v := range x {
+		if len(v) != dim {
+			return nil, fmt.Errorf("svm: sample %d width %d, want %d", i, len(v), dim)
+		}
+		copy(q.Row(i), v)
+	}
+	dots, err := tensor.MatMulABT(q, m.svMat)
+	if err != nil {
+		return nil, fmt.Errorf("svm: batch decision: %w", err)
+	}
+	if isRBF {
+		qNorms := q.RowSquaredNorms()
+		for i := range x {
+			di := dots.Row(i)
+			s := m.b
+			for j, ay := range m.alphaY {
+				// ||q-sv||^2 via the norm identity; clamp the tiny negative
+				// residue floating-point cancellation can leave behind.
+				d2 := qNorms[i] + m.svNorms[j] - 2*di[j]
+				if d2 < 0 {
+					d2 = 0
+				}
+				s += ay * math.Exp(-rbf.Gamma*d2)
+			}
+			out[i] = s
+		}
+		return out, nil
+	}
+	for i := range x {
+		di := dots.Row(i)
+		s := m.b
+		for j, ay := range m.alphaY {
+			s += ay * di[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// PredictProbaBatch squashes DecisionBatch margins through the logistic
+// link, one score per row of x.
+func (m *Model) PredictProbaBatch(x [][]float64) ([]float64, error) {
+	d, err := m.DecisionBatch(x)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range d {
+		d[i] = 1 / (1 + math.Exp(-v))
+	}
+	return d, nil
 }

@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMatMulKernels compares the allocating and allocation-aware
+// multiply kernels at an autoencoder-layer-sized shape. Run via `make
+// bench` for benchstat-comparable output.
+func BenchmarkMatMulKernels(b *testing.B) {
+	const n, p, q = 128, 192, 96
+	r := rand.New(rand.NewSource(42))
+	a := randMat(n, p, r)
+	bm := randMat(p, q, r)
+	bt := randMat(q, p, r)
+	at := randMat(n, q, r)
+
+	b.Run("MatMul", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(a, bm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MatMulInto", func(b *testing.B) {
+		b.ReportAllocs()
+		out := New(n, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := MatMulInto(a, bm, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TransposeThenMatMul_ATB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(a.Transpose(), at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MatMulATB", func(b *testing.B) {
+		b.ReportAllocs()
+		out := New(p, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := MatMulATBInto(a, at, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("TransposeThenMatMul_ABT", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(a, bt.Transpose()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MatMulABT", func(b *testing.B) {
+		b.ReportAllocs()
+		out := New(n, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := MatMulABTInto(a, bt, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the allocation-aware matrix kernels behind the batched
+// scoring paths: MatMulInto writes into a caller-owned output so per-batch
+// scratch can be reused across calls, and MatMulATB / MatMulABT fold the
+// transpose into the loop order so callers never materialise a Transpose()
+// copy. All three keep the per-element accumulation order of the scalar
+// reference (k increasing), so results are bit-identical to the
+// Transpose()+MatMul formulation up to ordinary floating-point association.
+
+// Blocking parameters of the cache-blocked multiply: within one row tile,
+// a blockK-row panel of b stays hot in cache while blockRows output rows
+// accumulate against it.
+const (
+	blockRows = 32
+	blockK    = 128
+)
+
+// MatMulInto computes out = a @ b into the caller-owned matrix out, which
+// must be pre-shaped to a.Rows x b.Cols and must not alias a or b. The
+// output is fully overwritten. The kernel is cache-blocked and
+// row-parallel, and skips zero elements of a (JOC inputs are sparse).
+func MatMulInto(a, b, out *Matrix) error {
+	if a.Cols != b.Rows {
+		return fmt.Errorf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		return fmt.Errorf("tensor: matmul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols)
+	}
+	out.Zero()
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		matMulBlocked(a, b, out, lo, hi)
+	})
+	return nil
+}
+
+// matMulBlocked computes rows [lo,hi) of out += a @ b with i/k tiling.
+// The k-loop stays in increasing order inside each row, so the summation
+// order matches the unblocked ikj kernel exactly.
+func matMulBlocked(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for i0 := lo; i0 < hi; i0 += blockRows {
+		i1 := i0 + blockRows
+		if i1 > hi {
+			i1 = hi
+		}
+		for k0 := 0; k0 < a.Cols; k0 += blockK {
+			k1 := k0 + blockK
+			if k1 > a.Cols {
+				k1 = a.Cols
+			}
+			for i := i0; i < i1; i++ {
+				ai := a.Row(i)[k0:k1]
+				oi := out.Row(i)
+				for kk, av := range ai {
+					if av == 0 {
+						continue // JOC inputs are sparse; skipping zeros is a large win
+					}
+					k := k0 + kk
+					bk := b.Data[k*n : k*n+n]
+					for j, bv := range bk {
+						oi[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulATB returns a^T @ b (a is n x p, b is n x q, result p x q) without
+// materialising the transpose of a.
+func MatMulATB(a, b *Matrix) (*Matrix, error) {
+	out := New(a.Cols, b.Cols)
+	if err := MatMulATBInto(a, b, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMulATBInto computes out = a^T @ b into the caller-owned out
+// (a.Cols x b.Cols), which must not alias a or b. Workers own disjoint
+// output-row ranges (= column ranges of a), and each accumulates over the
+// sample axis in increasing order, so the result is deterministic.
+func MatMulATBInto(a, b, out *Matrix) error {
+	if a.Rows != b.Rows {
+		return fmt.Errorf("tensor: atb shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		return fmt.Errorf("tensor: atb out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols)
+	}
+	out.Zero()
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := 0; i < a.Rows; i++ {
+			ai := a.Row(i)[lo:hi]
+			bi := b.Row(i)
+			for jj, av := range ai {
+				if av == 0 {
+					continue
+				}
+				oj := out.Row(lo + jj)
+				for j, bv := range bi {
+					oj[j] += av * bv
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// MatMulABT returns a @ b^T (a is n x p, b is m x p, result n x m) without
+// materialising the transpose of b. Each output element is a row-row inner
+// product, the cache-friendliest orientation for batched distance and
+// kernel matrices.
+func MatMulABT(a, b *Matrix) (*Matrix, error) {
+	out := New(a.Rows, b.Rows)
+	if err := MatMulABTInto(a, b, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatMulABTInto computes out = a @ b^T into the caller-owned out
+// (a.Rows x b.Rows), which must not alias a or b.
+func MatMulABTInto(a, b, out *Matrix) error {
+	if a.Cols != b.Cols {
+		return fmt.Errorf("tensor: abt shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		return fmt.Errorf("tensor: abt out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows)
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			oi := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Row(j)
+				s := 0.0
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				oi[j] = s
+			}
+		}
+	})
+	return nil
+}
+
+// RowSquaredNormsInto writes the squared Euclidean norm of every row of m
+// into dst, reusing dst's backing array when it has capacity, and returns
+// the result. Pass nil to allocate.
+func (m *Matrix) RowSquaredNormsInto(dst []float64) []float64 {
+	if cap(dst) < m.Rows {
+		dst = make([]float64, m.Rows)
+	}
+	dst = dst[:m.Rows]
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// RowSquaredNorms returns the squared Euclidean norm of every row of m.
+func (m *Matrix) RowSquaredNorms() []float64 { return m.RowSquaredNormsInto(nil) }
+
+// parallelRows fans a row range [0,n) out over min(GOMAXPROCS, n) workers
+// when the scalar work estimate clears parallelThreshold, and runs inline
+// otherwise. Chunks are aligned to blockRows so tiles never straddle
+// workers.
+func parallelRows(n, work int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if work < parallelThreshold || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + blockRows - 1) / blockRows * blockRows
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

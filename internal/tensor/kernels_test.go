@@ -1,0 +1,183 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the naive triple-loop reference the kernels are checked
+// against.
+func refMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randMat(rows, cols int, r *rand.Rand) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		// A third of the entries are exactly zero to exercise the sparse
+		// skip path of the blocked kernel.
+		if r.Intn(3) == 0 {
+			continue
+		}
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func maxAbsDiff(t *testing.T, a, b *Matrix) float64 {
+	t.Helper()
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// kernelShapes covers empty, single-row, single-column and odd sizes that
+// straddle the blockRows/blockK tile boundaries.
+var kernelShapes = []struct{ n, p, q int }{
+	{0, 0, 0},
+	{0, 4, 3},
+	{1, 1, 1},
+	{1, 7, 5},
+	{3, 1, 4},
+	{5, 5, 5},
+	{7, 13, 11},
+	{31, 33, 17},  // crosses blockRows
+	{40, 131, 9},  // crosses blockK
+	{65, 129, 33}, // crosses both
+	{100, 257, 3}, // odd k just past two blockK tiles
+}
+
+const kernelTol = 1e-12
+
+func TestMatMulIntoMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range kernelShapes {
+		a := randMat(s.n, s.p, r)
+		b := randMat(s.p, s.q, r)
+		want := refMatMul(a, b)
+		out := New(s.n, s.q)
+		// Pre-soil the output: MatMulInto must fully overwrite it.
+		for i := range out.Data {
+			out.Data[i] = 7
+		}
+		if err := MatMulInto(a, b, out); err != nil {
+			t.Fatalf("%dx%dx%d: %v", s.n, s.p, s.q, err)
+		}
+		if d := maxAbsDiff(t, out, want); d > kernelTol {
+			t.Errorf("%dx%dx%d: MatMulInto differs from reference by %g", s.n, s.p, s.q, d)
+		}
+		got, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(t, got, want); d > kernelTol {
+			t.Errorf("%dx%dx%d: MatMul differs from reference by %g", s.n, s.p, s.q, d)
+		}
+	}
+}
+
+func TestMatMulATBMatchesTransposeReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, s := range kernelShapes {
+		a := randMat(s.n, s.p, r) // n x p; a^T @ b is p x q
+		b := randMat(s.n, s.q, r)
+		want := refMatMul(a.Transpose(), b)
+		got, err := MatMulATB(a, b)
+		if err != nil {
+			t.Fatalf("%dx%dx%d: %v", s.n, s.p, s.q, err)
+		}
+		if d := maxAbsDiff(t, got, want); d > kernelTol {
+			t.Errorf("%dx%dx%d: MatMulATB differs from Transpose+MatMul by %g", s.n, s.p, s.q, d)
+		}
+	}
+}
+
+func TestMatMulABTMatchesTransposeReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, s := range kernelShapes {
+		a := randMat(s.n, s.p, r) // n x p; a @ b^T is n x q
+		b := randMat(s.q, s.p, r)
+		want := refMatMul(a, b.Transpose())
+		got, err := MatMulABT(a, b)
+		if err != nil {
+			t.Fatalf("%dx%dx%d: %v", s.n, s.p, s.q, err)
+		}
+		if d := maxAbsDiff(t, got, want); d > kernelTol {
+			t.Errorf("%dx%dx%d: MatMulABT differs from Transpose+MatMul by %g", s.n, s.p, s.q, d)
+		}
+	}
+}
+
+func TestKernelShapeErrors(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3) // incompatible with a for plain matmul
+	if err := MatMulInto(a, b, New(2, 3)); err == nil {
+		t.Error("MatMulInto accepted mismatched inner dims")
+	}
+	c := New(3, 4)
+	if err := MatMulInto(a, c, New(3, 3)); err == nil {
+		t.Error("MatMulInto accepted wrong output shape")
+	}
+	if err := MatMulATBInto(a, New(3, 2), New(3, 2)); err == nil {
+		t.Error("MatMulATBInto accepted mismatched sample counts")
+	}
+	if err := MatMulATBInto(a, b, New(2, 2)); err == nil {
+		t.Error("MatMulATBInto accepted wrong output shape")
+	}
+	if err := MatMulABTInto(a, New(4, 2), New(2, 4)); err == nil {
+		t.Error("MatMulABTInto accepted mismatched widths")
+	}
+	if err := MatMulABTInto(a, New(4, 3), New(4, 2)); err == nil {
+		t.Error("MatMulABTInto accepted wrong output shape")
+	}
+}
+
+func TestRowSquaredNorms(t *testing.T) {
+	m, err := FromSlice(3, 2, []float64{1, 2, 0, 0, -3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 0, 25}
+	got := m.RowSquaredNorms()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > kernelTol {
+			t.Errorf("row %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Into variant reuses the destination when it has capacity.
+	dst := make([]float64, 8)
+	got2 := m.RowSquaredNormsInto(dst)
+	if &got2[0] != &dst[0] {
+		t.Error("RowSquaredNormsInto did not reuse the destination")
+	}
+	if len(got2) != 3 {
+		t.Errorf("RowSquaredNormsInto length %d, want 3", len(got2))
+	}
+	for i := range want {
+		if math.Abs(got2[i]-want[i]) > kernelTol {
+			t.Errorf("into row %d: got %g, want %g", i, got2[i], want[i])
+		}
+	}
+	empty := New(0, 4)
+	if n := len(empty.RowSquaredNorms()); n != 0 {
+		t.Errorf("empty matrix norms length %d", n)
+	}
+}

@@ -9,8 +9,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 )
 
 // Matrix is a dense row-major matrix.
@@ -154,41 +152,17 @@ func (m *Matrix) Transpose() *Matrix {
 // products.
 const parallelThreshold = 1 << 16
 
-// MatMul returns a @ b using a row-parallel inner-product kernel with the
-// k-loop hoisted for streaming access (ikj order).
+// MatMul returns a @ b through the cache-blocked MatMulInto kernel. The
+// per-element accumulation runs in ikj order (k increasing), so the result
+// matches the serial reference bit for bit.
 func MatMul(a, b *Matrix) (*Matrix, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("tensor: matmul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		matMulRange(a, b, out, 0, a.Rows)
-		return out, nil
+	if err := MatMulInto(a, b, out); err != nil {
+		return nil, err
 	}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
-	}
-	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matMulRange(a, b, out, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 	return out, nil
 }
 
