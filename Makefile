@@ -1,14 +1,16 @@
 # Build, test and verification entry points. `make check` is the tier-1
 # gate; `make race` runs the concurrency-sensitive packages (the core
-# pipeline and the public facade) under the race detector, which is how
-# the Train-once/Infer-concurrently contract is enforced.
+# pipeline, the serving subsystem and the public facade) under the race
+# detector, which is how the Train-once/Infer-concurrently and serving
+# identity contracts are enforced. `make serve-smoke` boots the real
+# server binary and drives it with loadgen.
 
 GO ?= go
 # Repetitions per benchmark; raise (e.g. BENCH_COUNT=10) for benchstat
 # confidence intervals.
 BENCH_COUNT ?= 5
 
-.PHONY: all vet build test race check bench
+.PHONY: all vet build test race check bench serve-smoke
 
 all: check
 
@@ -24,9 +26,14 @@ test:
 # The race detector slows the core suite ~10-15x, far past go test's
 # default 10-minute timeout, hence the explicit -timeout.
 race:
-	$(GO) test -race -timeout 90m ./internal/core/... .
+	$(GO) test -race -timeout 90m ./internal/core/... ./internal/serve/... .
 
 check: vet build test race
+
+# End-to-end smoke of the serving subsystem: synthesize a trace, train a
+# model, boot `friendseeker serve`, probe it and replay load with loadgen.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Micro-benchmarks of the batched scoring kernels plus the end-to-end
 # attack. Output is benchstat-comparable: redirect to a file before and

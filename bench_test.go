@@ -116,7 +116,10 @@ func BenchmarkEndToEndAttack(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

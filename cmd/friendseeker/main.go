@@ -1,7 +1,8 @@
 // Command friendseeker trains the two-phase friendship-inference attack on
 // a labelled check-in trace and attacks a target trace, printing the
 // predicted friendships and (when ground truth is supplied) the attack's
-// precision/recall/F1.
+// precision/recall/F1. The serve subcommand instead runs a long-lived
+// inference server over a previously saved model (see serve.go).
 //
 // Input formats: the CSV trace format of cmd/synthgen, or the original
 // SNAP Gowalla/Brightkite formats via -snap.
@@ -10,6 +11,7 @@
 //
 //	friendseeker -checkins trace.csv -edges truth.csv
 //	friendseeker -checkins loc.txt -edges graph.txt -snap -sigma 1000
+//	friendseeker serve -model model.bin -data tiny=trace.csv -listen :8470
 package main
 
 import (
@@ -28,7 +30,14 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "serve" {
+		err = runServe(args[1:], os.Stdout)
+	} else {
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "friendseeker:", err)
 		os.Exit(1)
 	}
@@ -112,7 +121,10 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "saved model to %s\n", *saveModel)
 	}
 
-	pairs, labels := view.AllPairs()
+	pairs, labels, err := view.AllPairs()
+	if err != nil {
+		return fmt.Errorf("enumerate pairs: %w", err)
+	}
 	start = time.Now()
 	decisions, inferRep, err := attack.Infer(ds, pairs)
 	if err != nil {

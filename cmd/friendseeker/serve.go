@@ -1,0 +1,164 @@
+// The serve subcommand: a long-running HTTP inference server over a model
+// previously written with -save-model. See internal/serve for the
+// subsystem (request coalescing, admission control, hot model swap) and
+// DESIGN.md "Serving architecture" for the design.
+//
+// Usage:
+//
+//	friendseeker serve -model model.bin -data tiny=trace.csv -listen :8470
+//
+// The model hot-swaps with zero downtime on SIGHUP (re-reading -model) or
+// POST /v1/admin/swap. SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/serve"
+)
+
+// serveFlags holds the parsed serve subcommand configuration.
+type serveFlags struct {
+	listen       string
+	modelPath    string
+	datasets     map[string]string // name -> check-in CSV path
+	batch        int
+	maxWait      time.Duration
+	maxInFlight  int
+	queueDepth   int
+	timeout      time.Duration
+	maxPairs     int
+	warm         bool
+	drainTimeout time.Duration
+}
+
+func parseServeFlags(args []string) (*serveFlags, error) {
+	fs := flag.NewFlagSet("friendseeker serve", flag.ContinueOnError)
+	sf := &serveFlags{datasets: make(map[string]string)}
+	fs.StringVar(&sf.listen, "listen", ":8470", "listen address")
+	fs.StringVar(&sf.modelPath, "model", "", "trained model file (from -save-model); re-read on SIGHUP / admin swap")
+	fs.Func("data", "dataset as name=checkins.csv (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := sf.datasets[name]; dup {
+			return fmt.Errorf("duplicate dataset %q", name)
+		}
+		sf.datasets[name] = path
+		return nil
+	})
+	fs.IntVar(&sf.batch, "batch", 64, "coalescer flush size (pairs)")
+	fs.DurationVar(&sf.maxWait, "max-wait", 2*time.Millisecond, "coalescer flush deadline")
+	fs.IntVar(&sf.maxInFlight, "max-inflight", 64, "max concurrently admitted requests")
+	fs.IntVar(&sf.queueDepth, "queue", 1024, "coalescer queue depth (pairs)")
+	fs.DurationVar(&sf.timeout, "timeout", 10*time.Second, "per-request budget")
+	fs.IntVar(&sf.maxPairs, "max-pairs", 256, "max pairs per request")
+	fs.BoolVar(&sf.warm, "warm", true, "build every dataset's scoring session before accepting traffic")
+	fs.DurationVar(&sf.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if sf.modelPath == "" {
+		return nil, fmt.Errorf("-model is required")
+	}
+	if len(sf.datasets) == 0 {
+		return nil, fmt.Errorf("at least one -data name=path is required")
+	}
+	return sf, nil
+}
+
+func loadCheckInsCSV(path string) (*checkin.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCheckInsCSV(f)
+}
+
+func runServe(args []string, out io.Writer) error {
+	sf, err := parseServeFlags(args)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	model, modelID, err := serve.LoadModelFile(sf.modelPath)
+	if err != nil {
+		return err
+	}
+	var datasets []serve.Dataset
+	for name, path := range sf.datasets {
+		ds, err := loadCheckInsCSV(path)
+		if err != nil {
+			return fmt.Errorf("dataset %q: %w", name, err)
+		}
+		datasets = append(datasets, serve.Dataset{Name: name, Data: ds})
+		fmt.Fprintf(out, "dataset %q: %d users, %d POIs, %d check-ins\n",
+			name, ds.NumUsers(), ds.NumPOIs(), ds.NumCheckIns())
+	}
+
+	srv, err := serve.New(serve.Config{
+		MaxInFlight:        sf.maxInFlight,
+		QueueDepth:         sf.queueDepth,
+		BatchSize:          sf.batch,
+		MaxWait:            sf.maxWait,
+		RequestTimeout:     sf.timeout,
+		MaxPairsPerRequest: sf.maxPairs,
+		Reload:             func() (*core.FriendSeeker, string, error) { return serve.LoadModelFile(sf.modelPath) },
+		Logger:             logger,
+	}, model, modelID, datasets)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	if sf.warm {
+		start := time.Now()
+		if err := srv.Warm(ctx); err != nil {
+			return fmt.Errorf("warm sessions: %w", err)
+		}
+		fmt.Fprintf(out, "warmed %d dataset session(s) in %.1fs\n", len(datasets), time.Since(start).Seconds())
+	}
+
+	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			logger.Info("SIGHUP: reloading model", "path", sf.modelPath)
+			m, id, err := serve.LoadModelFile(sf.modelPath)
+			if err != nil {
+				logger.Error("reload failed", "err", err)
+				continue
+			}
+			if err := srv.Swap(ctx, m, id); err != nil {
+				logger.Error("swap failed", "err", err)
+			}
+		}
+	}()
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-term
+		cancel()
+	}()
+
+	fmt.Fprintf(out, "serving model %s on %s (%d dataset(s))\n", modelID, sf.listen, len(datasets))
+	return srv.ListenAndServe(ctx, sf.listen, sf.drainTimeout)
+}

@@ -1,0 +1,268 @@
+// Command loadgen replays a synthetic world's candidate pairs against a
+// running `friendseeker serve` instance at a configurable RPS ramp and
+// reports per-stage latency percentiles — the load-driver companion to
+// the server, in the spirit of cmd/synthgen's trace synthesizer: the
+// world that generated the served trace also generates its traffic.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8470 -dataset tiny -preset tiny -seed 1 \
+//	        -rps 50,100,200 -stage 5s -pairs 8
+//
+// Pairs come either from regenerating the synthetic world in-process
+// (-preset/-seed, giving exactly the pairs the server's dataset holds) or
+// from a check-in CSV (-checkins).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/synth"
+
+	"flag"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://localhost:8470", "server base URL")
+		dsName   = fs.String("dataset", "", "dataset name registered on the server")
+		checkins = fs.String("checkins", "", "derive pairs from this check-in CSV instead of a preset world")
+		preset   = fs.String("preset", "tiny", "world preset: gowalla | brightkite | tiny")
+		seed     = fs.Int64("seed", 1, "world seed (must match the served trace's generator)")
+		users    = fs.Int("users", 0, "override the preset's user count")
+		pois     = fs.Int("pois", 0, "override the preset's POI count")
+		weeks    = fs.Int("weeks", 0, "override the preset's trace span in weeks")
+		rpsSpec  = fs.String("rps", "25,50,100", "comma-separated request-per-second ramp stages")
+		stageDur = fs.Duration("stage", 5*time.Second, "duration of each ramp stage")
+		perReq   = fs.Int("pairs", 8, "pairs per request")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dsName == "" {
+		return fmt.Errorf("-dataset is required")
+	}
+	stages, err := parseRamp(*rpsSpec)
+	if err != nil {
+		return err
+	}
+	if *perReq < 1 {
+		return fmt.Errorf("-pairs must be >= 1")
+	}
+
+	pairs, err := loadPairs(*checkins, *preset, *seed, *users, *pois, *weeks)
+	if err != nil {
+		return err
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no candidate pairs to replay")
+	}
+	// Shuffle so consecutive requests do not walk the same users.
+	r := rand.New(rand.NewSource(*seed))
+	r.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	fmt.Fprintf(out, "replaying %d candidate pairs against %s (dataset %q), %d pairs/request\n",
+		len(pairs), *addr, *dsName, *perReq)
+
+	client := &http.Client{Timeout: *timeout}
+	url := strings.TrimRight(*addr, "/") + "/v1/infer"
+	next := 0 // round-robin cursor into pairs
+	for _, rps := range stages {
+		res := runStage(client, url, *dsName, pairs, &next, *perReq, rps, *stageDur)
+		fmt.Fprintln(out, res.String(rps))
+	}
+	return nil
+}
+
+// parseRamp parses "25,50,100" into stage RPS values.
+func parseRamp(spec string) ([]int, error) {
+	var stages []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid rps stage %q", part)
+		}
+		stages = append(stages, v)
+	}
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("empty rps ramp %q", spec)
+	}
+	return stages, nil
+}
+
+// loadPairs derives the candidate pair list from a CSV trace or by
+// regenerating the synthetic world.
+func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) ([]checkin.Pair, error) {
+	var ds *checkin.Dataset
+	if checkinsPath != "" {
+		f, err := os.Open(checkinsPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds, err = dataset.ReadCheckInsCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("parse check-ins csv: %w", err)
+		}
+	} else {
+		var cfg synth.Config
+		switch preset {
+		case "gowalla":
+			cfg = synth.GowallaLike(seed)
+		case "brightkite":
+			cfg = synth.BrightkiteLike(seed)
+		case "tiny":
+			cfg = synth.Tiny(seed)
+		default:
+			return nil, fmt.Errorf("unknown preset %q (want gowalla, brightkite or tiny)", preset)
+		}
+		if users > 0 {
+			cfg.NumUsers = users
+		}
+		if pois > 0 {
+			cfg.NumPOIs = pois
+		}
+		if weeks > 0 {
+			cfg.SpanWeeks = weeks
+		}
+		world, err := synth.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("generate world: %w", err)
+		}
+		ds = world.Dataset
+	}
+	ids := ds.Users()
+	pairs := make([]checkin.Pair, 0, len(ids)*(len(ids)-1)/2)
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			pairs = append(pairs, checkin.MakePair(ids[i], ids[j]))
+		}
+	}
+	return pairs, nil
+}
+
+// stageResult aggregates one ramp stage.
+type stageResult struct {
+	sent, ok, rejected, timeout, failed int
+	latencies                           []time.Duration
+	elapsed                             time.Duration
+}
+
+func (s *stageResult) String(rps int) string {
+	achieved := float64(s.ok) / s.elapsed.Seconds()
+	return fmt.Sprintf(
+		"stage %4d rps: sent %d ok %d 429 %d timeout %d err %d | achieved %.1f rps | p50 %s p90 %s p99 %s max %s",
+		rps, s.sent, s.ok, s.rejected, s.timeout, s.failed, achieved,
+		percentile(s.latencies, 0.50), percentile(s.latencies, 0.90),
+		percentile(s.latencies, 0.99), percentile(s.latencies, 1.0))
+}
+
+// percentile returns the q-quantile of the (unsorted) latency sample by
+// nearest-rank, or 0 with an empty sample.
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// runStage fires requests open-loop at the target RPS for the stage
+// duration, drawing pairs round-robin starting at *next, and waits for
+// every response before returning.
+func runStage(client *http.Client, url, dsName string, pairs []checkin.Pair, next *int, perReq, rps int, dur time.Duration) *stageResult {
+	res := &stageResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	interval := time.Second / time.Duration(rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		body := make([][2]int64, perReq)
+		for i := range body {
+			p := pairs[*next%len(pairs)]
+			*next++
+			body[i] = [2]int64{int64(p.A), int64(p.B)}
+		}
+		res.sent++
+		wg.Add(1)
+		go func(reqPairs [][2]int64) {
+			defer wg.Done()
+			t0 := time.Now()
+			status, err := postInfer(client, url, dsName, reqPairs)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err != nil:
+				res.failed++
+			case status == http.StatusOK:
+				res.ok++
+				res.latencies = append(res.latencies, lat)
+			case status == http.StatusTooManyRequests:
+				res.rejected++
+			case status == http.StatusGatewayTimeout:
+				res.timeout++
+			default:
+				res.failed++
+			}
+		}(body)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// postInfer sends one infer request and returns the HTTP status.
+func postInfer(client *http.Client, url, dsName string, pairs [][2]int64) (int, error) {
+	payload, err := json.Marshal(map[string]any{"dataset": dsName, "pairs": pairs})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseRamp(t *testing.T) {
+	stages, err := parseRamp("25, 50,100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 || stages[0] != 25 || stages[1] != 50 || stages[2] != 100 {
+		t.Fatalf("stages = %v", stages)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "10,x"} {
+		if _, err := parseRamp(bad); err == nil {
+			t.Errorf("parseRamp(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+	lat := []time.Duration{5, 1, 3, 2, 4} // unsorted on purpose
+	if got := percentile(lat, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3 (nearest rank)", got)
+	}
+	if got := percentile(lat, 1.0); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := percentile(lat, 0.01); got != 1 {
+		t.Errorf("p1 = %v, want 1", got)
+	}
+}
+
+// TestRunAgainstStubServer drives the full loadgen loop against a stub
+// infer endpoint, checking request shape and the stage report.
+func TestRunAgainstStubServer(t *testing.T) {
+	type inferBody struct {
+		Dataset string     `json:"dataset"`
+		Pairs   [][2]int64 `json:"pairs"`
+	}
+	var mu sync.Mutex
+	var got inferBody
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/infer" {
+			http.NotFound(w, r)
+			return
+		}
+		var body inferBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = body
+		mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"model": "stub", "dataset": body.Dataset, "decisions": make([]bool, len(body.Pairs)),
+		})
+	}))
+	defer hs.Close()
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", hs.URL,
+		"-dataset", "tiny",
+		"-preset", "tiny", "-seed", "1",
+		"-rps", "50", "-stage", "300ms", "-pairs", "4",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dataset != "tiny" || len(got.Pairs) != 4 {
+		t.Errorf("last request dataset=%q pairs=%d, want tiny/4", got.Dataset, len(got.Pairs))
+	}
+	report := out.String()
+	if !strings.Contains(report, "stage   50 rps") || !strings.Contains(report, "p50") {
+		t.Errorf("report missing stage line:\n%s", report)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rps", "10"}, &out); err == nil || !strings.Contains(err.Error(), "-dataset") {
+		t.Errorf("missing -dataset: err = %v", err)
+	}
+	if err := run([]string{"-dataset", "d", "-rps", "bogus"}, &out); err == nil {
+		t.Error("bogus ramp accepted")
+	}
+	if err := run([]string{"-dataset", "d", "-pairs", "0"}, &out); err == nil {
+		t.Error("zero pairs accepted")
+	}
+}

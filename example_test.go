@@ -34,7 +34,10 @@ func Example() {
 	}
 
 	// Decide every pair of the target dataset.
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	decisions, report, err := attack.Infer(world.Dataset, pairs)
 	if err != nil {
 		log.Fatal(err)

@@ -46,7 +46,10 @@ func run() error {
 	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
 		return err
 	}
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		return err
+	}
 	decisions, _, err := attack.Infer(world.Dataset, pairs)
 	if err != nil {
 		return err

@@ -54,7 +54,10 @@ func run() error {
 		return err
 	}
 
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		return err
+	}
 	decisions, report, err := attack.Infer(world.Dataset, pairs)
 	if err != nil {
 		return err

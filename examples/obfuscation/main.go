@@ -42,7 +42,10 @@ func run() error {
 	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
 		return err
 	}
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		return err
+	}
 
 	score := func(ds *friendseeker.Dataset) (float64, error) {
 		decisions, _, err := attack.Infer(ds, pairs)

@@ -60,7 +60,10 @@ func run() error {
 		report.SpatialCells, report.TimeSlots, report.Phase2Iterations)
 
 	// 4. Attack every pair of the target dataset.
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		return err
+	}
 	decisions, inferReport, err := attack.Infer(world.Dataset, pairs)
 	if err != nil {
 		return err

@@ -25,7 +25,10 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if err := attack.Train(world.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
 		t.Fatal(err)
 	}
-	pairs, _ := world.FullView().AllPairs()
+	pairs, _, err := world.FullView().AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
 	decisions, report, err := attack.Infer(world.Dataset, pairs)
 	if err != nil {
 		t.Fatal(err)

@@ -23,13 +23,23 @@
 //
 // Train and Save are exclusive: neither may overlap with any other call
 // on the same FriendSeeker. Once a model is trained (or restored with
-// LoadModel), it is strictly read-only at inference time: Infer and
-// InferAfterIterations are safe to call from any number of goroutines on
-// the same model, including against target datasets whose POI universe
-// differs from the training data — unseen POIs are resolved through a
-// per-call overlay, never written into the model. One trained model can
-// therefore serve concurrent inference traffic, and Save writes the same
-// bytes no matter how many inferences ran before it.
+// LoadModel), it is strictly read-only at inference time: Infer,
+// InferContext and InferAfterIterations are safe to call from any number
+// of goroutines on the same model, including against target datasets
+// whose POI universe differs from the training data — unseen POIs are
+// resolved through a per-call overlay, never written into the model. One
+// trained model can therefore serve concurrent inference traffic, and
+// Save writes the same bytes no matter how many inferences ran before it.
+//
+// # Serving
+//
+// For long-lived serving, (*FriendSeeker).NewPairScorer freezes one
+// reference inference over a dataset and answers per-pair decisions —
+// batch-order independent and byte-identical to the reference Infer —
+// from any number of goroutines. `friendseeker serve` wraps a PairScorer
+// per dataset in an HTTP server with request coalescing, admission
+// control and zero-downtime model swap; see DESIGN.md "Serving
+// architecture" and cmd/loadgen for the companion load driver.
 //
 // # Quick start
 //
@@ -90,6 +100,11 @@ type (
 	TrainReport = core.TrainReport
 	// InferReport summarises an inference run (iterations, graphs).
 	InferReport = core.InferReport
+	// PairScorer answers per-pair decisions against one dataset's frozen
+	// reference inference, concurrently; build one with
+	// (*FriendSeeker).NewPairScorer. It is the serving primitive behind
+	// `friendseeker serve`.
+	PairScorer = core.PairScorer
 )
 
 // EdgeKind distinguishes planted real-world and cyber friendships in

@@ -73,7 +73,10 @@ func TestInferParallelMatchesSerial(t *testing.T) {
 	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
 		t.Fatal(err)
 	}
-	pairs, _ := w.FullView().AllPairs()
+	pairs, _, err := w.FullView().AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	runtime.GOMAXPROCS(1)
 	serial, _, err := fs.Infer(w.Dataset, pairs)

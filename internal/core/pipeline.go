@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -530,24 +531,46 @@ type inferOpts struct {
 // an SVM evaluation. This bounds all-pairs inference while never skipping
 // a pair that either phase could possibly accept.
 func (fs *FriendSeeker) Infer(ds *checkin.Dataset, pairs []checkin.Pair) ([]bool, *InferReport, error) {
-	return fs.infer(ds, pairs, inferOpts{
+	decisions, rep, _, err := fs.infer(context.Background(), ds, pairs, inferOpts{
 		maxIterations:     fs.cfg.MaxIterations,
 		convergeThreshold: fs.cfg.ConvergeThreshold,
 	})
+	return decisions, rep, err
 }
 
-// infer is the shared inference path behind Infer and
+// inferState captures the read-only artefacts of one inference call that a
+// PairScorer reuses to re-decide arbitrary pairs later: the dataset view,
+// the (still warm) embedding cache, the spatial-cell candidate index, and
+// the graph that entered the final refinement iteration. Re-scoring a pair
+// against that frozen graph reproduces the final iteration's decision
+// exactly, which is what makes served decisions batch-order independent.
+type inferState struct {
+	view  *joc.DatasetView
+	cache *embeddingCache
+	idx   *sharedCellIndex
+	// frozen is the input graph of the last executed refinement round (the
+	// phase-1 graph when no round ran); rounds is how many rounds ran.
+	frozen *graph.Graph
+	rounds int
+}
+
+// infer is the shared inference path behind Infer, InferContext and
 // InferAfterIterations. It reads the trained model but never writes it.
-func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts inferOpts) ([]bool, *InferReport, error) {
+// The context is checked between batched stages — one pipeline stage may
+// complete after cancellation, but no new stage starts.
+func (fs *FriendSeeker) infer(ctx context.Context, ds *checkin.Dataset, pairs []checkin.Pair, opts inferOpts) ([]bool, *InferReport, *inferState, error) {
 	if !fs.trained {
-		return nil, nil, ErrNotTrained
+		return nil, nil, nil, ErrNotTrained
 	}
 	if len(pairs) == 0 {
-		return nil, nil, errors.New("core: no pairs to infer")
+		return nil, nil, nil, errors.New("core: no pairs to infer")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
 	}
 	view, err := joc.NewDatasetView(fs.div, ds)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: infer view: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: infer view: %w", err)
 	}
 	cache := newEmbeddingCache(view, fs.ae, fs.scaler)
 	idx := &sharedCellIndex{cells: view.UserSpatialCells()}
@@ -571,15 +594,15 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		}
 	}
 	if err := cache.encodeMissing(candPairs); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	embeds, err := cache.getAll(candPairs)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	scores, err := fs.phase1.PredictProbaBatch(embeds)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: phase-1 predict: %w", err)
+		return nil, nil, nil, fmt.Errorf("core: phase-1 predict: %w", err)
 	}
 	for j, i := range candIdx {
 		positive[i] = scores[j] >= fs.cfg.Phase1Threshold
@@ -588,7 +611,7 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		phase1Preds[p] = positive[i]
 		if positive[i] {
 			if err := g.AddEdge(p.A, p.B); err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 		}
 	}
@@ -607,7 +630,11 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 	fp := fs.featureParams()
 	decisions := make([]bool, len(pairs))
 	copy(decisions, positive)
+	state := &inferState{view: view, cache: cache, idx: idx, frozen: g}
 	for iter := 0; iter < opts.maxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		reach := make(map[checkin.UserID]map[checkin.UserID]int)
 		within := func(a, b checkin.UserID) bool {
 			d, ok := reach[a]
@@ -627,13 +654,15 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		}
 
 		frozen := g // read-only within the parallel section
+		state.frozen = frozen
+		state.rounds = iter + 1
 		feats, err := phase2Features(pairs, evaluate, frozen, cache, fp)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		scores, err := svmScores(fs.phase2, feats)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for i, p := range pairs {
 			if evaluate[i] {
@@ -649,7 +678,7 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		for i, p := range pairs {
 			if decisions[i] {
 				if err := next.AddEdge(p.A, p.B); err != nil {
-					return nil, nil, err
+					return nil, nil, nil, err
 				}
 			}
 		}
@@ -662,7 +691,7 @@ func (fs *FriendSeeker) infer(ds *checkin.Dataset, pairs []checkin.Pair, opts in
 		}
 	}
 	rep.FinalGraph = g
-	return decisions, rep, nil
+	return decisions, rep, state, nil
 }
 
 // InferAfterIterations is Infer with an explicit round budget, used by the
@@ -675,7 +704,7 @@ func (fs *FriendSeeker) InferAfterIterations(ds *checkin.Dataset, pairs []checki
 	}
 	// Force every requested round to run by disabling early convergence
 	// (the threshold cannot be zero, so use a tiny epsilon).
-	decisions, _, err := fs.infer(ds, pairs, inferOpts{
+	decisions, _, _, err := fs.infer(context.Background(), ds, pairs, inferOpts{
 		maxIterations:     rounds,
 		convergeThreshold: 1e-12,
 	})

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// trainedScorerFixture trains one quick model and enumerates the world's
+// pair universe, shared across the scorer tests.
+type scorerFixture struct {
+	fs    *FriendSeeker
+	world *synth.World
+	pairs []checkin.Pair
+}
+
+func newScorerFixture(t *testing.T, seed int64) *scorerFixture {
+	t.Helper()
+	w, err := synth.Generate(synth.Tiny(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := w.FullView().SplitPairs(0.7, 2, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(seed + 2)
+	cfg.Epochs = 10
+	fs, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := w.FullView().AllPairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scorerFixture{fs: fs, world: w, pairs: pairs}
+}
+
+// TestPairScorerMatchesInfer is the serving identity contract: the
+// scorer's reference decisions equal a direct Infer call, and re-deciding
+// any subset in any batching reproduces them exactly.
+func TestPairScorerMatchesInfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	fx := newScorerFixture(t, 301)
+	direct, _, err := fx.fs.Infer(fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := fx.fs.NewPairScorer(context.Background(), fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ref := ps.RefDecisions()
+	for i := range direct {
+		if ref[i] != direct[i] {
+			t.Fatalf("reference decision %d: scorer %v, Infer %v", i, ref[i], direct[i])
+		}
+	}
+
+	// Re-decide under several batchings: everything at once, singles, odd
+	// chunks, and a shuffled order.
+	decideAll := func(batch int, order []int) {
+		t.Helper()
+		got := make([]bool, len(fx.pairs))
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			idx := order[start:end]
+			ps2 := make([]checkin.Pair, len(idx))
+			for j, i := range idx {
+				ps2[j] = fx.pairs[i]
+			}
+			dec, err := ps.Decide(context.Background(), ps2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, i := range idx {
+				got[i] = dec[j]
+			}
+		}
+		for _, i := range order {
+			if got[i] != direct[i] {
+				t.Fatalf("batch=%d: decision for pair %v = %v, Infer = %v",
+					batch, fx.pairs[i], got[i], direct[i])
+			}
+		}
+	}
+	inOrder := make([]int, len(fx.pairs))
+	for i := range inOrder {
+		inOrder[i] = i
+	}
+	decideAll(len(fx.pairs), inOrder)
+	decideAll(7, inOrder)
+	shuffled := append([]int(nil), inOrder...)
+	rand.New(rand.NewSource(9)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	decideAll(13, shuffled)
+	decideAll(1, shuffled[:40])
+}
+
+// TestPairScorerConcurrent hammers Decide from many goroutines (run under
+// -race via the core race target) and checks every answer against Infer.
+func TestPairScorerConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	fx := newScorerFixture(t, 311)
+	direct, _, err := fx.fs.Infer(fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := fx.fs.NewPairScorer(context.Background(), fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for round := 0; round < 5; round++ {
+				n := 1 + r.Intn(9)
+				idx := make([]int, n)
+				sub := make([]checkin.Pair, n)
+				for j := range idx {
+					idx[j] = r.Intn(len(fx.pairs))
+					sub[j] = fx.pairs[idx[j]]
+				}
+				dec, err := ps.Decide(context.Background(), sub)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j, i := range idx {
+					if dec[j] != direct[i] {
+						errCh <- errors.New("concurrent decision diverged from Infer")
+						return
+					}
+				}
+			}
+		}(int64(w) + 400)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestPairScorerUnknownUsers: pairs with users the dataset has never seen
+// decide false without error.
+func TestPairScorerUnknownUsers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	fx := newScorerFixture(t, 321)
+	ps, err := fx.fs.NewPairScorer(context.Background(), fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ps.Decide(context.Background(), []checkin.Pair{
+		checkin.MakePair(999901, 999902),
+		checkin.MakePair(fx.pairs[0].A, 999903),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dec {
+		if d {
+			t.Errorf("unknown-user pair %d decided true", i)
+		}
+	}
+}
+
+// TestInferContextCancellation: a cancelled context aborts at the next
+// stage boundary with the context's error, and a live one matches Infer.
+func TestInferContextCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	fx := newScorerFixture(t, 331)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := fx.fs.InferContext(ctx, fx.world.Dataset, fx.pairs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled InferContext error = %v, want context.Canceled", err)
+	}
+	if _, err := fx.fs.NewPairScorer(ctx, fx.world.Dataset, fx.pairs); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled NewPairScorer error = %v, want context.Canceled", err)
+	}
+	got, _, err := fx.fs.InferContext(context.Background(), fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := fx.fs.Infer(fx.world.Dataset, fx.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != direct[i] {
+			t.Fatalf("InferContext decision %d diverges from Infer", i)
+		}
+	}
+}

@@ -77,7 +77,10 @@ func (s *Suite) bundle(name string) (*worldBundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: split %s: %w", name, err)
 	}
-	allPairs, _ := w.FullView().AllPairs()
+	allPairs, _, err := w.FullView().AllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("experiment: enumerate %s pairs: %w", name, err)
+	}
 	b := &worldBundle{name: name, world: w, split: split, allPairs: allPairs}
 	s.worlds[name] = b
 	return b, nil

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// decider is the scoring dependency of a coalescer: core.PairScorer in
+// production, a fake in tests. Decide must return one decision per pair,
+// aligned, and must be independent of how pairs are grouped into batches
+// (PairScorer guarantees this by scoring against a frozen graph).
+type decider interface {
+	Decide(ctx context.Context, pairs []checkin.Pair) ([]bool, error)
+}
+
+// item is one pair waiting to be scored. done is buffered so the flusher
+// never blocks on a caller that gave up.
+type item struct {
+	pair     checkin.Pair
+	ctx      context.Context
+	enqueued time.Time
+	done     chan itemResult
+}
+
+type itemResult struct {
+	decision bool
+	err      error
+}
+
+type coalescerConfig struct {
+	queueDepth int
+	batchSize  int
+	maxWait    time.Duration
+	met        *serverMetrics
+}
+
+// coalescer micro-batches concurrently arriving pair requests into single
+// batched scoring calls: a batch flushes as soon as batchSize pairs are
+// waiting or maxWait after its first pair arrived, whichever comes first.
+// Under concurrency the server therefore pays the batched GEMM-path cost
+// per batch instead of the scalar path per request; a lone request pays at
+// most maxWait extra latency.
+type coalescer struct {
+	cfg coalescerConfig
+	in  chan *item
+	// resolve returns the decider for the *current* model state; it is
+	// called per flush, so a hot swap takes effect at the next batch
+	// boundary and every batch is scored wholly under one model.
+	resolve func(ctx context.Context) (decider, error)
+}
+
+func newCoalescer(cfg coalescerConfig, resolve func(ctx context.Context) (decider, error)) *coalescer {
+	return &coalescer{
+		cfg:     cfg,
+		in:      make(chan *item, cfg.queueDepth),
+		resolve: resolve,
+	}
+}
+
+// enqueue admits all of a request's pairs into the queue, or none: a
+// request that does not fit is rejected as a unit so its caller can get a
+// fast 429 instead of a partial answer. The returned items are aligned
+// with pairs. On ok=false nothing the caller must wait for was queued
+// (the request context, cancelled by the caller, unblocks any pair that
+// did slip in before the queue filled; its slot is discarded unscored).
+func (c *coalescer) enqueue(ctx context.Context, pairs []checkin.Pair) ([]*item, bool) {
+	items := make([]*item, len(pairs))
+	now := time.Now()
+	for i, p := range pairs {
+		it := &item{pair: p, ctx: ctx, enqueued: now, done: make(chan itemResult, 1)}
+		select {
+		case c.in <- it:
+			items[i] = it
+		default:
+			return nil, false
+		}
+	}
+	return items, true
+}
+
+// run is the flusher loop: collect a batch, score it, fan results out.
+// It exits when ctx (the server lifetime) is cancelled; Server.Shutdown
+// cancels only after every in-flight request handler has returned, so no
+// accepted work is abandoned.
+func (c *coalescer) run(ctx context.Context) {
+	for {
+		var first *item
+		select {
+		case first = <-c.in:
+		case <-ctx.Done():
+			return
+		}
+		batch := make([]*item, 1, c.cfg.batchSize)
+		batch[0] = first
+		timer := time.NewTimer(c.cfg.maxWait)
+	collect:
+		for len(batch) < c.cfg.batchSize {
+			select {
+			case it := <-c.in:
+				batch = append(batch, it)
+			case <-timer.C:
+				break collect
+			case <-ctx.Done():
+				break collect // score what we have; drain semantics
+			}
+		}
+		timer.Stop()
+		c.flush(ctx, batch)
+	}
+}
+
+// flush scores one batch. Items whose request context already expired are
+// answered with that error and excluded, so an abandoned request costs no
+// model work.
+func (c *coalescer) flush(ctx context.Context, batch []*item) {
+	live := batch[:0]
+	for _, it := range batch {
+		if err := it.ctx.Err(); err != nil {
+			it.done <- itemResult{err: err}
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if c.cfg.met != nil {
+		c.cfg.met.batchesTotal.Inc()
+		c.cfg.met.batchPairs.Observe(float64(len(live)))
+		now := time.Now()
+		for _, it := range live {
+			c.cfg.met.coalesceWaitSeconds.Observe(now.Sub(it.enqueued).Seconds())
+		}
+	}
+
+	fail := func(err error) {
+		for _, it := range live {
+			it.done <- itemResult{err: err}
+		}
+	}
+	d, err := c.resolve(ctx)
+	if err != nil {
+		fail(err)
+		return
+	}
+	pairs := make([]checkin.Pair, len(live))
+	for i, it := range live {
+		pairs[i] = it.pair
+	}
+	// The batch is scored under the server's context, not any single
+	// request's: one request's deadline must not cancel work that other
+	// requests in the batch are waiting on.
+	decisions, err := d.Decide(ctx, pairs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i, it := range live {
+		it.done <- itemResult{decision: decisions[i]}
+	}
+}

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"github.com/friendseeker/friendseeker/internal/telemetry"
+)
+
+// serverMetrics is the /metrics surface: request counters broken out by
+// outcome, the request latency histogram, and the coalescer's batch-size
+// and queue-wait distributions — enough to read throughput, tail latency
+// and batching efficiency off one scrape.
+type serverMetrics struct {
+	registry *telemetry.Registry
+
+	requestsTotal         *telemetry.Counter
+	okTotal               *telemetry.Counter
+	badRequestTotal       *telemetry.Counter
+	rejectedInflightTotal *telemetry.Counter
+	rejectedQueueTotal    *telemetry.Counter
+	rejectedDrainTotal    *telemetry.Counter
+	timeoutTotal          *telemetry.Counter
+	errorTotal            *telemetry.Counter
+	pairsTotal            *telemetry.Counter
+	batchesTotal          *telemetry.Counter
+	swapsTotal            *telemetry.Counter
+
+	requestSeconds      *telemetry.Histogram
+	coalesceWaitSeconds *telemetry.Histogram
+	batchPairs          *telemetry.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	r := telemetry.NewRegistry()
+	return &serverMetrics{
+		registry: r,
+
+		requestsTotal:         r.Counter("fs_serve_requests_total", "infer requests received"),
+		okTotal:               r.Counter("fs_serve_ok_total", "infer requests answered 200"),
+		badRequestTotal:       r.Counter("fs_serve_bad_request_total", "infer requests rejected as malformed"),
+		rejectedInflightTotal: r.Counter("fs_serve_rejected_inflight_total", "requests rejected 429 at the in-flight bound"),
+		rejectedQueueTotal:    r.Counter("fs_serve_rejected_queue_total", "requests rejected 429 at the queue bound"),
+		rejectedDrainTotal:    r.Counter("fs_serve_rejected_drain_total", "requests rejected 503 during shutdown drain"),
+		timeoutTotal:          r.Counter("fs_serve_timeout_total", "requests answered 504 after the per-request budget"),
+		errorTotal:            r.Counter("fs_serve_error_total", "requests answered 500"),
+		pairsTotal:            r.Counter("fs_serve_pairs_total", "pair decisions returned"),
+		batchesTotal:          r.Counter("fs_serve_batches_total", "coalescer batches scored"),
+		swapsTotal:            r.Counter("fs_serve_model_swaps_total", "successful hot model swaps"),
+
+		requestSeconds: r.Histogram("fs_serve_request_seconds",
+			"infer request latency (seconds)", telemetry.DefaultLatencyBuckets()),
+		coalesceWaitSeconds: r.Histogram("fs_serve_coalesce_wait_seconds",
+			"time a pair waited in the coalescer queue (seconds)", telemetry.DefaultLatencyBuckets()),
+		batchPairs: r.Histogram("fs_serve_batch_pairs",
+			"pairs per scored batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+	}
+}
+
+// registerGauges wires the gauges that sample live server state.
+func (m *serverMetrics) registerGauges(s *Server) {
+	m.registry.Gauge("fs_serve_inflight", "infer requests currently admitted", func() float64 {
+		return float64(len(s.inflight))
+	})
+	m.registry.Gauge("fs_serve_queue_depth", "pairs currently queued across datasets", func() float64 {
+		n := 0
+		for _, e := range s.datasets {
+			n += len(e.co.in)
+		}
+		return float64(n)
+	})
+}

@@ -1,0 +1,553 @@
+// Package serve is the model-serving subsystem: a long-running HTTP/JSON
+// inference server over a trained FriendSeeker model.
+//
+// Architecture (see DESIGN.md, "Serving architecture"):
+//
+//   - The trained model sits behind an atomic pointer; Swap publishes a
+//     newly loaded model with zero downtime (safe because PR 1 made
+//     trained models strictly read-only at inference).
+//   - Each served dataset has a core.PairScorer session — one reference
+//     inference frozen at convergence — and a request coalescer that
+//     micro-batches concurrently arriving pair requests into single calls
+//     through the batched EncodeInto / PredictProbaBatch kernels.
+//   - Admission control bounds both the number of in-flight requests and
+//     the per-dataset coalescer queue; overload is rejected fast with 429
+//     instead of queueing unboundedly.
+//   - Per-request budgets propagate via context.Context: an expired
+//     request is dropped from the next batch and answered 504.
+//   - Shutdown drains: accepted requests complete, new ones get 503.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+)
+
+// Config parameterises the server. The zero value gets sensible defaults
+// from fillDefaults.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted /v1/infer requests; further
+	// requests are rejected with 429 immediately.
+	MaxInFlight int
+	// QueueDepth bounds each dataset's coalescer queue, in pairs. A
+	// request that cannot enqueue all its pairs is rejected with 429.
+	QueueDepth int
+	// BatchSize is the coalescer flush threshold: a batch is scored as
+	// soon as this many pairs are waiting.
+	BatchSize int
+	// MaxWait is the coalescer flush deadline: a batch is scored at most
+	// this long after its first pair arrived, full or not.
+	MaxWait time.Duration
+	// RequestTimeout is the per-request budget; requests that exceed it
+	// are answered 504 and dropped from subsequent batches.
+	RequestTimeout time.Duration
+	// MaxPairsPerRequest bounds the pair list of one request (clamped to
+	// QueueDepth, since a larger request could never be admitted).
+	MaxPairsPerRequest int
+	// Reload, when set, backs POST /v1/admin/swap: it loads a fresh model
+	// (typically by re-reading the model file) which the server then warms
+	// and publishes. Without it the endpoint answers 501.
+	Reload func() (*core.FriendSeeker, string, error)
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) fillDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxPairsPerRequest == 0 {
+		c.MaxPairsPerRequest = 256
+	}
+	if c.MaxPairsPerRequest > c.QueueDepth {
+		c.MaxPairsPerRequest = c.QueueDepth
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Dataset names one check-in dataset the server answers queries against.
+type Dataset struct {
+	Name string
+	Data *checkin.Dataset
+	// RefPairs is the reference-inference universe. Empty means every
+	// unordered user pair of the dataset (the CLI's all-pairs posture).
+	RefPairs []checkin.Pair
+}
+
+// dsEntry is the immutable per-dataset serving state.
+type dsEntry struct {
+	name     string
+	data     *checkin.Dataset
+	refPairs []checkin.Pair
+	co       *coalescer
+}
+
+// session is one (model, dataset) scorer, built at most once.
+type session struct {
+	once   sync.Once
+	scorer *core.PairScorer
+	err    error
+}
+
+// modelState is everything derived from one loaded model. Swapping the
+// model swaps the whole state atomically; in-flight work keeps using the
+// state it started with.
+type modelState struct {
+	fs       *core.FriendSeeker
+	id       string
+	sessions map[string]*session
+}
+
+// scorer returns the dataset's PairScorer, building it on first use. The
+// build runs under the supplied (server-lifetime) context so a single
+// request's deadline can never poison the session.
+func (ms *modelState) scorer(ctx context.Context, e *dsEntry) (*core.PairScorer, error) {
+	s := ms.sessions[e.name]
+	s.once.Do(func() {
+		s.scorer, s.err = ms.fs.NewPairScorer(ctx, e.data, e.refPairs)
+	})
+	return s.scorer, s.err
+}
+
+// Server serves friendship-inference decisions over HTTP.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	state    atomic.Pointer[modelState]
+	datasets map[string]*dsEntry
+
+	inflight chan struct{}
+	draining atomic.Bool
+	reqWG    sync.WaitGroup // in-flight /v1/infer handlers
+	flushWG  sync.WaitGroup // coalescer flusher goroutines
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	swapMu  sync.Mutex // serialises Swap calls
+
+	mux *http.ServeMux
+	met *serverMetrics
+}
+
+// New builds a server over a trained (or loaded) model and at least one
+// dataset. modelID is an opaque identity string reported by /healthz and
+// responses (Hash gives one). Sessions are built lazily on first use;
+// call Warm to build them eagerly.
+func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Dataset) (*Server, error) {
+	cfg = cfg.fillDefaults()
+	if model == nil || !model.Trained() {
+		return nil, errors.New("serve: model must be trained")
+	}
+	if len(datasets) == 0 {
+		return nil, errors.New("serve: at least one dataset required")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		datasets: make(map[string]*dsEntry, len(datasets)),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		baseCtx:  ctx,
+		stop:     cancel,
+		met:      newServerMetrics(),
+	}
+	for _, d := range datasets {
+		if d.Name == "" || d.Data == nil {
+			cancel()
+			return nil, errors.New("serve: dataset needs a name and data")
+		}
+		if _, dup := s.datasets[d.Name]; dup {
+			cancel()
+			return nil, fmt.Errorf("serve: duplicate dataset %q", d.Name)
+		}
+		refPairs := d.RefPairs
+		if len(refPairs) == 0 {
+			refPairs = AllUserPairs(d.Data)
+		}
+		e := &dsEntry{name: d.Name, data: d.Data, refPairs: refPairs}
+		e.co = newCoalescer(coalescerConfig{
+			queueDepth: cfg.QueueDepth,
+			batchSize:  cfg.BatchSize,
+			maxWait:    cfg.MaxWait,
+			met:        s.met,
+		}, func(ctx context.Context) (decider, error) {
+			return s.state.Load().scorer(s.baseCtx, e)
+		})
+		s.datasets[d.Name] = e
+		s.flushWG.Add(1)
+		go func() {
+			defer s.flushWG.Done()
+			e.co.run(ctx)
+		}()
+	}
+	s.state.Store(s.newModelState(model, modelID))
+	s.met.registerGauges(s)
+	s.buildMux()
+	return s, nil
+}
+
+func (s *Server) newModelState(model *core.FriendSeeker, id string) *modelState {
+	ms := &modelState{fs: model, id: id, sessions: make(map[string]*session, len(s.datasets))}
+	for name := range s.datasets {
+		ms.sessions[name] = &session{}
+	}
+	return ms
+}
+
+// Warm builds the scorer session of every dataset for the current model,
+// in parallel. Serving works without it; warming front-loads the
+// reference inferences so the first requests do not pay for them.
+func (s *Server) Warm(ctx context.Context) error {
+	return s.warmState(ctx, s.state.Load())
+}
+
+func (s *Server) warmState(ctx context.Context, ms *modelState) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.datasets))
+	i := 0
+	for _, e := range s.datasets {
+		wg.Add(1)
+		go func(slot int, e *dsEntry) {
+			defer wg.Done()
+			_, err := ms.scorer(ctx, e)
+			if err != nil {
+				errs[slot] = fmt.Errorf("serve: warm %q: %w", e.name, err)
+			}
+		}(i, e)
+		i++
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Swap publishes a new model with zero downtime: every dataset session is
+// built for the new model first (the old model keeps serving meanwhile),
+// then the state pointer flips. In-flight batches finish against whichever
+// model they started with — safe because trained models are read-only at
+// inference.
+func (s *Server) Swap(ctx context.Context, model *core.FriendSeeker, modelID string) error {
+	if model == nil || !model.Trained() {
+		return errors.New("serve: swap model must be trained")
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	ns := s.newModelState(model, modelID)
+	if err := s.warmState(ctx, ns); err != nil {
+		return err
+	}
+	s.state.Store(ns)
+	s.met.swapsTotal.Inc()
+	s.log.Info("model swapped", "model", modelID)
+	return nil
+}
+
+// ModelID returns the identity of the currently served model.
+func (s *Server) ModelID() string { return s.state.Load().id }
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the server: new infer requests are refused with 503,
+// in-flight requests run to completion (bounded by ctx), then the
+// coalescer goroutines stop. Callers using ListenAndServe do not call
+// this directly; it is exposed for embedders driving their own listener.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("serve: shutdown drain: %w", ctx.Err())
+	}
+	s.stop()
+	s.flushWG.Wait()
+	return err
+}
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully within drainTimeout.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drainTimeout time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.stop()
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "drain_timeout", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	httpErr := hs.Shutdown(dctx)
+	drainErr := s.Shutdown(dctx)
+	return errors.Join(httpErr, drainErr)
+}
+
+// AllUserPairs enumerates every unordered user pair of a dataset — the
+// default reference universe, matching the CLI's all-pairs attack
+// posture. Quadratic in users; serving-scale datasets are expected to be
+// the modest evaluation slices, not raw SNAP dumps.
+func AllUserPairs(ds *checkin.Dataset) []checkin.Pair {
+	users := ds.Users()
+	pairs := make([]checkin.Pair, 0, len(users)*(len(users)-1)/2)
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			pairs = append(pairs, checkin.MakePair(users[i], users[j]))
+		}
+	}
+	return pairs
+}
+
+// LoadModelFile reads a model written by Save and returns it with its
+// content hash (the first 12 hex digits of SHA-256), which serves as the
+// model identity in responses and logs.
+func LoadModelFile(path string) (*core.FriendSeeker, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: read model: %w", err)
+	}
+	fs, err := core.Load(bytesReader(raw))
+	if err != nil {
+		return nil, "", err
+	}
+	return fs, Hash(raw), nil
+}
+
+// Hash returns the short content hash used as a model identity.
+func Hash(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return fmt.Sprintf("%x", sum[:6])
+}
+
+func bytesReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// --- HTTP layer ---
+
+// inferRequest is the body of POST /v1/infer.
+type inferRequest struct {
+	// Dataset names a dataset registered at startup.
+	Dataset string `json:"dataset"`
+	// Pairs is a list of [a, b] user-ID pairs to decide.
+	Pairs [][2]int64 `json:"pairs"`
+}
+
+// inferResponse is the body of a successful POST /v1/infer.
+type inferResponse struct {
+	Model     string `json:"model"`
+	Dataset   string `json:"dataset"`
+	Decisions []bool `json:"decisions"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requestsTotal.Inc()
+	if s.draining.Load() {
+		s.met.rejectedDrainTotal.Inc()
+		s.reject(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	// Admission gate 1: bounded in-flight requests, fast rejection.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.met.rejectedInflightTotal.Inc()
+		s.reject(w, http.StatusTooManyRequests, "too many in-flight requests")
+		return
+	}
+	s.reqWG.Add(1)
+	defer func() {
+		<-s.inflight
+		s.reqWG.Done()
+	}()
+
+	var req inferRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.met.badRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	entry, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.met.badRequestTotal.Inc()
+		s.reject(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q", req.Dataset))
+		return
+	}
+	if len(req.Pairs) == 0 {
+		s.met.badRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest, "no pairs")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxPairsPerRequest {
+		s.met.badRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("%d pairs exceeds the per-request limit %d", len(req.Pairs), s.cfg.MaxPairsPerRequest))
+		return
+	}
+	pairs := make([]checkin.Pair, len(req.Pairs))
+	for i, ab := range req.Pairs {
+		if ab[0] == ab[1] {
+			s.met.badRequestTotal.Inc()
+			s.reject(w, http.StatusBadRequest, fmt.Sprintf("pair %d: identical users %d", i, ab[0]))
+			return
+		}
+		pairs[i] = checkin.MakePair(checkin.UserID(ab[0]), checkin.UserID(ab[1]))
+	}
+
+	// Per-request budget, propagated into the coalescer via the items.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Admission gate 2: bounded coalescer queue, fast rejection.
+	items, ok := entry.co.enqueue(ctx, pairs)
+	if !ok {
+		s.met.rejectedQueueTotal.Inc()
+		s.reject(w, http.StatusTooManyRequests, "scoring queue is full")
+		return
+	}
+
+	decisions := make([]bool, len(items))
+	for i, it := range items {
+		select {
+		case res := <-it.done:
+			if res.err != nil {
+				s.met.errorTotal.Inc()
+				s.log.Error("infer failed", "dataset", req.Dataset, "err", res.err)
+				s.reject(w, http.StatusInternalServerError, res.err.Error())
+				return
+			}
+			decisions[i] = res.decision
+		case <-ctx.Done():
+			s.met.timeoutTotal.Inc()
+			s.log.Warn("infer timed out", "dataset", req.Dataset, "pairs", len(pairs),
+				"elapsed_ms", time.Since(start).Milliseconds())
+			s.reject(w, http.StatusGatewayTimeout, "request timed out")
+			return
+		}
+	}
+
+	state := s.state.Load()
+	s.met.okTotal.Inc()
+	s.met.pairsTotal.Add(int64(len(pairs)))
+	s.met.requestSeconds.Observe(time.Since(start).Seconds())
+	s.log.Info("infer", "dataset", req.Dataset, "pairs", len(pairs),
+		"model", state.id, "dur_ms", time.Since(start).Milliseconds())
+	writeJSON(w, http.StatusOK, inferResponse{
+		Model:     state.id,
+		Dataset:   req.Dataset,
+		Decisions: decisions,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"model":    s.state.Load().id,
+		"datasets": names,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.registry.WritePrometheus(w)
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Reload == nil {
+		s.reject(w, http.StatusNotImplemented, "no model reloader configured")
+		return
+	}
+	model, id, err := s.cfg.Reload()
+	if err != nil {
+		s.reject(w, http.StatusInternalServerError, "reload model: "+err.Error())
+		return
+	}
+	if err := s.Swap(r.Context(), model, id); err != nil {
+		s.reject(w, http.StatusInternalServerError, "swap model: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"model": id})
+}

@@ -1,0 +1,607 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// The serving tests train real (tiny) models once and share them: the
+// subsystem's core contract — served decisions byte-identical to a direct
+// Infer — is only meaningful against the real pipeline.
+
+type serveFixture struct {
+	world            *synth.World
+	pairs            []checkin.Pair
+	modelA, modelB   *core.FriendSeeker
+	directA, directB []bool
+	err              error
+}
+
+var (
+	fxOnce sync.Once
+	fx     *serveFixture
+)
+
+func quickCfg(seed int64) core.Config {
+	return core.Config{
+		Sigma:         60,
+		Tau:           7 * 24 * time.Hour,
+		FeatureDim:    32,
+		K:             3,
+		Epochs:        10,
+		Alpha:         10,
+		LearningRate:  0.05,
+		KNNNeighbors:  9,
+		MaxIterations: 4,
+		UsePathCounts: true,
+		Seed:          seed,
+	}
+}
+
+func getFixture(t *testing.T) *serveFixture {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains models; skipped in -short")
+	}
+	fxOnce.Do(func() {
+		fx = buildFixture()
+	})
+	if fx.err != nil {
+		t.Fatal(fx.err)
+	}
+	return fx
+}
+
+func buildFixture() *serveFixture {
+	f := &serveFixture{}
+	fail := func(err error) *serveFixture { f.err = err; return f }
+	w, err := synth.Generate(synth.Tiny(501))
+	if err != nil {
+		return fail(err)
+	}
+	f.world = w
+	split, err := w.FullView().SplitPairs(0.7, 2, 502)
+	if err != nil {
+		return fail(err)
+	}
+	train := func(seed int64) (*core.FriendSeeker, []bool, error) {
+		m, err := core.New(quickCfg(seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+			return nil, nil, err
+		}
+		dec, _, err := m.Infer(w.Dataset, f.pairs)
+		return m, dec, err
+	}
+	f.pairs = AllUserPairs(w.Dataset)
+	if f.modelA, f.directA, err = train(503); err != nil {
+		return fail(err)
+	}
+	if f.modelB, f.directB, err = train(701); err != nil {
+		return fail(err)
+	}
+	return f
+}
+
+func newTestServer(t *testing.T, cfg Config, model *core.FriendSeeker, id string) *Server {
+	t.Helper()
+	f := getFixture(t)
+	s, err := New(cfg, model, id, []Dataset{{Name: "tiny", Data: f.world.Dataset}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postInferJSON(client *http.Client, url string, body any) (int, inferResponse, string, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, inferResponse{}, "", err
+	}
+	resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, inferResponse{}, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, inferResponse{}, "", err
+	}
+	var ir inferResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &ir); err != nil {
+			return 0, inferResponse{}, "", fmt.Errorf("decode 200 body %q: %w", raw, err)
+		}
+	}
+	return resp.StatusCode, ir, string(raw), nil
+}
+
+// mustPostInfer is postInferJSON for call sites on the test goroutine.
+func mustPostInfer(t *testing.T, client *http.Client, url string, body any) (int, inferResponse, string) {
+	t.Helper()
+	code, ir, raw, err := postInferJSON(client, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, ir, raw
+}
+
+// TestServeEndToEndIdentity is the subsystem's acceptance contract: many
+// concurrent HTTP clients, coalesced into shared batches, must each get
+// decisions byte-identical to a direct Infer call — plus the surrounding
+// HTTP semantics (healthz, metrics, malformed requests, drain rejection).
+// Run under -race via the serve race target.
+func TestServeEndToEndIdentity(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{BatchSize: 32, MaxWait: time.Millisecond, RequestTimeout: time.Minute}, f.modelA, "model-a")
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	// Concurrent clients split the pair universe into chunked requests.
+	const workers = 6
+	const chunk = 32
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for start := offset * chunk; start < len(f.pairs); start += workers * chunk {
+				end := start + chunk
+				if end > len(f.pairs) {
+					end = len(f.pairs)
+				}
+				body := [][2]int64{}
+				for _, p := range f.pairs[start:end] {
+					body = append(body, [2]int64{int64(p.A), int64(p.B)})
+				}
+				code, ir, raw, err := postInferJSON(client, hs.URL,
+					inferRequest{Dataset: "tiny", Pairs: body})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if code != http.StatusOK {
+					errCh <- fmt.Errorf("chunk at %d: status %d: %s", start, code, raw)
+					return
+				}
+				if ir.Model != "model-a" || ir.Dataset != "tiny" {
+					errCh <- fmt.Errorf("chunk at %d: response identity %q/%q", start, ir.Model, ir.Dataset)
+					return
+				}
+				for j, dec := range ir.Decisions {
+					if dec != f.directA[start+j] {
+						errCh <- fmt.Errorf("pair %v: served %v, Infer %v",
+							f.pairs[start+j], dec, f.directA[start+j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Malformed requests.
+	for _, tc := range []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown dataset", inferRequest{Dataset: "nope", Pairs: [][2]int64{{1, 2}}}, http.StatusNotFound},
+		{"no pairs", inferRequest{Dataset: "tiny"}, http.StatusBadRequest},
+		{"identical users", inferRequest{Dataset: "tiny", Pairs: [][2]int64{{7, 7}}}, http.StatusBadRequest},
+		{"not json", "not json", http.StatusBadRequest},
+	} {
+		code, _, raw := mustPostInfer(t, client, hs.URL, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, code, tc.want, raw)
+		}
+	}
+
+	// Healthz.
+	resp, err := client.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string   `json:"status"`
+		Model    string   `json:"model"`
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Model != "model-a" ||
+		len(health.Datasets) != 1 || health.Datasets[0] != "tiny" {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Metrics: request counts and latency histograms must be reported.
+	resp, err = client.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(raw)
+	for _, want := range []string{
+		"fs_serve_requests_total",
+		"fs_serve_ok_total",
+		"fs_serve_pairs_total",
+		"fs_serve_batches_total",
+		"fs_serve_request_seconds_bucket{le=",
+		"fs_serve_request_seconds_count",
+		"fs_serve_batch_pairs_bucket",
+		"fs_serve_inflight",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if s.met.okTotal.Value() == 0 || s.met.pairsTotal.Value() == 0 {
+		t.Errorf("ok=%d pairs=%d, want both > 0", s.met.okTotal.Value(), s.met.pairsTotal.Value())
+	}
+
+	// Drain: after Shutdown, new requests are refused and healthz degrades.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, _, _ := mustPostInfer(t, client, hs.URL, inferRequest{Dataset: "tiny", Pairs: [][2]int64{{1, 2}}})
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain status = %d, want 503", code)
+	}
+	if s.met.rejectedDrainTotal.Value() == 0 {
+		t.Error("rejectedDrainTotal not incremented")
+	}
+}
+
+// TestServeHotSwapUnderLoad swaps the model through the admin endpoint
+// while clients hammer /v1/infer: every answer must match one of the two
+// models' direct Infer, no request may fail, and after the swap the server
+// must answer exactly as model B.
+func TestServeHotSwapUnderLoad(t *testing.T) {
+	f := getFixture(t)
+	reload := func() (*core.FriendSeeker, string, error) { return f.modelB, "model-b", nil }
+	s := newTestServer(t, Config{BatchSize: 16, MaxWait: time.Millisecond, RequestTimeout: time.Minute, Reload: reload}, f.modelA, "model-a")
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	client := hs.Client()
+
+	stop := make(chan struct{})
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := w; ; n += workers {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := n % len(f.pairs)
+				p := f.pairs[i]
+				code, ir, raw, err := postInferJSON(client, hs.URL,
+					inferRequest{Dataset: "tiny", Pairs: [][2]int64{{int64(p.A), int64(p.B)}}})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if code != http.StatusOK {
+					errCh <- fmt.Errorf("status %d during swap: %s", code, raw)
+					return
+				}
+				// During the swap window an answer may come from either
+				// model, but never from anything else.
+				if ir.Decisions[0] != f.directA[i] && ir.Decisions[0] != f.directB[i] {
+					errCh <- fmt.Errorf("pair %v: decision %v matches neither model", p, ir.Decisions[0])
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Swap via the admin endpoint mid-load (warms model B, then flips).
+	resp, err := client.Post(hs.URL+"/v1/admin/swap", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin swap status %d: %s", resp.StatusCode, raw)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if got := s.ModelID(); got != "model-b" {
+		t.Fatalf("post-swap model id = %q, want model-b", got)
+	}
+	if s.met.swapsTotal.Value() != 1 {
+		t.Errorf("swapsTotal = %d, want 1", s.met.swapsTotal.Value())
+	}
+	// Post-swap, the whole universe must answer exactly as model B.
+	for start := 0; start < len(f.pairs); start += 64 {
+		end := start + 64
+		if end > len(f.pairs) {
+			end = len(f.pairs)
+		}
+		body := [][2]int64{}
+		for _, p := range f.pairs[start:end] {
+			body = append(body, [2]int64{int64(p.A), int64(p.B)})
+		}
+		code, ir, raw := mustPostInfer(t, client, hs.URL, inferRequest{Dataset: "tiny", Pairs: body})
+		if code != http.StatusOK {
+			t.Fatalf("post-swap status %d: %s", code, raw)
+		}
+		if ir.Model != "model-b" {
+			t.Fatalf("post-swap response model %q", ir.Model)
+		}
+		for j, dec := range ir.Decisions {
+			if dec != f.directB[start+j] {
+				t.Fatalf("post-swap pair %v: served %v, model B Infer %v",
+					f.pairs[start+j], dec, f.directB[start+j])
+			}
+		}
+	}
+}
+
+// TestServeSwapWithoutReloader: the admin endpoint without a configured
+// reloader answers 501.
+func TestServeSwapWithoutReloader(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{}, f.modelA, "model-a")
+	defer s.Shutdown(context.Background())
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	resp, err := hs.Client().Post(hs.URL+"/v1/admin/swap", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestServeAdmissionInFlight: with the in-flight bound exhausted, requests
+// are rejected 429 immediately.
+func TestServeAdmissionInFlight(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{MaxInFlight: 2}, f.modelA, "model-a")
+	defer s.Shutdown(context.Background())
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Occupy both in-flight slots as stalled handlers would.
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+	code, _, raw := mustPostInfer(t, hs.Client(), hs.URL,
+		inferRequest{Dataset: "tiny", Pairs: [][2]int64{{1, 2}}})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", code, raw)
+	}
+	if s.met.rejectedInflightTotal.Value() != 1 {
+		t.Errorf("rejectedInflightTotal = %d, want 1", s.met.rejectedInflightTotal.Value())
+	}
+	<-s.inflight
+	<-s.inflight
+}
+
+// TestServeAdmissionQueueFull: a request whose pairs do not all fit in the
+// coalescer queue is rejected 429 as a unit, and a request above the
+// per-request pair bound is a 400.
+func TestServeAdmissionQueueFull(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{QueueDepth: 2}, f.modelA, "model-a")
+	// Stop the flusher so queued items stay queued, then fill the queue.
+	s.stop()
+	s.flushWG.Wait()
+	e := s.datasets["tiny"]
+	for i := 0; i < 2; i++ {
+		e.co.in <- &item{ctx: context.Background(), done: make(chan itemResult, 1)}
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	code, _, raw := mustPostInfer(t, hs.Client(), hs.URL,
+		inferRequest{Dataset: "tiny", Pairs: [][2]int64{{1, 2}}})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", code, raw)
+	}
+	if s.met.rejectedQueueTotal.Value() != 1 {
+		t.Errorf("rejectedQueueTotal = %d, want 1", s.met.rejectedQueueTotal.Value())
+	}
+
+	// MaxPairsPerRequest is clamped to QueueDepth (2), so 3 pairs is a 400.
+	code, _, raw = mustPostInfer(t, hs.Client(), hs.URL,
+		inferRequest{Dataset: "tiny", Pairs: [][2]int64{{1, 2}, {3, 4}, {5, 6}}})
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized request status = %d, want 400 (%s)", code, raw)
+	}
+}
+
+// TestServeRequestTimeout: a request whose budget expires before its batch
+// is scored gets a 504.
+func TestServeRequestTimeout(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond}, f.modelA, "model-a")
+	// Stop the flusher: accepted pairs will never be answered.
+	s.stop()
+	s.flushWG.Wait()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	code, _, raw := mustPostInfer(t, hs.Client(), hs.URL,
+		inferRequest{Dataset: "tiny", Pairs: [][2]int64{{1, 2}}})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", code, raw)
+	}
+	if s.met.timeoutTotal.Value() != 1 {
+		t.Errorf("timeoutTotal = %d, want 1", s.met.timeoutTotal.Value())
+	}
+}
+
+// TestServeShutdownDrainsAcceptedWork: a request already accepted when
+// Shutdown begins still completes with a correct answer; Shutdown waits
+// for it.
+func TestServeShutdownDrainsAcceptedWork(t *testing.T) {
+	f := getFixture(t)
+	// Huge batch + long wait: the accepted pair sits in the coalescer until
+	// the flush timer fires, well after Shutdown has begun.
+	s := newTestServer(t, Config{BatchSize: 1024, MaxWait: 300 * time.Millisecond, RequestTimeout: time.Minute}, f.modelA, "model-a")
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	p := f.pairs[0]
+	type result struct {
+		code int
+		ir   inferResponse
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		code, ir, _, err := postInferJSON(hs.Client(), hs.URL,
+			inferRequest{Dataset: "tiny", Pairs: [][2]int64{{int64(p.A), int64(p.B)}}})
+		if err != nil {
+			code = -1
+		}
+		resCh <- result{code, ir}
+	}()
+	// Wait until the request is admitted and queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.datasets["tiny"].co.in) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	res := <-resCh
+	if res.code != http.StatusOK {
+		t.Fatalf("drained request status = %d, want 200", res.code)
+	}
+	if res.ir.Decisions[0] != f.directA[0] {
+		t.Fatalf("drained decision %v, Infer %v", res.ir.Decisions[0], f.directA[0])
+	}
+}
+
+// TestServeShutdownBoundedByContext: Shutdown gives up waiting for a
+// straggler when its context expires, reporting the drain error.
+func TestServeShutdownBoundedByContext(t *testing.T) {
+	f := getFixture(t)
+	s := newTestServer(t, Config{}, f.modelA, "model-a")
+	s.reqWG.Add(1) // a handler that never finishes
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := s.Shutdown(ctx)
+	s.reqWG.Done()
+	if err == nil || !strings.Contains(err.Error(), "drain") {
+		t.Fatalf("Shutdown error = %v, want drain timeout", err)
+	}
+}
+
+// TestCoalescerEnqueueAllOrNothing: a multi-pair request either takes all
+// its queue slots or none.
+func TestCoalescerEnqueueAllOrNothing(t *testing.T) {
+	c := newCoalescer(coalescerConfig{queueDepth: 4, batchSize: 4, maxWait: time.Hour},
+		func(context.Context) (decider, error) { return nil, nil })
+	ctx := context.Background()
+	pairs := func(n int) []checkin.Pair {
+		ps := make([]checkin.Pair, n)
+		for i := range ps {
+			ps[i] = checkin.MakePair(checkin.UserID(2*i+1), checkin.UserID(2*i+2))
+		}
+		return ps
+	}
+	if _, ok := c.enqueue(ctx, pairs(3)); !ok {
+		t.Fatal("first enqueue of 3 into depth 4 should fit")
+	}
+	if _, ok := c.enqueue(ctx, pairs(2)); ok {
+		t.Fatal("enqueue of 2 with 1 free slot should be rejected as a unit")
+	}
+	// The failed request's first pair transiently holds the last slot until
+	// a flush drops it (the handler cancels the request context on 429), so
+	// right now the queue is full and further requests are rejected too.
+	if _, ok := c.enqueue(ctx, pairs(1)); ok {
+		t.Fatal("queue should be full: 3 live pairs + 1 abandoned partial")
+	}
+	if got := len(c.in); got != 4 {
+		t.Fatalf("queued items = %d, want 4", got)
+	}
+}
+
+// TestCoalescerDropsExpiredItems: items whose request context died before
+// the flush are answered with the context error and cost no model work.
+func TestCoalescerDropsExpiredItems(t *testing.T) {
+	var scored [][]checkin.Pair
+	d := deciderFunc(func(_ context.Context, ps []checkin.Pair) ([]bool, error) {
+		scored = append(scored, ps)
+		return make([]bool, len(ps)), nil
+	})
+	c := newCoalescer(coalescerConfig{queueDepth: 8, batchSize: 8, maxWait: time.Hour},
+		func(context.Context) (decider, error) { return d, nil })
+
+	live, cancelled := context.Background(), func() context.Context {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		return ctx
+	}()
+	a := &item{pair: checkin.MakePair(1, 2), ctx: cancelled, done: make(chan itemResult, 1)}
+	b := &item{pair: checkin.MakePair(3, 4), ctx: live, done: make(chan itemResult, 1)}
+	c.flush(context.Background(), []*item{a, b})
+
+	if res := <-a.done; res.err == nil {
+		t.Error("expired item not answered with its context error")
+	}
+	if res := <-b.done; res.err != nil {
+		t.Errorf("live item errored: %v", res.err)
+	}
+	if len(scored) != 1 || len(scored[0]) != 1 || scored[0][0] != b.pair {
+		t.Errorf("scored batches = %v, want just the live pair", scored)
+	}
+}
+
+// deciderFunc adapts a function to the decider interface.
+type deciderFunc func(ctx context.Context, pairs []checkin.Pair) ([]bool, error)
+
+func (f deciderFunc) Decide(ctx context.Context, pairs []checkin.Pair) ([]bool, error) {
+	return f(ctx, pairs)
+}

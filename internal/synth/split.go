@@ -125,9 +125,18 @@ func (v *View) SamplePairs(negRatio float64, seed int64) ([]checkin.Pair, []bool
 }
 
 // AllPairs enumerates every unordered user pair in the view with its
-// ground-truth label. Quadratic: use only at evaluation scale.
-func (v *View) AllPairs() ([]checkin.Pair, []bool) {
+// ground-truth label. Quadratic: use only at evaluation scale. It fails
+// on degenerate views (missing dataset or truth graph, fewer than two
+// users) instead of returning an empty enumeration that downstream
+// train/infer steps would trip over with opaquer errors.
+func (v *View) AllPairs() ([]checkin.Pair, []bool, error) {
+	if v.Dataset == nil || v.Truth == nil {
+		return nil, nil, errors.New("synth: view needs a dataset and a truth graph")
+	}
 	users := v.Dataset.Users()
+	if len(users) < 2 {
+		return nil, nil, fmt.Errorf("synth: %d users is too few to enumerate pairs", len(users))
+	}
 	var pairs []checkin.Pair
 	var labels []bool
 	for i := 0; i < len(users); i++ {
@@ -137,7 +146,7 @@ func (v *View) AllPairs() ([]checkin.Pair, []bool) {
 			labels = append(labels, v.Truth.HasEdge(p.A, p.B))
 		}
 	}
-	return pairs, labels
+	return pairs, labels, nil
 }
 
 // FullView returns the whole world as a single view.

@@ -1,0 +1,207 @@
+// Package telemetry is a minimal counter / latency-histogram layer for
+// long-running processes: lock-free on the hot path, rendered in the
+// Prometheus text exposition format for scrape endpoints. It exists so the
+// serving subsystem can report request counts and latency distributions
+// without pulling a metrics dependency into the module.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; negative deltas are ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: bucket i counts observations <= bounds[i], plus an implicit
+// +Inf bucket). Observations are atomic; Observe never blocks Observe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// atomicFloat accumulates a float64 with a CAS loop.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. Bounds are copied and sorted defensively.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// DefaultLatencyBuckets covers 100us..30s, roughly logarithmic, in
+// seconds — suitable for request latencies.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the containing bucket. With no observations it returns 0; observations
+// beyond the last bound clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lower := 0.0
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			if c == 0 {
+				return bound
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(bound-lower)
+		}
+		cum += c
+		lower = bound
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metric is one registered name + render function.
+type metric struct {
+	name, help string
+	render     func(w io.Writer, name string)
+}
+
+// Registry holds named metrics and renders them in registration order.
+// Registration is synchronised; reads of the registered metrics are
+// lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{})}
+}
+
+// Counter registers and returns a new counter. Registering a duplicate
+// name panics: metric names are program constants, so a collision is a
+// programming error worth failing loudly on.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value())
+	})
+	return c
+}
+
+// Histogram registers and returns a new histogram over bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, help, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatBound(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", n, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+	})
+	return h
+}
+
+// Gauge registers a callback-backed gauge: the function is sampled at
+// render time, so the caller never has to push updates.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(name, help, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, fn())
+	})
+}
+
+func (r *Registry) register(name, help string, render func(io.Writer, string)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.byName[name] = struct{}{}
+	r.metrics = append(r.metrics, metric{name: name, help: help, render: render})
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+		}
+		m.render(w, m.name)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do
+// (shortest float representation).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

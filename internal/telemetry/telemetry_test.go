@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Inc()
+	c.Add(3)
+	c.Add(-7) // negative deltas are ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramCountsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 0.5 + 1.5 + 1.5 + 3 + 100; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// Ten observations spread evenly inside (1,2]: the median interpolates
+	// within that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("median = %v, want within the (1,2] bucket", q)
+	}
+	// Observations beyond the last bound clamp to it.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 1", q)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1})
+	r.Gauge("test_gauge", "a gauge", func() float64 { return 42 })
+	c.Add(3)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_total a counter",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_count 3",
+		"# TYPE test_gauge gauge",
+		"test_gauge 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate metric name did not panic")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+// TestConcurrentObserve exercises the lock-free hot path under -race and
+// checks no observation is lost.
+func TestConcurrentObserve(t *testing.T) {
+	var c Counter
+	h := NewHistogram(DefaultLatencyBuckets())
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}

@@ -40,7 +40,10 @@ func RunProtocol(view *View, cfg Config, seed int64) (*ProtocolResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pairs, _ := view.AllPairs()
+	pairs, _, err := view.AllPairs()
+	if err != nil {
+		return nil, fmt.Errorf("friendseeker: enumerate pairs: %w", err)
+	}
 	decisions, inferRep, err := attack.Infer(view.Dataset, pairs)
 	if err != nil {
 		return nil, fmt.Errorf("friendseeker: infer: %w", err)

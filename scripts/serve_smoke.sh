@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem (`make serve-smoke`):
+# generate a tiny world, train and save a model, start `friendseeker
+# serve`, probe /healthz and /metrics, drive it with loadgen, and shut it
+# down gracefully. Uses only bash builtins for the HTTP probes (/dev/tcp)
+# so it runs anywhere the Go toolchain does.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+HOST=127.0.0.1
+PORT="${SERVE_SMOKE_PORT:-8471}"
+
+# http_get PATH -> response (status line + headers + body) over /dev/tcp.
+http_get() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$1" "$HOST" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+fail() {
+  echo "serve-smoke: $*" >&2
+  [ -f "$WORK/server.log" ] && sed 's/^/serve-smoke:   server: /' "$WORK/server.log" >&2
+  exit 1
+}
+
+cd "$ROOT"
+echo "serve-smoke: building binaries"
+go build -o "$WORK/bin/" ./cmd/friendseeker ./cmd/synthgen ./cmd/loadgen
+
+echo "serve-smoke: generating tiny world"
+"$WORK/bin/synthgen" -preset tiny -seed 1 -out "$WORK" >/dev/null
+
+echo "serve-smoke: training model"
+"$WORK/bin/friendseeker" \
+  -checkins "$WORK/tiny-checkins.csv" -edges "$WORK/tiny-edges.csv" \
+  -epochs 10 -seed 1 -save-model "$WORK/model.bin" >/dev/null
+
+echo "serve-smoke: starting server on $HOST:$PORT"
+"$WORK/bin/friendseeker" serve \
+  -model "$WORK/model.bin" -data tiny="$WORK/tiny-checkins.csv" \
+  -listen "$HOST:$PORT" >"$WORK/server.out" 2>"$WORK/server.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 120); do
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+  if (exec 3<>"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+    exec 3<&- 3>&-
+    break
+  fi
+  sleep 1
+done
+
+HEALTH="$(http_get /healthz)"
+echo "$HEALTH" | grep -q '"status":"ok"' || fail "healthz not ok: $HEALTH"
+
+echo "serve-smoke: driving load"
+"$WORK/bin/loadgen" -addr "http://$HOST:$PORT" -dataset tiny -preset tiny -seed 1 \
+  -rps 20,40 -stage 2s -pairs 4 | tee "$WORK/loadgen.out"
+grep -q 'stage' "$WORK/loadgen.out" || fail "loadgen produced no stage report"
+grep -Eq ' ok [1-9][0-9]* ' "$WORK/loadgen.out" || fail "no successful requests"
+
+METRICS="$(http_get /metrics)"
+echo "$METRICS" | grep -q 'fs_serve_requests_total' || fail "metrics missing request counter"
+echo "$METRICS" | grep -q 'fs_serve_request_seconds_count' || fail "metrics missing latency histogram"
+
+echo "serve-smoke: graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+echo "serve-smoke: OK"
