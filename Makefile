@@ -3,14 +3,19 @@
 # pipeline, the serving subsystem and the public facade) under the race
 # detector, which is how the Train-once/Infer-concurrently and serving
 # identity contracts are enforced. `make serve-smoke` boots the real
-# server binary and drives it with loadgen.
+# server binary and drives it with loadgen. `make bench` and
+# `make bench-serve` refresh the tracked perf-trajectory artifacts
+# BENCH_micro.json and BENCH_serve.json.
+
+# bash for pipefail in the bench recipe.
+SHELL := /bin/bash
 
 GO ?= go
 # Repetitions per benchmark; raise (e.g. BENCH_COUNT=10) for benchstat
 # confidence intervals.
 BENCH_COUNT ?= 5
 
-.PHONY: all vet build test race check bench serve-smoke
+.PHONY: all vet build test race check bench bench-serve serve-smoke
 
 all: check
 
@@ -36,10 +41,21 @@ serve-smoke:
 	bash scripts/serve_smoke.sh
 
 # Micro-benchmarks of the batched scoring kernels plus the end-to-end
-# attack. Output is benchstat-comparable: redirect to a file before and
-# after a change and run `benchstat old.txt new.txt`.
+# attack. The raw text stays benchstat-comparable (it is echoed as it
+# runs); the aggregated result is persisted as BENCH_micro.json so the
+# perf trajectory is a tracked artifact.
 bench:
+	set -euo pipefail; tmp=$$(mktemp); trap "rm -f $$tmp" EXIT; \
 	$(GO) test -run '^$$' -bench 'BenchmarkMatMulKernels|BenchmarkEncodeBatch|BenchmarkSVMPredictBatch|BenchmarkKNNPredictBatch' \
 		-benchmem -count=$(BENCH_COUNT) \
-		./internal/tensor ./internal/nn ./internal/svm ./internal/knn
-	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndAttack' -benchmem -count=$(BENCH_COUNT) -timeout 60m .
+		./internal/tensor ./internal/nn ./internal/svm ./internal/knn | tee $$tmp; \
+	$(GO) test -run '^$$' -bench 'BenchmarkEndToEndAttack' -benchmem -count=$(BENCH_COUNT) -timeout 60m . | tee -a $$tmp; \
+	$(GO) run ./cmd/benchjson < $$tmp > BENCH_micro.json; \
+	echo "wrote BENCH_micro.json"
+
+# Fixed-seed serving benchmark: replay a deterministic open-loop sweep
+# schedule against a freshly trained tiny-world server and persist the
+# SLO report as BENCH_serve.json (gated at -20% goodput vs the
+# checked-in baseline; see scripts/bench_serve.sh).
+bench-serve:
+	bash scripts/bench_serve.sh

@@ -1,0 +1,173 @@
+// Command benchjson turns perf numbers into tracked repo artifacts.
+//
+// Two modes:
+//
+//	# Convert `go test -bench` text (stdin) into BENCH_micro.json (stdout),
+//	# averaging repeated -count runs per benchmark:
+//	go test -bench . -benchmem -count 5 ./... | benchjson > BENCH_micro.json
+//
+//	# Gate a serve-bench artifact against the checked-in baseline: exit
+//	# non-zero if the candidate's metric regressed more than -max-regress:
+//	benchjson -baseline BENCH_serve.json -candidate new.json \
+//	          -field goodput_rps -max-regress 0.20
+//
+// Both BENCH_*.json schemas are flat enough to diff between commits, so
+// the perf trajectory across PRs lives in git history instead of commit-
+// message lore.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// microSchemaV1 tags BENCH_micro.json artifacts.
+const microSchemaV1 = "friendseeker/bench-micro/v1"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		baseline   = fs.String("baseline", "", "compare mode: checked-in bench JSON to gate against")
+		candidate  = fs.String("candidate", "", "compare mode: freshly produced bench JSON")
+		field      = fs.String("field", "goodput_rps", "compare mode: top-level numeric field (higher is better)")
+		maxRegress = fs.Float64("max-regress", 0.20, "compare mode: max tolerated fractional regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*baseline == "") != (*candidate == "") {
+		return fmt.Errorf("-baseline and -candidate must be given together")
+	}
+	if *baseline != "" {
+		return compare(*baseline, *candidate, *field, *maxRegress, out)
+	}
+	return convert(in, out)
+}
+
+// benchmark is one aggregated benchmark result.
+type benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// microReport is the BENCH_micro.json document.
+type microReport struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkEncodeBatch/n=64-8  123  456789 ns/op  1234 B/op  56 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so artifacts produced on
+// machines with different core counts still diff cleanly.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func convert(in io.Reader, out io.Writer) error {
+	sums := make(map[string]*benchmark)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b := sums[name]
+		if b == nil {
+			b = &benchmark{Name: name}
+			sums[name] = b
+		}
+		b.Runs++
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b.NsPerOp += ns
+		if m[3] != "" {
+			v, _ := strconv.ParseFloat(m[3], 64)
+			b.BPerOp += v
+		}
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			b.AllocsPerOp += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(sums) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	rep := microReport{Schema: microSchemaV1}
+	for _, b := range sums {
+		n := float64(b.Runs)
+		b.NsPerOp /= n
+		b.BPerOp /= n
+		b.AllocsPerOp /= n
+		rep.Benchmarks = append(rep.Benchmarks, *b)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = out.Write(raw)
+	return err
+}
+
+// compare reads two flat bench JSON documents and fails if candidate's
+// field fell more than maxRegress below baseline's (higher is better).
+func compare(baselinePath, candidatePath, field string, maxRegress float64, out io.Writer) error {
+	read := func(path string) (float64, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return 0, fmt.Errorf("%s: %w", path, err)
+		}
+		v, ok := doc[field].(float64)
+		if !ok {
+			return 0, fmt.Errorf("%s: no numeric field %q", path, field)
+		}
+		return v, nil
+	}
+	base, err := read(baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := read(candidatePath)
+	if err != nil {
+		return err
+	}
+	if base <= 0 {
+		return fmt.Errorf("baseline %s = %g: nothing to gate against", field, base)
+	}
+	change := (cand - base) / base
+	fmt.Fprintf(out, "benchjson: %s baseline %.3f candidate %.3f (%+.1f%%), tolerance -%.0f%%\n",
+		field, base, cand, change*100, maxRegress*100)
+	if change < -maxRegress {
+		return fmt.Errorf("%s regressed %.1f%% (baseline %.3f -> candidate %.3f, tolerance %.0f%%)",
+			field, -change*100, base, cand, maxRegress*100)
+	}
+	return nil
+}

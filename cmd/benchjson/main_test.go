@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/friendseeker/friendseeker/internal/nn
+BenchmarkEncodeBatch/n=64-8         	     100	   1000000 ns/op	    2048 B/op	      10 allocs/op
+BenchmarkEncodeBatch/n=64-8         	     100	   3000000 ns/op	    4096 B/op	      30 allocs/op
+BenchmarkMatMulKernels/128-8        	     500	    200000 ns/op
+PASS
+ok  	github.com/friendseeker/friendseeker/internal/nn	2.1s
+`
+
+func TestConvert(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep microReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != microSchemaV1 {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %+v, want 2 entries", rep.Benchmarks)
+	}
+	// Sorted by name; -8 GOMAXPROCS suffix stripped; repeated counts averaged.
+	enc := rep.Benchmarks[0]
+	if enc.Name != "BenchmarkEncodeBatch/n=64" || enc.Runs != 2 {
+		t.Errorf("entry 0 = %+v", enc)
+	}
+	if enc.NsPerOp != 2000000 || enc.BPerOp != 3072 || enc.AllocsPerOp != 20 {
+		t.Errorf("averages = %+v", enc)
+	}
+	mm := rep.Benchmarks[1]
+	if mm.Name != "BenchmarkMatMulKernels/128" || mm.NsPerOp != 200000 || mm.BPerOp != 0 {
+		t.Errorf("entry 1 = %+v", mm)
+	}
+}
+
+func TestConvertNoBenchmarks(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func writeJSON(t *testing.T, dir, name string, doc map[string]any) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", map[string]any{"goodput_rps": 100.0})
+	okCand := writeJSON(t, dir, "ok.json", map[string]any{"goodput_rps": 85.0})
+	badCand := writeJSON(t, dir, "bad.json", map[string]any{"goodput_rps": 70.0})
+	better := writeJSON(t, dir, "better.json", map[string]any{"goodput_rps": 140.0})
+
+	var out strings.Builder
+	// 15% down: within the 20% tolerance.
+	if err := run([]string{"-baseline", base, "-candidate", okCand}, nil, &out); err != nil {
+		t.Errorf("15%% regression rejected: %v", err)
+	}
+	// 30% down: gated.
+	if err := run([]string{"-baseline", base, "-candidate", badCand}, nil, &out); err == nil {
+		t.Error("30% regression accepted")
+	}
+	// Improvements always pass.
+	if err := run([]string{"-baseline", base, "-candidate", better}, nil, &out); err != nil {
+		t.Errorf("improvement rejected: %v", err)
+	}
+	// Tighter tolerance flips the 15% case.
+	if err := run([]string{"-baseline", base, "-candidate", okCand, "-max-regress", "0.10"}, nil, &out); err == nil {
+		t.Error("15% regression accepted at 10% tolerance")
+	}
+	// Missing field and half-specified flags error out.
+	noField := writeJSON(t, dir, "nofield.json", map[string]any{"other": 1.0})
+	if err := run([]string{"-baseline", base, "-candidate", noField}, nil, &out); err == nil {
+		t.Error("missing field accepted")
+	}
+	if err := run([]string{"-baseline", base}, nil, &out); err == nil {
+		t.Error("baseline without candidate accepted")
+	}
+}

@@ -42,6 +42,7 @@ type serveFlags struct {
 	maxPairs     int
 	warm         bool
 	drainTimeout time.Duration
+	scoreDelay   time.Duration
 }
 
 func parseServeFlags(args []string) (*serveFlags, error) {
@@ -68,6 +69,7 @@ func parseServeFlags(args []string) (*serveFlags, error) {
 	fs.IntVar(&sf.maxPairs, "max-pairs", 256, "max pairs per request")
 	fs.BoolVar(&sf.warm, "warm", true, "build every dataset's scoring session before accepting traffic")
 	fs.DurationVar(&sf.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
+	fs.DurationVar(&sf.scoreDelay, "score-delay", 0, "artificial per-batch scoring delay (load-test hook; keep 0 in production)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -118,6 +120,7 @@ func runServe(args []string, out io.Writer) error {
 		MaxWait:            sf.maxWait,
 		RequestTimeout:     sf.timeout,
 		MaxPairsPerRequest: sf.maxPairs,
+		ScoreDelay:         sf.scoreDelay,
 		Reload:             func() (*core.FriendSeeker, string, error) { return serve.LoadModelFile(sf.modelPath) },
 		Logger:             logger,
 	}, model, modelID, datasets)

@@ -1,13 +1,35 @@
 // Command loadgen replays a synthetic world's candidate pairs against a
-// running `friendseeker serve` instance at a configurable RPS ramp and
-// reports per-stage latency percentiles — the load-driver companion to
+// running `friendseeker serve` instance from an invocations-per-slot
+// schedule and reports SLO-style results — the load-driver companion to
 // the server, in the spirit of cmd/synthgen's trace synthesizer: the
 // world that generated the served trace also generates its traffic.
 //
+// Load is a first-class artifact (internal/loadsched): schedules are
+// generated with a fixed seed (normal / sweep / burst modes), written to
+// CSV/JSON, and replayed open-loop — every request fires at its scheduled
+// instant regardless of how previous responses are faring, so server
+// saturation shows up as tail latency, 429s and timeouts instead of being
+// masked by an under-sending client.
+//
 // Usage:
 //
+//	# Legacy fixed ramp (each -rps stage runs for -stage):
 //	loadgen -addr http://localhost:8470 -dataset tiny -preset tiny -seed 1 \
 //	        -rps 50,100,200 -stage 5s -pairs 8
+//
+//	# Generated schedule, persisted and replayed with a JSON bench report:
+//	loadgen -addr http://localhost:8470 -dataset tiny -preset tiny -seed 1 \
+//	        -mode sweep -start-rps 40 -target-rps 120 -step-rps 40 \
+//	        -slots-per-step 2 -slot 500ms \
+//	        -save-schedule sched.csv -report BENCH_serve.json
+//
+//	# Replay a previously saved schedule:
+//	loadgen -addr http://localhost:8470 -dataset tiny -preset tiny -seed 1 \
+//	        -schedule sched.csv
+//
+//	# Generate a schedule without replaying (no -dataset):
+//	loadgen -mode burst -base-rps 20 -burst-rps 200 -slots 30 \
+//	        -burst-every 10 -burst-len 2 -save-schedule sched.json
 //
 // Pairs come either from regenerating the synthetic world in-process
 // (-preset/-seed, giving exactly the pairs the server's dataset holds) or
@@ -16,14 +38,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +53,7 @@ import (
 
 	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/loadsched"
 	"github.com/friendseeker/friendseeker/internal/synth"
 
 	"flag"
@@ -50,27 +73,61 @@ func run(args []string, out io.Writer) error {
 		dsName   = fs.String("dataset", "", "dataset name registered on the server")
 		checkins = fs.String("checkins", "", "derive pairs from this check-in CSV instead of a preset world")
 		preset   = fs.String("preset", "tiny", "world preset: gowalla | brightkite | tiny")
-		seed     = fs.Int64("seed", 1, "world seed (must match the served trace's generator)")
+		seed     = fs.Int64("seed", 1, "world and schedule seed (must match the served trace's generator)")
 		users    = fs.Int("users", 0, "override the preset's user count")
 		pois     = fs.Int("pois", 0, "override the preset's POI count")
 		weeks    = fs.Int("weeks", 0, "override the preset's trace span in weeks")
-		rpsSpec  = fs.String("rps", "25,50,100", "comma-separated request-per-second ramp stages")
-		stageDur = fs.Duration("stage", 5*time.Second, "duration of each ramp stage")
 		perReq   = fs.Int("pairs", 8, "pairs per request")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+
+		// Legacy ramp (used when neither -mode nor -schedule is given).
+		rpsSpec  = fs.String("rps", "25,50,100", "comma-separated request-per-second ramp stages")
+		stageDur = fs.Duration("stage", 5*time.Second, "duration of each ramp stage")
+
+		// Generated schedules.
+		mode      = fs.String("mode", "", "schedule mode: normal | sweep | burst (empty: use the -rps ramp)")
+		slot      = fs.Duration("slot", time.Second, "schedule slot duration")
+		slots     = fs.Int("slots", 10, "schedule length in slots (normal and burst modes)")
+		meanRPS   = fs.Float64("mean-rps", 50, "normal mode: mean request rate")
+		stddevRPS = fs.Float64("stddev-rps", 10, "normal mode: request-rate standard deviation")
+		startRPS  = fs.Int("start-rps", 25, "sweep mode: starting rate")
+		targetRPS = fs.Int("target-rps", 100, "sweep mode: final rate")
+		stepRPS   = fs.Int("step-rps", 25, "sweep mode: rate increment per step")
+		slotsStep = fs.Int("slots-per-step", 2, "sweep mode: slots held at each rate")
+		baseRPS   = fs.Int("base-rps", 20, "burst mode: background rate")
+		burstRPS  = fs.Int("burst-rps", 200, "burst mode: burst rate")
+		burstEvr  = fs.Int("burst-every", 10, "burst mode: period in slots")
+		burstLen  = fs.Int("burst-len", 2, "burst mode: burst length in slots")
+
+		schedIn  = fs.String("schedule", "", "replay this schedule file (.csv or .json) instead of generating one")
+		schedOut = fs.String("save-schedule", "", "write the schedule to this file (.csv or .json)")
+		report   = fs.String("report", "", "write a bench-report JSON (BENCH_serve schema) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *dsName == "" {
-		return fmt.Errorf("-dataset is required")
+	if *perReq < 1 {
+		return fmt.Errorf("-pairs must be >= 1")
 	}
-	stages, err := parseRamp(*rpsSpec)
+
+	sched, err := buildSchedule(*schedIn, *mode, *seed, *slot, *slots,
+		*meanRPS, *stddevRPS, *startRPS, *targetRPS, *stepRPS, *slotsStep,
+		*baseRPS, *burstRPS, *burstEvr, *burstLen, *rpsSpec, *stageDur)
 	if err != nil {
 		return err
 	}
-	if *perReq < 1 {
-		return fmt.Errorf("-pairs must be >= 1")
+	if *schedOut != "" {
+		if err := writeSchedule(sched, *schedOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote schedule (%d slots, %d invocations) to %s\n",
+			len(sched.Invocations), sched.Total(), *schedOut)
+		if *dsName == "" {
+			return nil // generator-only invocation
+		}
+	}
+	if *dsName == "" {
+		return fmt.Errorf("-dataset is required")
 	}
 
 	pairs, err := loadPairs(*checkins, *preset, *seed, *users, *pois, *weeks)
@@ -85,15 +142,125 @@ func run(args []string, out io.Writer) error {
 	r.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
 	fmt.Fprintf(out, "replaying %d candidate pairs against %s (dataset %q), %d pairs/request\n",
 		len(pairs), *addr, *dsName, *perReq)
+	fmt.Fprintf(out, "schedule: mode=%s slots=%d slot=%s scheduled=%d duration=%s seed=%d\n",
+		sched.Mode, len(sched.Invocations), sched.Slot, sched.Total(), sched.Duration(), sched.Seed)
 
 	client := &http.Client{Timeout: *timeout}
 	url := strings.TrimRight(*addr, "/") + "/v1/infer"
-	next := 0 // round-robin cursor into pairs
-	for _, rps := range stages {
-		res := runStage(client, url, *dsName, pairs, &next, *perReq, rps, *stageDur)
-		fmt.Fprintln(out, res.String(rps))
+	rep := loadsched.Replay(context.Background(), sched, newSender(client, url, *dsName, pairs, *perReq))
+
+	printReport(out, sched, rep)
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			return err
+		}
+		if err := rep.Bench().Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote bench report to %s\n", *report)
 	}
 	return nil
+}
+
+// buildSchedule resolves the three schedule sources: a file, a generator
+// mode, or the legacy -rps ramp.
+func buildSchedule(schedIn, mode string, seed int64, slot time.Duration, slots int,
+	meanRPS, stddevRPS float64, startRPS, targetRPS, stepRPS, slotsStep int,
+	baseRPS, burstRPS, burstEvery, burstLen int, rpsSpec string, stageDur time.Duration,
+) (*loadsched.Schedule, error) {
+	if schedIn != "" {
+		f, err := os.Open(schedIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.EqualFold(filepath.Ext(schedIn), ".json") {
+			return loadsched.ReadJSON(f)
+		}
+		return loadsched.ReadCSV(f)
+	}
+	switch mode {
+	case "":
+		stages, err := parseRamp(rpsSpec)
+		if err != nil {
+			return nil, err
+		}
+		return loadsched.FromStages(stages, stageDur, seed)
+	case string(loadsched.ModeNormal):
+		return loadsched.Generate(loadsched.Config{Mode: loadsched.ModeNormal, Seed: seed, Slot: slot,
+			Slots: slots, MeanRPS: meanRPS, StddevRPS: stddevRPS})
+	case string(loadsched.ModeSweep):
+		return loadsched.Generate(loadsched.Config{Mode: loadsched.ModeSweep, Seed: seed, Slot: slot,
+			StartRPS: startRPS, TargetRPS: targetRPS, StepRPS: stepRPS, SlotsPerStep: slotsStep})
+	case string(loadsched.ModeBurst):
+		return loadsched.Generate(loadsched.Config{Mode: loadsched.ModeBurst, Seed: seed, Slot: slot,
+			Slots: slots, BaseRPS: baseRPS, BurstRPS: burstRPS, BurstEvery: burstEvery, BurstLen: burstLen})
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (want normal, sweep or burst)", mode)
+	}
+}
+
+func writeSchedule(s *loadsched.Schedule, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WriteCSV(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// newSender returns the per-invocation send function: each call draws the
+// next perReq pairs round-robin and posts one infer request. The cursor
+// is guarded because the replayer fires sends from many goroutines.
+func newSender(client *http.Client, url, dsName string, pairs []checkin.Pair, perReq int) loadsched.SendFunc {
+	var mu sync.Mutex
+	next := 0
+	return func(int) (int, error) {
+		mu.Lock()
+		body := make([][2]int64, perReq)
+		for i := range body {
+			p := pairs[next%len(pairs)]
+			next++
+			body[i] = [2]int64{int64(p.A), int64(p.B)}
+		}
+		mu.Unlock()
+		return postInfer(client, url, dsName, body)
+	}
+}
+
+// printReport renders per-slot lines (labelled "stage" for ramp
+// schedules, "slot" otherwise) and the overall open-loop summary.
+func printReport(out io.Writer, sched *loadsched.Schedule, rep *loadsched.Report) {
+	label := "slot"
+	if sched.Mode == loadsched.ModeRamp {
+		label = "stage"
+	}
+	for i, t := range rep.Slots {
+		fmt.Fprintf(out,
+			"%s %3d (%4.0f rps): scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d err %d | p50 %s p99 %s max %s\n",
+			label, i, sched.SlotRPS(i), t.Scheduled, t.Sent, t.OK, t.Rejected, t.GatewayTimeout,
+			t.ClientTimeout, t.Failed, t.P50, t.P99, t.Max)
+	}
+	fmt.Fprintf(out,
+		"overall: scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d err %d late %d maxlag %s\n",
+		rep.Scheduled, rep.Sent, rep.OK, rep.Rejected, rep.GatewayTimeout,
+		rep.ClientTimeout, rep.Failed, rep.Late, rep.MaxLag)
+	fmt.Fprintf(out,
+		"         offered %s drain %s | goodput %.1f rps | p50 %s p95 %s p99 %s p99.9 %s max %s\n",
+		rep.Offered.Round(time.Millisecond), rep.Drain.Round(time.Millisecond), rep.GoodputRPS(),
+		rep.P50, rep.P95, rep.P99, rep.P999, rep.Max)
 }
 
 // parseRamp parses "25,50,100" into stage RPS values.
@@ -165,91 +332,6 @@ func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) 
 		}
 	}
 	return pairs, nil
-}
-
-// stageResult aggregates one ramp stage.
-type stageResult struct {
-	sent, ok, rejected, timeout, failed int
-	latencies                           []time.Duration
-	elapsed                             time.Duration
-}
-
-func (s *stageResult) String(rps int) string {
-	achieved := float64(s.ok) / s.elapsed.Seconds()
-	return fmt.Sprintf(
-		"stage %4d rps: sent %d ok %d 429 %d timeout %d err %d | achieved %.1f rps | p50 %s p90 %s p99 %s max %s",
-		rps, s.sent, s.ok, s.rejected, s.timeout, s.failed, achieved,
-		percentile(s.latencies, 0.50), percentile(s.latencies, 0.90),
-		percentile(s.latencies, 0.99), percentile(s.latencies, 1.0))
-}
-
-// percentile returns the q-quantile of the (unsorted) latency sample by
-// nearest-rank, or 0 with an empty sample.
-func percentile(lat []time.Duration, q float64) time.Duration {
-	if len(lat) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
-// runStage fires requests open-loop at the target RPS for the stage
-// duration, drawing pairs round-robin starting at *next, and waits for
-// every response before returning.
-func runStage(client *http.Client, url, dsName string, pairs []checkin.Pair, next *int, perReq, rps int, dur time.Duration) *stageResult {
-	res := &stageResult{}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-
-	interval := time.Second / time.Duration(rps)
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	deadline := time.Now().Add(dur)
-	start := time.Now()
-
-	for time.Now().Before(deadline) {
-		<-ticker.C
-		body := make([][2]int64, perReq)
-		for i := range body {
-			p := pairs[*next%len(pairs)]
-			*next++
-			body[i] = [2]int64{int64(p.A), int64(p.B)}
-		}
-		res.sent++
-		wg.Add(1)
-		go func(reqPairs [][2]int64) {
-			defer wg.Done()
-			t0 := time.Now()
-			status, err := postInfer(client, url, dsName, reqPairs)
-			lat := time.Since(t0)
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case err != nil:
-				res.failed++
-			case status == http.StatusOK:
-				res.ok++
-				res.latencies = append(res.latencies, lat)
-			case status == http.StatusTooManyRequests:
-				res.rejected++
-			case status == http.StatusGatewayTimeout:
-				res.timeout++
-			default:
-				res.failed++
-			}
-		}(body)
-	}
-	wg.Wait()
-	res.elapsed = time.Since(start)
-	return res
 }
 
 // postInfer sends one infer request and returns the HTTP status.

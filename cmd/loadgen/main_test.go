@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/friendseeker/friendseeker/internal/loadsched"
 )
 
 func TestParseRamp(t *testing.T) {
@@ -25,25 +29,9 @@ func TestParseRamp(t *testing.T) {
 	}
 }
 
-func TestPercentile(t *testing.T) {
-	if got := percentile(nil, 0.5); got != 0 {
-		t.Errorf("empty percentile = %v, want 0", got)
-	}
-	lat := []time.Duration{5, 1, 3, 2, 4} // unsorted on purpose
-	if got := percentile(lat, 0.5); got != 3 {
-		t.Errorf("p50 = %v, want 3 (nearest rank)", got)
-	}
-	if got := percentile(lat, 1.0); got != 5 {
-		t.Errorf("p100 = %v, want 5", got)
-	}
-	if got := percentile(lat, 0.01); got != 1 {
-		t.Errorf("p1 = %v, want 1", got)
-	}
-}
-
-// TestRunAgainstStubServer drives the full loadgen loop against a stub
-// infer endpoint, checking request shape and the stage report.
-func TestRunAgainstStubServer(t *testing.T) {
+// newStubServer returns an infer stub recording the last request body.
+func newStubServer(t *testing.T) (*httptest.Server, func() (string, int)) {
+	t.Helper()
 	type inferBody struct {
 		Dataset string     `json:"dataset"`
 		Pairs   [][2]int64 `json:"pairs"`
@@ -67,8 +55,19 @@ func TestRunAgainstStubServer(t *testing.T) {
 			"model": "stub", "dataset": body.Dataset, "decisions": make([]bool, len(body.Pairs)),
 		})
 	}))
-	defer hs.Close()
+	t.Cleanup(hs.Close)
+	return hs, func() (string, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		return got.Dataset, len(got.Pairs)
+	}
+}
 
+// TestRunAgainstStubServer drives the full loadgen loop (legacy ramp
+// flags) against a stub infer endpoint, checking request shape and the
+// open-loop report.
+func TestRunAgainstStubServer(t *testing.T) {
+	hs, last := newStubServer(t)
 	var out strings.Builder
 	err := run([]string{
 		"-addr", hs.URL,
@@ -79,12 +78,129 @@ func TestRunAgainstStubServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Dataset != "tiny" || len(got.Pairs) != 4 {
-		t.Errorf("last request dataset=%q pairs=%d, want tiny/4", got.Dataset, len(got.Pairs))
+	ds, np := last()
+	if ds != "tiny" || np != 4 {
+		t.Errorf("last request dataset=%q pairs=%d, want tiny/4", ds, np)
 	}
 	report := out.String()
-	if !strings.Contains(report, "stage   50 rps") || !strings.Contains(report, "p50") {
+	if !strings.Contains(report, "stage   0 (  50 rps)") {
 		t.Errorf("report missing stage line:\n%s", report)
+	}
+	if !strings.Contains(report, "overall: scheduled 15 sent 15 ok 15") {
+		t.Errorf("report missing honest overall accounting:\n%s", report)
+	}
+	if !strings.Contains(report, "goodput") || !strings.Contains(report, "p99.9") {
+		t.Errorf("report missing SLO summary:\n%s", report)
+	}
+}
+
+// TestRunGeneratedScheduleWithArtifacts exercises -mode, -save-schedule
+// and -report end to end: the schedule file round-trips and the bench
+// report matches the BENCH_serve schema.
+func TestRunGeneratedScheduleWithArtifacts(t *testing.T) {
+	hs, _ := newStubServer(t)
+	dir := t.TempDir()
+	schedPath := filepath.Join(dir, "sched.csv")
+	reportPath := filepath.Join(dir, "bench.json")
+
+	var out strings.Builder
+	err := run([]string{
+		"-addr", hs.URL,
+		"-dataset", "tiny",
+		"-preset", "tiny", "-seed", "1",
+		"-mode", "sweep", "-start-rps", "20", "-target-rps", "40", "-step-rps", "20",
+		"-slots-per-step", "1", "-slot", "250ms", "-pairs", "2",
+		"-save-schedule", schedPath,
+		"-report", reportPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sched, err := loadsched.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Mode != loadsched.ModeSweep || len(sched.Invocations) != 2 {
+		t.Errorf("saved schedule = %+v", sched)
+	}
+	if sched.Total() != 5+10 {
+		t.Errorf("saved schedule total = %d, want 15", sched.Total())
+	}
+
+	rf, err := os.Open(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	bench, err := loadsched.ReadBench(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Scheduled != 15 || bench.Sent != 15 || bench.OK != 15 {
+		t.Errorf("bench report = %+v", bench)
+	}
+	if bench.Mode != "sweep" || bench.Slots != 2 || bench.GoodputRPS <= 0 {
+		t.Errorf("bench report = %+v", bench)
+	}
+}
+
+// TestRunGeneratorOnly: with -save-schedule and no -dataset, loadgen is a
+// pure trace synthesizer.
+func TestRunGeneratorOnly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.json")
+	var out strings.Builder
+	err := run([]string{
+		"-mode", "burst", "-slots", "6", "-base-rps", "5", "-burst-rps", "50",
+		"-burst-every", "3", "-burst-len", "1", "-seed", "7",
+		"-save-schedule", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sched, err := loadsched.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Mode != loadsched.ModeBurst || len(sched.Invocations) != 6 || sched.Seed != 7 {
+		t.Errorf("schedule = %+v", sched)
+	}
+}
+
+// TestRunReplaySavedSchedule replays a schedule file via -schedule.
+func TestRunReplaySavedSchedule(t *testing.T) {
+	hs, _ := newStubServer(t)
+	path := filepath.Join(t.TempDir(), "sched.csv")
+	s := &loadsched.Schedule{Mode: loadsched.ModeRamp, Seed: 1, Slot: 100 * time.Millisecond, Invocations: []int{3, 3}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", hs.URL, "-dataset", "tiny", "-preset", "tiny", "-seed", "1",
+		"-schedule", path, "-pairs", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "overall: scheduled 6 sent 6 ok 6") {
+		t.Errorf("replayed schedule report:\n%s", out.String())
 	}
 }
 
@@ -98,5 +214,11 @@ func TestRunFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dataset", "d", "-pairs", "0"}, &out); err == nil {
 		t.Error("zero pairs accepted")
+	}
+	if err := run([]string{"-dataset", "d", "-mode", "bogus"}, &out); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if err := run([]string{"-dataset", "d", "-schedule", "/nonexistent/sched.csv"}, &out); err == nil {
+		t.Error("missing schedule file accepted")
 	}
 }

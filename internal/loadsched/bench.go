@@ -1,0 +1,105 @@
+package loadsched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// benchSchemaV1 tags BENCH_serve.json artifacts.
+const benchSchemaV1 = "friendseeker/bench-serve/v1"
+
+// LatencySummary is the fixed percentile set of a bench artifact, in
+// milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p99_9"`
+	Max  float64 `json:"max"`
+}
+
+// BenchReport is the persisted form of a replay: the BENCH_serve.json
+// schema. Field order is the serialization order; keep additions at the
+// end so trajectories stay diffable.
+type BenchReport struct {
+	Schema        string         `json:"schema"`
+	Mode          string         `json:"mode"`
+	Seed          int64          `json:"seed"`
+	SlotMS        float64        `json:"slot_ms"`
+	Slots         int            `json:"slots"`
+	Scheduled     int            `json:"scheduled"`
+	Sent          int            `json:"sent"`
+	OK            int            `json:"ok"`
+	Rejected429   int            `json:"rejected_429"`
+	Timeout504    int            `json:"timeout_504"`
+	ClientTimeout int            `json:"client_timeout"`
+	Failed        int            `json:"failed"`
+	Late          int            `json:"late"`
+	MaxLagMS      float64        `json:"max_lag_ms"`
+	OfferedMS     float64        `json:"offered_ms"`
+	DrainMS       float64        `json:"drain_ms"`
+	GoodputRPS    float64        `json:"goodput_rps"`
+	LatencyMS     LatencySummary `json:"latency_ms"`
+}
+
+// roundMS rounds a milliseconds value to 3 decimal places so artifacts
+// stay readable.
+func roundMS(ms float64) float64 {
+	return math.Round(ms*1000) / 1000
+}
+
+// Bench converts a replay report into the persisted artifact form.
+func (r *Report) Bench() BenchReport {
+	ms := func(d float64) float64 { return roundMS(d) }
+	return BenchReport{
+		Schema:        benchSchemaV1,
+		Mode:          string(r.Mode),
+		Seed:          r.Seed,
+		SlotMS:        ms(float64(r.Slot.Microseconds()) / 1000),
+		Slots:         len(r.Slots),
+		Scheduled:     r.Scheduled,
+		Sent:          r.Sent,
+		OK:            r.OK,
+		Rejected429:   r.Rejected,
+		Timeout504:    r.GatewayTimeout,
+		ClientTimeout: r.ClientTimeout,
+		Failed:        r.Failed,
+		Late:          r.Late,
+		MaxLagMS:      ms(float64(r.MaxLag.Microseconds()) / 1000),
+		OfferedMS:     ms(float64(r.Offered.Microseconds()) / 1000),
+		DrainMS:       ms(float64(r.Drain.Microseconds()) / 1000),
+		GoodputRPS:    roundMS(r.GoodputRPS()),
+		LatencyMS: LatencySummary{
+			P50:  ms(float64(r.P50.Microseconds()) / 1000),
+			P95:  ms(float64(r.P95.Microseconds()) / 1000),
+			P99:  ms(float64(r.P99.Microseconds()) / 1000),
+			P999: ms(float64(r.P999.Microseconds()) / 1000),
+			Max:  ms(float64(r.Max.Microseconds()) / 1000),
+		},
+	}
+}
+
+// Write writes the artifact as stable indented JSON.
+func (b BenchReport) Write(w io.Writer) error {
+	raw, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// ReadBench parses a BENCH_serve.json artifact.
+func ReadBench(r io.Reader) (BenchReport, error) {
+	var b BenchReport
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return b, fmt.Errorf("loadsched: parse bench report: %w", err)
+	}
+	if b.Schema != benchSchemaV1 {
+		return b, fmt.Errorf("loadsched: unknown bench schema %q (want %s)", b.Schema, benchSchemaV1)
+	}
+	return b, nil
+}

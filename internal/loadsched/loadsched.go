@@ -1,0 +1,356 @@
+// Package loadsched makes load a first-class, replayable artifact: a
+// fixed-seed schedule generator in the spirit of the vhive/invitro trace
+// synthesizer (invocations-per-slot traces replacing ad-hoc RPS knobs)
+// plus an open-loop replayer with honest accounting.
+//
+// A Schedule is a list of invocation counts, one per fixed-duration slot.
+// Three generator modes cover the load shapes the serving roadmap needs:
+//
+//   - normal: per-slot counts drawn from N(mean, stddev) — steady traffic
+//     with realistic jitter;
+//   - sweep: start RPS to target RPS in fixed steps, each level held for a
+//     number of slots — capacity probing;
+//   - burst: a base rate with periodic bursts at a much higher rate —
+//     queueing and admission-control stress.
+//
+// Generation is deterministic: the same Config yields a byte-identical
+// CSV/JSON artifact, so a schedule checked into a benchmark script replays
+// the same way on every machine, the same way walk2friends made the attack
+// reproducible via fixed seeds.
+package loadsched
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Mode names a schedule shape.
+type Mode string
+
+const (
+	// ModeNormal draws per-slot invocations from a normal distribution.
+	ModeNormal Mode = "normal"
+	// ModeSweep steps from a start RPS to a target RPS.
+	ModeSweep Mode = "sweep"
+	// ModeBurst alternates a base rate with periodic bursts.
+	ModeBurst Mode = "burst"
+	// ModeRamp marks a schedule assembled from an explicit per-stage RPS
+	// list (the legacy loadgen -rps flag) rather than generated.
+	ModeRamp Mode = "ramp"
+)
+
+// schemaV1 tags serialized schedules.
+const schemaV1 = "friendseeker/loadsched/v1"
+
+// Config parameterises Generate. Mode selects which of the per-mode
+// fields are read; Seed and Slot apply to every mode.
+type Config struct {
+	Mode Mode
+	// Seed fixes the generator RNG. Only ModeNormal consumes randomness,
+	// but the seed is recorded on every schedule for provenance.
+	Seed int64
+	// Slot is the slot duration; zero defaults to one second.
+	Slot time.Duration
+
+	// Slots is the schedule length in slots (ModeNormal and ModeBurst;
+	// ModeSweep derives its length from the RPS ladder).
+	Slots int
+
+	// MeanRPS / StddevRPS shape ModeNormal.
+	MeanRPS   float64
+	StddevRPS float64
+
+	// StartRPS..TargetRPS in steps of StepRPS, each held SlotsPerStep
+	// slots, shape ModeSweep.
+	StartRPS     int
+	TargetRPS    int
+	StepRPS      int
+	SlotsPerStep int
+
+	// BaseRPS with BurstLen slots of BurstRPS every BurstEvery slots
+	// shape ModeBurst.
+	BaseRPS    int
+	BurstRPS   int
+	BurstEvery int
+	BurstLen   int
+}
+
+// Schedule is an invocations-per-slot trace.
+type Schedule struct {
+	Mode Mode
+	Seed int64
+	Slot time.Duration
+	// Invocations[i] requests are issued during slot i, spread evenly
+	// across the slot.
+	Invocations []int
+}
+
+// Generate builds a deterministic schedule from cfg.
+func Generate(cfg Config) (*Schedule, error) {
+	if cfg.Slot == 0 {
+		cfg.Slot = time.Second
+	}
+	if cfg.Slot < 0 {
+		return nil, fmt.Errorf("loadsched: negative slot duration %v", cfg.Slot)
+	}
+	slotSec := cfg.Slot.Seconds()
+	s := &Schedule{Mode: cfg.Mode, Seed: cfg.Seed, Slot: cfg.Slot}
+	switch cfg.Mode {
+	case ModeNormal:
+		if cfg.Slots <= 0 {
+			return nil, fmt.Errorf("loadsched: normal mode needs Slots > 0")
+		}
+		if cfg.MeanRPS <= 0 || cfg.StddevRPS < 0 {
+			return nil, fmt.Errorf("loadsched: normal mode needs MeanRPS > 0 and StddevRPS >= 0")
+		}
+		r := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < cfg.Slots; i++ {
+			v := int(math.Round((cfg.MeanRPS + r.NormFloat64()*cfg.StddevRPS) * slotSec))
+			if v < 0 {
+				v = 0
+			}
+			s.Invocations = append(s.Invocations, v)
+		}
+	case ModeSweep:
+		if cfg.StartRPS < 1 || cfg.TargetRPS < cfg.StartRPS || cfg.StepRPS < 1 || cfg.SlotsPerStep < 1 {
+			return nil, fmt.Errorf("loadsched: sweep mode needs 1 <= StartRPS <= TargetRPS, StepRPS >= 1, SlotsPerStep >= 1")
+		}
+		for rps := cfg.StartRPS; rps <= cfg.TargetRPS; rps += cfg.StepRPS {
+			n := int(math.Round(float64(rps) * slotSec))
+			for k := 0; k < cfg.SlotsPerStep; k++ {
+				s.Invocations = append(s.Invocations, n)
+			}
+		}
+	case ModeBurst:
+		if cfg.Slots <= 0 {
+			return nil, fmt.Errorf("loadsched: burst mode needs Slots > 0")
+		}
+		if cfg.BaseRPS < 0 || cfg.BurstRPS <= cfg.BaseRPS {
+			return nil, fmt.Errorf("loadsched: burst mode needs BaseRPS >= 0 and BurstRPS > BaseRPS")
+		}
+		if cfg.BurstEvery < 1 || cfg.BurstLen < 1 || cfg.BurstLen > cfg.BurstEvery {
+			return nil, fmt.Errorf("loadsched: burst mode needs 1 <= BurstLen <= BurstEvery")
+		}
+		for i := 0; i < cfg.Slots; i++ {
+			rps := cfg.BaseRPS
+			// Bursts land at the end of each period so every run opens with
+			// base traffic the server can warm up on.
+			if i%cfg.BurstEvery >= cfg.BurstEvery-cfg.BurstLen {
+				rps = cfg.BurstRPS
+			}
+			s.Invocations = append(s.Invocations, int(math.Round(float64(rps)*slotSec)))
+		}
+	default:
+		return nil, fmt.Errorf("loadsched: unknown mode %q (want normal, sweep or burst)", cfg.Mode)
+	}
+	return s, nil
+}
+
+// FromStages builds a ramp schedule with one slot per stage: stage i runs
+// rps[i] for stageDur. This is the legacy loadgen -rps ramp expressed as
+// a schedule artifact.
+func FromStages(rps []int, stageDur time.Duration, seed int64) (*Schedule, error) {
+	if len(rps) == 0 {
+		return nil, fmt.Errorf("loadsched: empty stage list")
+	}
+	if stageDur <= 0 {
+		return nil, fmt.Errorf("loadsched: non-positive stage duration %v", stageDur)
+	}
+	s := &Schedule{Mode: ModeRamp, Seed: seed, Slot: stageDur}
+	for _, r := range rps {
+		if r < 1 {
+			return nil, fmt.Errorf("loadsched: stage rps %d < 1", r)
+		}
+		s.Invocations = append(s.Invocations, int(math.Round(float64(r)*stageDur.Seconds())))
+	}
+	return s, nil
+}
+
+// Total returns the number of invocations across all slots.
+func (s *Schedule) Total() int {
+	n := 0
+	for _, v := range s.Invocations {
+		n += v
+	}
+	return n
+}
+
+// Duration returns the nominal length of the schedule: slots × slot
+// duration. This — not the wall time of a replay — is the offered window
+// rates are computed against.
+func (s *Schedule) Duration() time.Duration {
+	return time.Duration(len(s.Invocations)) * s.Slot
+}
+
+// SlotRPS returns the scheduled rate of slot i.
+func (s *Schedule) SlotRPS(i int) float64 {
+	if s.Slot <= 0 {
+		return 0
+	}
+	return float64(s.Invocations[i]) / s.Slot.Seconds()
+}
+
+// Fire is one scheduled invocation: its offset from replay start and the
+// slot it belongs to.
+type Fire struct {
+	At   time.Duration
+	Slot int
+}
+
+// Fires expands the schedule into the exact instant of every invocation,
+// in order: slot i's n invocations fire at slotStart + k·slot/n for
+// k = 0..n-1, i.e. evenly paced within the slot.
+func (s *Schedule) Fires() []Fire {
+	fires := make([]Fire, 0, s.Total())
+	for i, n := range s.Invocations {
+		slotStart := time.Duration(i) * s.Slot
+		for k := 0; k < n; k++ {
+			fires = append(fires, Fire{
+				At:   slotStart + time.Duration(k)*s.Slot/time.Duration(n),
+				Slot: i,
+			})
+		}
+	}
+	return fires
+}
+
+// WriteCSV writes the schedule in the invocations-per-slot CSV format:
+//
+//	# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000
+//	slot,invocations
+//	0,25
+//	...
+//
+// Output is byte-deterministic for a given schedule.
+func (s *Schedule) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s mode=%s seed=%d slot_ms=%d\n", schemaV1, s.Mode, s.Seed, s.Slot.Milliseconds())
+	fmt.Fprintln(bw, "slot,invocations")
+	for i, v := range s.Invocations {
+		fmt.Fprintf(bw, "%d,%d\n", i, v)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format written by WriteCSV.
+func ReadCSV(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("loadsched: empty schedule")
+	}
+	header := strings.TrimSpace(sc.Text())
+	if !strings.HasPrefix(header, "# "+schemaV1) {
+		return nil, fmt.Errorf("loadsched: not a %s schedule (header %q)", schemaV1, header)
+	}
+	s := &Schedule{Slot: time.Second}
+	for _, field := range strings.Fields(header)[2:] {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadsched: malformed header field %q", field)
+		}
+		switch key {
+		case "mode":
+			s.Mode = Mode(val)
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadsched: bad seed %q", val)
+			}
+			s.Seed = n
+		case "slot_ms":
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms <= 0 {
+				return nil, fmt.Errorf("loadsched: bad slot_ms %q", val)
+			}
+			s.Slot = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "slot,invocations" {
+		return nil, fmt.Errorf("loadsched: missing slot,invocations header row")
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		idxStr, invStr, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("loadsched: malformed row %q", line)
+		}
+		idx, err1 := strconv.Atoi(strings.TrimSpace(idxStr))
+		inv, err2 := strconv.Atoi(strings.TrimSpace(invStr))
+		if err1 != nil || err2 != nil || inv < 0 {
+			return nil, fmt.Errorf("loadsched: malformed row %q", line)
+		}
+		if idx != len(s.Invocations) {
+			return nil, fmt.Errorf("loadsched: slot %d out of order (want %d)", idx, len(s.Invocations))
+		}
+		s.Invocations = append(s.Invocations, inv)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Invocations) == 0 {
+		return nil, fmt.Errorf("loadsched: schedule has no slots")
+	}
+	return s, nil
+}
+
+// scheduleJSON is the JSON wire form of a Schedule.
+type scheduleJSON struct {
+	Schema      string `json:"schema"`
+	Mode        string `json:"mode"`
+	Seed        int64  `json:"seed"`
+	SlotMS      int64  `json:"slot_ms"`
+	Invocations []int  `json:"invocations"`
+}
+
+// WriteJSON writes the schedule as a stable, indented JSON document.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	doc := scheduleJSON{
+		Schema:      schemaV1,
+		Mode:        string(s.Mode),
+		Seed:        s.Seed,
+		SlotMS:      s.Slot.Milliseconds(),
+		Invocations: s.Invocations,
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// ReadJSON parses the format written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var doc scheduleJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("loadsched: parse schedule JSON: %w", err)
+	}
+	if doc.Schema != schemaV1 {
+		return nil, fmt.Errorf("loadsched: unknown schema %q (want %s)", doc.Schema, schemaV1)
+	}
+	if doc.SlotMS <= 0 || len(doc.Invocations) == 0 {
+		return nil, fmt.Errorf("loadsched: schedule needs slot_ms > 0 and at least one slot")
+	}
+	for i, v := range doc.Invocations {
+		if v < 0 {
+			return nil, fmt.Errorf("loadsched: slot %d has negative invocations", i)
+		}
+	}
+	return &Schedule{
+		Mode:        Mode(doc.Mode),
+		Seed:        doc.Seed,
+		Slot:        time.Duration(doc.SlotMS) * time.Millisecond,
+		Invocations: doc.Invocations,
+	}, nil
+}

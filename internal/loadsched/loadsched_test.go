@@ -1,0 +1,260 @@
+package loadsched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	// Same seed, same config: byte-identical CSV and JSON artifacts.
+	cfg := Config{Mode: ModeNormal, Seed: 42, Slot: 500 * time.Millisecond, Slots: 20, MeanRPS: 50, StddevRPS: 15}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvA, csvB, jsonA, jsonB bytes.Buffer
+	if err := a.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA.Bytes(), csvB.Bytes()) {
+		t.Errorf("same seed produced different CSV:\n%s\nvs\n%s", csvA.String(), csvB.String())
+	}
+	if err := a.WriteJSON(&jsonA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jsonB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonA.Bytes(), jsonB.Bytes()) {
+		t.Error("same seed produced different JSON")
+	}
+
+	// A different seed must produce a different trace (overwhelmingly
+	// likely with 20 noisy slots).
+	c, err := Generate(Config{Mode: ModeNormal, Seed: 43, Slot: 500 * time.Millisecond, Slots: 20, MeanRPS: 50, StddevRPS: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvC bytes.Buffer
+	if err := c.WriteCSV(&csvC); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(csvA.Bytes(), csvC.Bytes()) {
+		t.Error("different seeds produced identical normal-mode traces")
+	}
+}
+
+func TestGenerateNormalClampsNegative(t *testing.T) {
+	s, err := Generate(Config{Mode: ModeNormal, Seed: 7, Slots: 200, MeanRPS: 2, StddevRPS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range s.Invocations {
+		if v < 0 {
+			t.Fatalf("slot %d negative: %d", i, v)
+		}
+	}
+}
+
+func TestGenerateSweepShape(t *testing.T) {
+	s, err := Generate(Config{Mode: ModeSweep, Seed: 1, Slot: 500 * time.Millisecond,
+		StartRPS: 40, TargetRPS: 120, StepRPS: 40, SlotsPerStep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{20, 20, 40, 40, 60, 60} // rps × 0.5s per slot
+	if len(s.Invocations) != len(want) {
+		t.Fatalf("slots = %v, want %v", s.Invocations, want)
+	}
+	for i := range want {
+		if s.Invocations[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", s.Invocations, want)
+		}
+	}
+	if s.Duration() != 3*time.Second {
+		t.Errorf("duration = %v, want 3s", s.Duration())
+	}
+	if s.Total() != 240 {
+		t.Errorf("total = %d, want 240", s.Total())
+	}
+}
+
+func TestGenerateBurstShape(t *testing.T) {
+	s, err := Generate(Config{Mode: ModeBurst, Seed: 1, Slots: 8,
+		BaseRPS: 10, BurstRPS: 100, BurstEvery: 4, BurstLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 10, 10, 100, 10, 10, 10, 100}
+	for i := range want {
+		if s.Invocations[i] != want[i] {
+			t.Fatalf("slots = %v, want %v", s.Invocations, want)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Mode: "bogus"},
+		{Mode: ModeNormal, Slots: 0, MeanRPS: 10},
+		{Mode: ModeNormal, Slots: 5, MeanRPS: 0},
+		{Mode: ModeNormal, Slots: 5, MeanRPS: 10, StddevRPS: -1},
+		{Mode: ModeSweep, StartRPS: 0, TargetRPS: 10, StepRPS: 5, SlotsPerStep: 1},
+		{Mode: ModeSweep, StartRPS: 20, TargetRPS: 10, StepRPS: 5, SlotsPerStep: 1},
+		{Mode: ModeBurst, Slots: 5, BaseRPS: 10, BurstRPS: 10, BurstEvery: 2, BurstLen: 1},
+		{Mode: ModeBurst, Slots: 5, BaseRPS: 1, BurstRPS: 10, BurstEvery: 2, BurstLen: 3},
+		{Mode: ModeNormal, Slots: 5, MeanRPS: 10, Slot: -time.Second},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted", cfg)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s, err := Generate(Config{Mode: ModeSweep, Seed: 9, Slot: 250 * time.Millisecond,
+		StartRPS: 8, TargetRPS: 16, StepRPS: 8, SlotsPerStep: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != s.Mode || got.Seed != s.Seed || got.Slot != s.Slot {
+		t.Errorf("round trip header = %v/%d/%v, want %v/%d/%v", got.Mode, got.Seed, got.Slot, s.Mode, s.Seed, s.Slot)
+	}
+	if len(got.Invocations) != len(s.Invocations) {
+		t.Fatalf("round trip slots = %v, want %v", got.Invocations, s.Invocations)
+	}
+	for i := range s.Invocations {
+		if got.Invocations[i] != s.Invocations[i] {
+			t.Fatalf("round trip slots = %v, want %v", got.Invocations, s.Invocations)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s, err := Generate(Config{Mode: ModeBurst, Seed: 3, Slots: 6, BaseRPS: 5, BurstRPS: 50, BurstEvery: 3, BurstLen: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != s.Mode || got.Seed != s.Seed || got.Slot != s.Slot || len(got.Invocations) != len(s.Invocations) {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"slot,invocations\n0,5\n",
+		"# some/other/schema mode=sweep seed=1 slot_ms=1000\nslot,invocations\n0,5\n",
+		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n1,5\n",   // out of order
+		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n0,-2\n", // negative
+		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=0\nslot,invocations\n0,5\n",     // bad slot
+		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n",       // no rows
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV accepted %q", c)
+		}
+	}
+}
+
+func TestFromStages(t *testing.T) {
+	s, err := FromStages([]int{25, 50}, 2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mode != ModeRamp || len(s.Invocations) != 2 || s.Invocations[0] != 50 || s.Invocations[1] != 100 {
+		t.Errorf("schedule = %+v", s)
+	}
+	if _, err := FromStages(nil, time.Second, 1); err == nil {
+		t.Error("empty stage list accepted")
+	}
+	if _, err := FromStages([]int{0}, time.Second, 1); err == nil {
+		t.Error("zero rps stage accepted")
+	}
+}
+
+func TestFiresEvenlyPaced(t *testing.T) {
+	s := &Schedule{Mode: ModeRamp, Slot: time.Second, Invocations: []int{4, 0, 2}}
+	fires := s.Fires()
+	if len(fires) != 6 {
+		t.Fatalf("fires = %d, want 6", len(fires))
+	}
+	wantAt := []time.Duration{0, 250 * time.Millisecond, 500 * time.Millisecond, 750 * time.Millisecond,
+		2 * time.Second, 2500 * time.Millisecond}
+	wantSlot := []int{0, 0, 0, 0, 2, 2}
+	for i, f := range fires {
+		if f.At != wantAt[i] || f.Slot != wantSlot[i] {
+			t.Errorf("fire %d = %v/slot %d, want %v/slot %d", i, f.At, f.Slot, wantAt[i], wantSlot[i])
+		}
+	}
+}
+
+func TestPercentileSorted(t *testing.T) {
+	if got := percentileSorted(nil, 0.5); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	lat := []time.Duration{1, 2, 3, 4, 5}
+	if got := percentileSorted(lat, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentileSorted(lat, 1.0); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if got := percentileSorted(lat, 0.01); got != 1 {
+		t.Errorf("p1 = %v, want 1", got)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	rep := &Report{Mode: ModeSweep, Seed: 1, Slot: 500 * time.Millisecond,
+		Offered: 3 * time.Second, Drain: 120 * time.Millisecond}
+	rep.Scheduled = 240
+	rep.Sent = 240
+	rep.OK = 230
+	rep.Rejected = 10
+	rep.Slots = make([]Tally, 6)
+	b := rep.Bench()
+	if b.GoodputRPS < 76 || b.GoodputRPS > 77 {
+		t.Errorf("goodput = %v, want ~76.67", b.GoodputRPS)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBench(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != b {
+		t.Errorf("round trip = %+v, want %+v", got, b)
+	}
+	if _, err := ReadBench(strings.NewReader(`{"schema":"nope"}`)); err == nil {
+		t.Error("bad schema accepted")
+	}
+}

@@ -1,0 +1,287 @@
+package loadsched
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome classifies one replayed request. Server-side pushback (429),
+// server-side deadline (504) and client-side give-ups are kept distinct:
+// conflating them hides whether overload was handled by admission control
+// or silently eaten by the client.
+type Outcome int
+
+const (
+	// OutcomeOK is a 200 with a decision payload.
+	OutcomeOK Outcome = iota
+	// OutcomeRejected is a 429 from admission control.
+	OutcomeRejected
+	// OutcomeGatewayTimeout is a 504: the server gave up inside its
+	// per-request budget.
+	OutcomeGatewayTimeout
+	// OutcomeClientTimeout is a client-side timeout (http.Client.Timeout
+	// or a context deadline): the *client* gave up, the server may still
+	// be working.
+	OutcomeClientTimeout
+	// OutcomeFailed is any other transport error or status.
+	OutcomeFailed
+)
+
+// Classify maps an HTTP status / transport error pair to an Outcome.
+func Classify(status int, err error) Outcome {
+	if err != nil {
+		if isClientTimeout(err) {
+			return OutcomeClientTimeout
+		}
+		return OutcomeFailed
+	}
+	switch status {
+	case http.StatusOK:
+		return OutcomeOK
+	case http.StatusTooManyRequests:
+		return OutcomeRejected
+	case http.StatusGatewayTimeout:
+		return OutcomeGatewayTimeout
+	default:
+		return OutcomeFailed
+	}
+}
+
+// isClientTimeout reports whether err is a client-side deadline: a
+// context deadline anywhere in the chain, or any wrapped error exposing
+// Timeout() == true (url.Error from http.Client.Timeout does).
+func isClientTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var t interface{ Timeout() bool }
+	if errors.As(err, &t) && t.Timeout() {
+		return true
+	}
+	return os.IsTimeout(err)
+}
+
+// Tally accumulates outcome counts and latencies for a slice of the
+// replay (one slot, or the whole run).
+type Tally struct {
+	Scheduled      int
+	Sent           int
+	OK             int
+	Rejected       int
+	GatewayTimeout int
+	ClientTimeout  int
+	Failed         int
+
+	// Latency percentiles over OK responses only (errors and rejections
+	// are accounted as rates, not latencies), filled by finalize.
+	P50, P95, P99, P999, Max time.Duration
+
+	latencies []time.Duration
+}
+
+func (t *Tally) record(o Outcome, lat time.Duration) {
+	switch o {
+	case OutcomeOK:
+		t.OK++
+		t.latencies = append(t.latencies, lat)
+	case OutcomeRejected:
+		t.Rejected++
+	case OutcomeGatewayTimeout:
+		t.GatewayTimeout++
+	case OutcomeClientTimeout:
+		t.ClientTimeout++
+	default:
+		t.Failed++
+	}
+}
+
+func (t *Tally) finalize() {
+	sort.Slice(t.latencies, func(i, j int) bool { return t.latencies[i] < t.latencies[j] })
+	t.P50 = percentileSorted(t.latencies, 0.50)
+	t.P95 = percentileSorted(t.latencies, 0.95)
+	t.P99 = percentileSorted(t.latencies, 0.99)
+	t.P999 = percentileSorted(t.latencies, 0.999)
+	t.Max = percentileSorted(t.latencies, 1.0)
+}
+
+// percentileSorted returns the q-quantile of a sorted sample by
+// nearest-rank, or 0 with an empty sample.
+func percentileSorted(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// lateThreshold is how far past its scheduled instant a request may fire
+// before it counts as late in the fidelity report. Well above scheduler
+// jitter, well below a slot.
+const lateThreshold = 10 * time.Millisecond
+
+// Report is the result of one Replay: overall and per-slot tallies plus
+// the open-loop accounting that the legacy closed-loop driver got wrong.
+type Report struct {
+	Mode Mode
+	Seed int64
+	Slot time.Duration
+
+	Tally
+	Slots []Tally
+
+	// Offered is the window rates are computed against: the nominal
+	// schedule duration, extended only if sending itself overran. It
+	// explicitly excludes Drain.
+	Offered time.Duration
+	// Drain is how long after the offered window the last response took
+	// to arrive. The legacy driver folded this into its rate denominator,
+	// deflating achieved RPS exactly when the server was saturated.
+	Drain time.Duration
+
+	// Late counts requests fired more than lateThreshold after their
+	// scheduled instant; MaxLag is the worst such slip. Non-zero lag means
+	// the *load generator* could not hold the schedule — report it rather
+	// than silently under-sending, which is what the old ticker loop did
+	// when its body stalled.
+	Late   int
+	MaxLag time.Duration
+}
+
+// GoodputRPS is successful responses per second of offered window.
+func (r *Report) GoodputRPS() float64 {
+	if r.Offered <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Offered.Seconds()
+}
+
+// SendFunc issues scheduled request i and returns the HTTP status code or
+// a transport error. It is called from many goroutines.
+type SendFunc func(i int) (status int, err error)
+
+// Replay replays the schedule open-loop: every invocation is spawned at
+// its scheduled instant regardless of how previous requests are faring,
+// so a saturated server shows up as tail latency, 429s and timeouts — not
+// as silently reduced offered load. Slots are never skipped: if the
+// replayer falls behind it fires late (and says so via Late/MaxLag)
+// rather than dropping invocations the way a drained ticker does.
+//
+// Cancelling ctx stops the replay early; the report then shows
+// Sent < Scheduled, keeping the shortfall visible.
+func Replay(ctx context.Context, s *Schedule, send SendFunc) *Report {
+	fires := s.Fires()
+	rep := &Report{Mode: s.Mode, Seed: s.Seed, Slot: s.Slot}
+	rep.Scheduled = len(fires)
+	rep.Slots = make([]Tally, len(s.Invocations))
+	for i, n := range s.Invocations {
+		rep.Slots[i].Scheduled = n
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	start := time.Now()
+	cancelled := false
+	for i, f := range fires {
+		wait := f.At - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+				cancelled = true
+			}
+		} else if ctx.Err() != nil {
+			cancelled = true
+		}
+		if cancelled {
+			break
+		}
+		if lag := time.Since(start) - f.At; lag > lateThreshold {
+			rep.Late++
+			if lag > rep.MaxLag {
+				rep.MaxLag = lag
+			}
+		}
+		rep.Sent++
+		rep.Slots[f.Slot].Sent++
+		wg.Add(1)
+		go func(i, slot int) {
+			defer wg.Done()
+			t0 := time.Now()
+			status, err := send(i)
+			lat := time.Since(t0)
+			o := Classify(status, err)
+			mu.Lock()
+			rep.Tally.record(o, lat)
+			rep.Slots[slot].record(o, lat)
+			mu.Unlock()
+		}(i, f.Slot)
+	}
+
+	// Offered window: the schedule's nominal duration, or the actual send
+	// span if we overran it. Measured BEFORE waiting for stragglers.
+	sendSpan := time.Since(start)
+	rep.Offered = s.Duration()
+	if cancelled || sendSpan > rep.Offered {
+		rep.Offered = sendSpan
+	}
+	wg.Wait()
+	if total := time.Since(start); total > rep.Offered {
+		rep.Drain = total - rep.Offered
+	}
+
+	rep.Tally.finalize()
+	for i := range rep.Slots {
+		rep.Slots[i].finalize()
+	}
+	return rep
+}
+
+// Merge combines per-stage reports from sequential replays into one
+// overall report (offered windows and drains add; slot tallies
+// concatenate). Percentiles are recomputed over the pooled latencies.
+func Merge(reports []*Report) *Report {
+	if len(reports) == 0 {
+		return &Report{}
+	}
+	out := &Report{Mode: reports[0].Mode, Seed: reports[0].Seed, Slot: reports[0].Slot}
+	for _, r := range reports {
+		out.Scheduled += r.Scheduled
+		out.Sent += r.Sent
+		out.OK += r.OK
+		out.Rejected += r.Rejected
+		out.GatewayTimeout += r.GatewayTimeout
+		out.ClientTimeout += r.ClientTimeout
+		out.Failed += r.Failed
+		out.Late += r.Late
+		if r.MaxLag > out.MaxLag {
+			out.MaxLag = r.MaxLag
+		}
+		out.Offered += r.Offered
+		out.Drain += r.Drain
+		out.latencies = append(out.latencies, r.latencies...)
+		out.Slots = append(out.Slots, r.Slots...)
+	}
+	out.Tally.finalize()
+	return out
+}

@@ -1,0 +1,208 @@
+package loadsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   Outcome
+	}{
+		{200, nil, OutcomeOK},
+		{429, nil, OutcomeRejected},
+		{504, nil, OutcomeGatewayTimeout},
+		{500, nil, OutcomeFailed},
+		{404, nil, OutcomeFailed},
+		// Client timeouts must NOT land in the generic failed bucket: a
+		// context deadline, even wrapped...
+		{0, context.DeadlineExceeded, OutcomeClientTimeout},
+		{0, fmt.Errorf("post: %w", context.DeadlineExceeded), OutcomeClientTimeout},
+		// ...and the url.Error http.Client produces on Client.Timeout.
+		{0, &url.Error{Op: "Post", URL: "http://x", Err: timeoutErr{}}, OutcomeClientTimeout},
+		// Generic transport errors stay failed.
+		{0, errors.New("connection refused"), OutcomeFailed},
+	}
+	for _, c := range cases {
+		if got := Classify(c.status, c.err); got != c.want {
+			t.Errorf("Classify(%d, %v) = %v, want %v", c.status, c.err, got, c.want)
+		}
+	}
+}
+
+// timeoutErr mimics net errors that expose Timeout() (url.Error forwards
+// the method to the wrapped error).
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "timeout awaiting response" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestReplayHoldsScheduleAgainstSlowServer pins the open-loop contract:
+// a fake server with ~10x less capacity than the schedule demands must
+// still receive every scheduled request — queueing collapse surfaces as
+// latency and drain, never as silent under-sending (the old ticker loop
+// dropped ticks whenever its body stalled).
+func TestReplayHoldsScheduleAgainstSlowServer(t *testing.T) {
+	// Capacity: 4 concurrent handlers × 25ms ≈ 160 req/s. Schedule: 200
+	// requests in 500ms ≈ 400 rps offered... well past capacity once the
+	// semaphore queues.
+	sem := make(chan struct{}, 4)
+	var handled atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		time.Sleep(25 * time.Millisecond)
+		handled.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hs.Close()
+
+	s := &Schedule{Mode: ModeRamp, Seed: 1, Slot: 250 * time.Millisecond, Invocations: []int{100, 100}}
+	client := &http.Client{Timeout: 10 * time.Second}
+	rep := Replay(context.Background(), s, func(i int) (int, error) {
+		resp, err := client.Get(hs.URL)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	})
+
+	if rep.Scheduled != 200 {
+		t.Fatalf("scheduled = %d, want 200", rep.Scheduled)
+	}
+	if rep.Sent != rep.Scheduled {
+		t.Fatalf("sent %d != scheduled %d: open-loop replayer skipped slots", rep.Sent, rep.Scheduled)
+	}
+	if rep.OK != 200 {
+		t.Errorf("ok = %d, want 200 (server eventually answers everything)", rep.OK)
+	}
+	// Saturation must be visible in the honest accounting: responses kept
+	// arriving after the offered window (drain), and the offered window
+	// itself stayed pinned to the schedule rather than absorbing it.
+	if rep.Drain <= 0 {
+		t.Errorf("drain = %v, want > 0 at 10x overload", rep.Drain)
+	}
+	if rep.Offered > 2*s.Duration() {
+		t.Errorf("offered window %v should track the schedule duration %v, not the drain", rep.Offered, s.Duration())
+	}
+	// Goodput is computed against the offered window only. Folding drain
+	// into the denominator (the old bug) would deflate it.
+	deflated := float64(rep.OK) / (rep.Offered + rep.Drain).Seconds()
+	if rep.GoodputRPS() <= deflated {
+		t.Errorf("goodput %v should exceed drain-deflated rate %v", rep.GoodputRPS(), deflated)
+	}
+}
+
+// TestReplayClassifiesClientTimeouts drives a real http.Client with a
+// Timeout against a server that never answers in time: outcomes must land
+// in ClientTimeout, not Failed.
+func TestReplayClassifiesClientTimeouts(t *testing.T) {
+	release := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer func() { close(release); hs.Close() }()
+
+	s := &Schedule{Mode: ModeRamp, Seed: 1, Slot: 100 * time.Millisecond, Invocations: []int{10}}
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	rep := Replay(context.Background(), s, func(i int) (int, error) {
+		resp, err := client.Get(hs.URL)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	})
+	if rep.ClientTimeout != 10 {
+		t.Errorf("client timeouts = %d (failed %d), want 10", rep.ClientTimeout, rep.Failed)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0: client give-ups must not be lumped into generic errors", rep.Failed)
+	}
+}
+
+// TestReplayMixedOutcomes checks the 429/504 split and per-slot tallies.
+func TestReplayMixedOutcomes(t *testing.T) {
+	s := &Schedule{Mode: ModeRamp, Seed: 1, Slot: 50 * time.Millisecond, Invocations: []int{4, 4}}
+	statuses := []int{200, 429, 504, 500, 200, 200, 429, 200}
+	rep := Replay(context.Background(), s, func(i int) (int, error) {
+		return statuses[i], nil
+	})
+	if rep.OK != 4 || rep.Rejected != 2 || rep.GatewayTimeout != 1 || rep.Failed != 1 {
+		t.Errorf("tally = ok %d 429 %d 504 %d failed %d, want 4/2/1/1",
+			rep.OK, rep.Rejected, rep.GatewayTimeout, rep.Failed)
+	}
+	if len(rep.Slots) != 2 {
+		t.Fatalf("slots = %d, want 2", len(rep.Slots))
+	}
+	if rep.Slots[0].Sent != 4 || rep.Slots[1].Sent != 4 {
+		t.Errorf("per-slot sent = %d/%d, want 4/4", rep.Slots[0].Sent, rep.Slots[1].Sent)
+	}
+	if got := rep.Slots[0].OK + rep.Slots[1].OK; got != 4 {
+		t.Errorf("per-slot ok sum = %d, want 4", got)
+	}
+}
+
+// TestReplayCancelReportsShortfall: a cancelled replay must report
+// Sent < Scheduled instead of pretending the schedule completed.
+func TestReplayCancelReportsShortfall(t *testing.T) {
+	s := &Schedule{Mode: ModeRamp, Seed: 1, Slot: time.Second, Invocations: []int{1000}}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	rep := Replay(ctx, s, func(i int) (int, error) {
+		n++
+		if n == 5 {
+			cancel()
+		}
+		return 200, nil
+	})
+	if rep.Sent >= rep.Scheduled {
+		t.Errorf("sent %d should be < scheduled %d after cancel", rep.Sent, rep.Scheduled)
+	}
+	if rep.Scheduled != 1000 {
+		t.Errorf("scheduled = %d, want 1000", rep.Scheduled)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Report{Mode: ModeRamp, Seed: 1, Slot: time.Second, Offered: time.Second, Drain: 100 * time.Millisecond}
+	a.Scheduled, a.Sent, a.OK = 10, 10, 8
+	a.Rejected = 2
+	a.Slots = []Tally{{Scheduled: 10, Sent: 10}}
+	a.latencies = []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	b := &Report{Mode: ModeRamp, Seed: 1, Slot: time.Second, Offered: 2 * time.Second, MaxLag: 5 * time.Millisecond, Late: 1}
+	b.Scheduled, b.Sent, b.OK = 20, 18, 18
+	b.Slots = []Tally{{Scheduled: 20, Sent: 18}}
+	b.latencies = []time.Duration{3 * time.Millisecond}
+
+	m := Merge([]*Report{a, b})
+	if m.Scheduled != 30 || m.Sent != 28 || m.OK != 26 || m.Rejected != 2 {
+		t.Errorf("merged tally = %+v", m.Tally)
+	}
+	if m.Offered != 3*time.Second || m.Drain != 100*time.Millisecond {
+		t.Errorf("merged windows = %v offered %v drain", m.Offered, m.Drain)
+	}
+	if m.Late != 1 || m.MaxLag != 5*time.Millisecond {
+		t.Errorf("merged lag = late %d max %v", m.Late, m.MaxLag)
+	}
+	if len(m.Slots) != 2 {
+		t.Errorf("merged slots = %d, want 2", len(m.Slots))
+	}
+	if m.P50 != 2*time.Millisecond {
+		t.Errorf("merged p50 = %v, want 2ms", m.P50)
+	}
+	if empty := Merge(nil); empty.Scheduled != 0 {
+		t.Errorf("empty merge = %+v", empty)
+	}
+}

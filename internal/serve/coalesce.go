@@ -33,6 +33,9 @@ type coalescerConfig struct {
 	queueDepth int
 	batchSize  int
 	maxWait    time.Duration
+	// scoreDelay artificially slows each batch score (Config.ScoreDelay):
+	// a load-test hook, zero in production.
+	scoreDelay time.Duration
 	met        *serverMetrics
 }
 
@@ -138,6 +141,14 @@ func (c *coalescer) flush(ctx context.Context, batch []*item) {
 	fail := func(err error) {
 		for _, it := range live {
 			it.done <- itemResult{err: err}
+		}
+	}
+	if c.cfg.scoreDelay > 0 {
+		t := time.NewTimer(c.cfg.scoreDelay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
 		}
 	}
 	d, err := c.resolve(ctx)

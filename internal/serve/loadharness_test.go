@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/loadsched"
+)
+
+// TestSaturatingScheduleHonestAccounting drives the real serving stack
+// with a deliberately saturating open-loop schedule: admission control
+// must push back visibly (non-zero 429s) while the replayer holds the
+// full schedule (sent == scheduled, no masked under-sending). The
+// ScoreDelay hook stands in for a heavyweight model so a tiny world
+// saturates deterministically.
+func TestSaturatingScheduleHonestAccounting(t *testing.T) {
+	f := getFixture(t)
+	s, err := New(Config{
+		MaxInFlight:    2,
+		QueueDepth:     8,
+		BatchSize:      4,
+		MaxWait:        time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		ScoreDelay:     25 * time.Millisecond,
+	}, f.modelA, "model-a", []Dataset{{Name: "tiny", Data: f.world.Dataset}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	// 3 slots × 100 requests per 250ms slot = 400 rps offered against a
+	// server bounded at 2 in-flight requests and ~160 pair-decisions/s.
+	sched := &loadsched.Schedule{
+		Mode: loadsched.ModeBurst, Seed: 1,
+		Slot:        250 * time.Millisecond,
+		Invocations: []int{100, 100, 100},
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	pair := [][2]int64{{int64(f.pairs[0].A), int64(f.pairs[0].B)}}
+	payload, err := json.Marshal(map[string]any{"dataset": "tiny", "pairs": pair})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := loadsched.Replay(context.Background(), sched, func(i int) (int, error) {
+		resp, err := client.Post(hs.URL+"/v1/infer", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	})
+
+	if rep.Sent != rep.Scheduled || rep.Scheduled != 300 {
+		t.Errorf("sent %d / scheduled %d: the open-loop replayer must hold a saturating schedule",
+			rep.Sent, rep.Scheduled)
+	}
+	if rep.Rejected == 0 {
+		t.Error("429s = 0: a 400 rps schedule against a 2-in-flight server must trip admission control")
+	}
+	if rep.OK == 0 {
+		t.Error("ok = 0: admission control should shed load, not starve it entirely")
+	}
+	if got := rep.OK + rep.Rejected + rep.GatewayTimeout + rep.ClientTimeout + rep.Failed; got != rep.Sent {
+		t.Errorf("outcomes %d != sent %d: every request must be accounted", got, rep.Sent)
+	}
+}

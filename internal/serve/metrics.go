@@ -45,10 +45,12 @@ func newServerMetrics() *serverMetrics {
 		batchesTotal:          r.Counter("fs_serve_batches_total", "coalescer batches scored"),
 		swapsTotal:            r.Counter("fs_serve_model_swaps_total", "successful hot model swaps"),
 
+		// Fine buckets: the trace-driven load harness reads p99.9 off these
+		// histograms, which needs sub-decade bucket resolution.
 		requestSeconds: r.Histogram("fs_serve_request_seconds",
-			"infer request latency (seconds)", telemetry.DefaultLatencyBuckets()),
+			"infer request latency (seconds)", telemetry.FineLatencyBuckets()),
 		coalesceWaitSeconds: r.Histogram("fs_serve_coalesce_wait_seconds",
-			"time a pair waited in the coalescer queue (seconds)", telemetry.DefaultLatencyBuckets()),
+			"time a pair waited in the coalescer queue (seconds)", telemetry.FineLatencyBuckets()),
 		batchPairs: r.Histogram("fs_serve_batch_pairs",
 			"pairs per scored batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}

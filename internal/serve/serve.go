@@ -58,6 +58,11 @@ type Config struct {
 	// MaxPairsPerRequest bounds the pair list of one request (clamped to
 	// QueueDepth, since a larger request could never be admitted).
 	MaxPairsPerRequest int
+	// ScoreDelay artificially delays every batch score by this duration.
+	// It is a load-test hook: saturation behaviour (429s, queue growth,
+	// tail latency) can be produced deterministically with a tiny model
+	// and the trace-driven load harness. Zero (the default) in production.
+	ScoreDelay time.Duration
 	// Reload, when set, backs POST /v1/admin/swap: it loads a fresh model
 	// (typically by re-reading the model file) which the server then warms
 	// and publishes. Without it the endpoint answers 501.
@@ -198,6 +203,7 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 			queueDepth: cfg.QueueDepth,
 			batchSize:  cfg.BatchSize,
 			maxWait:    cfg.MaxWait,
+			scoreDelay: cfg.ScoreDelay,
 			met:        s.met,
 		}, func(ctx context.Context) (decider, error) {
 			return s.state.Load().scorer(s.baseCtx, e)

@@ -120,3 +120,30 @@ func TestConcurrentObserve(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
 	}
 }
+
+func TestFineLatencyBuckets(t *testing.T) {
+	fine := FineLatencyBuckets()
+	for i := 1; i < len(fine); i++ {
+		if fine[i] <= fine[i-1] {
+			t.Fatalf("buckets not strictly ascending at %d: %v <= %v", i, fine[i], fine[i-1])
+		}
+	}
+	if len(fine) <= len(DefaultLatencyBuckets()) {
+		t.Errorf("fine buckets (%d) should out-resolve the default set (%d)",
+			len(fine), len(DefaultLatencyBuckets()))
+	}
+
+	// p99.9 resolution: with 1000 observations at 2ms and one straggler at
+	// 30ms, the interpolated p99.9 must stay near 2ms — on the old coarse
+	// buckets a 2ms observation shared the 1..2.5ms bucket, fine buckets
+	// pin it tighter. The straggler must not drag the estimate a decade up.
+	h := NewHistogram(FineLatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.002)
+	}
+	h.Observe(0.030)
+	p999 := h.Quantile(0.999)
+	if p999 < 0.0015 || p999 > 0.004 {
+		t.Errorf("p99.9 = %v, want within the 1.5..4ms band around the true 2ms", p999)
+	}
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Fixed-seed serving benchmark (`make bench-serve`): generate a tiny
+# world, train and serve a model, replay a deterministic open-loop sweep
+# schedule with loadgen, and persist the result as BENCH_serve.json — the
+# tracked perf-trajectory artifact. If a checked-in BENCH_serve.json
+# exists, the fresh run is gated against it first: goodput regressing
+# more than 20% fails the script (set BENCH_SERVE_NO_CHECK=1 to skip,
+# BENCH_SERVE_MAX_REGRESS to tune).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+HOST=127.0.0.1
+PORT="${BENCH_SERVE_PORT:-8473}"
+
+fail() {
+  echo "bench-serve: $*" >&2
+  [ -f "$WORK/server.log" ] && sed 's/^/bench-serve:   server: /' "$WORK/server.log" >&2
+  exit 1
+}
+
+cd "$ROOT"
+echo "bench-serve: building binaries"
+go build -o "$WORK/bin/" ./cmd/friendseeker ./cmd/synthgen ./cmd/loadgen ./cmd/benchjson
+
+echo "bench-serve: generating tiny world (seed 1)"
+"$WORK/bin/synthgen" -preset tiny -seed 1 -out "$WORK" >/dev/null
+
+echo "bench-serve: training model"
+"$WORK/bin/friendseeker" \
+  -checkins "$WORK/tiny-checkins.csv" -edges "$WORK/tiny-edges.csv" \
+  -epochs 10 -seed 1 -save-model "$WORK/model.bin" >/dev/null
+
+echo "bench-serve: starting server on $HOST:$PORT"
+"$WORK/bin/friendseeker" serve \
+  -model "$WORK/model.bin" -data tiny="$WORK/tiny-checkins.csv" \
+  -listen "$HOST:$PORT" >"$WORK/server.out" 2>"$WORK/server.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 120); do
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+  if (exec 3<>"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+    exec 3<&- 3>&-
+    break
+  fi
+  sleep 1
+done
+
+# Fixed-seed open-loop sweep: 40 -> 120 rps in steps of 40, two 500ms
+# slots per step (240 scheduled requests over 3s). Deterministic by
+# construction; the schedule artifact is saved next to the report.
+echo "bench-serve: replaying fixed-seed sweep schedule"
+"$WORK/bin/loadgen" -addr "http://$HOST:$PORT" -dataset tiny -preset tiny -seed 1 \
+  -mode sweep -start-rps 40 -target-rps 120 -step-rps 40 -slots-per-step 2 \
+  -slot 500ms -pairs 4 \
+  -save-schedule "$WORK/bench-schedule.csv" \
+  -report "$WORK/BENCH_serve.json" | tee "$WORK/loadgen.out"
+grep -q 'overall:' "$WORK/loadgen.out" || fail "loadgen produced no overall report"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+
+if [ -f "$ROOT/BENCH_serve.json" ] && [ "${BENCH_SERVE_NO_CHECK:-0}" != 1 ]; then
+  echo "bench-serve: gating against checked-in baseline"
+  "$WORK/bin/benchjson" -baseline "$ROOT/BENCH_serve.json" -candidate "$WORK/BENCH_serve.json" \
+    -field goodput_rps -max-regress "${BENCH_SERVE_MAX_REGRESS:-0.20}" \
+    || fail "goodput regressed beyond tolerance (rerun with BENCH_SERVE_NO_CHECK=1 to accept)"
+fi
+
+cp "$WORK/BENCH_serve.json" "$ROOT/BENCH_serve.json"
+echo "bench-serve: wrote BENCH_serve.json"

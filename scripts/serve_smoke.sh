@@ -67,6 +67,8 @@ echo "serve-smoke: driving load"
   -rps 20,40 -stage 2s -pairs 4 | tee "$WORK/loadgen.out"
 grep -q 'stage' "$WORK/loadgen.out" || fail "loadgen produced no stage report"
 grep -Eq ' ok [1-9][0-9]* ' "$WORK/loadgen.out" || fail "no successful requests"
+grep -q 'overall: scheduled' "$WORK/loadgen.out" || fail "loadgen missing open-loop overall report"
+grep -q 'goodput' "$WORK/loadgen.out" || fail "loadgen missing goodput summary"
 
 METRICS="$(http_get /metrics)"
 echo "$METRICS" | grep -q 'fs_serve_requests_total' || fail "metrics missing request counter"
