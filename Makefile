@@ -15,7 +15,7 @@ GO ?= go
 # confidence intervals.
 BENCH_COUNT ?= 5
 
-.PHONY: all vet build test race check bench bench-serve serve-smoke
+.PHONY: all vet build test race check chaos bench bench-serve serve-smoke
 
 all: check
 
@@ -39,6 +39,16 @@ check: vet build test race
 # model, boot `friendseeker serve`, probe it and replay load with loadgen.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Chaos acceptance: replay a fixed-seed load schedule against the serving
+# stack with a seeded fault-injection schedule active (primary-scorer
+# failures, corrupt model artifacts on the reload path) and assert the
+# failure-hardening invariants — unflagged answers byte-identical to
+# direct Infer, last-known-good survives failed swaps, the breaker opens
+# and recovers, every request is answered. Fully deterministic; see
+# internal/serve/chaos_test.go and DESIGN.md "Failure model".
+chaos:
+	$(GO) test -run 'TestChaosAcceptance' -count=1 -timeout 10m ./internal/serve/
 
 # Micro-benchmarks of the batched scoring kernels plus the end-to-end
 # attack. The raw text stays benchstat-comparable (it is echoed as it

@@ -107,16 +107,10 @@ func run(args []string, out io.Writer) error {
 		time.Since(start).Seconds(), rep.SpatialCells, rep.TimeSlots, rep.InputDim, rep.Phase2Iterations)
 
 	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
-		if err != nil {
-			return fmt.Errorf("create model file: %w", err)
-		}
-		if err := attack.Save(f); err != nil {
-			f.Close()
+		// Atomic publish (temp file + rename): a serve process re-reading
+		// this path on SIGHUP can never observe a torn artifact.
+		if err := attack.SaveFile(*saveModel); err != nil {
 			return fmt.Errorf("save model: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("close model file: %w", err)
 		}
 		fmt.Fprintf(out, "saved model to %s\n", *saveModel)
 	}

@@ -26,6 +26,8 @@ import (
 	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/core"
 	"github.com/friendseeker/friendseeker/internal/dataset"
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/resilience"
 	"github.com/friendseeker/friendseeker/internal/serve"
 )
 
@@ -43,6 +45,11 @@ type serveFlags struct {
 	warm         bool
 	drainTimeout time.Duration
 	scoreDelay   time.Duration
+
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	noFallback       bool
+	faults           string
 }
 
 func parseServeFlags(args []string) (*serveFlags, error) {
@@ -70,6 +77,10 @@ func parseServeFlags(args []string) (*serveFlags, error) {
 	fs.BoolVar(&sf.warm, "warm", true, "build every dataset's scoring session before accepting traffic")
 	fs.DurationVar(&sf.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown drain budget")
 	fs.DurationVar(&sf.scoreDelay, "score-delay", 0, "artificial per-batch scoring delay (load-test hook; keep 0 in production)")
+	fs.IntVar(&sf.breakerThreshold, "breaker-threshold", 5, "consecutive scoring failures before a dataset's circuit breaker opens (negative disables)")
+	fs.DurationVar(&sf.breakerCooldown, "breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	fs.BoolVar(&sf.noFallback, "no-fallback", false, "disable the degraded co-location fallback tier (open breaker answers 503 instead)")
+	fs.StringVar(&sf.faults, "faults", "", "seeded fault-injection schedule, e.g. 'flush:err@0-2;warm:delay=50ms@1' (chaos-test hook; keep empty in production)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -113,6 +124,15 @@ func runServe(args []string, out io.Writer) error {
 			name, ds.NumUsers(), ds.NumPOIs(), ds.NumCheckIns())
 	}
 
+	var faults *faultinject.Injector
+	if sf.faults != "" {
+		faults, err = faultinject.Parse(sf.faults)
+		if err != nil {
+			return err
+		}
+		logger.Warn("fault injection active", "schedule", sf.faults)
+	}
+
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:        sf.maxInFlight,
 		QueueDepth:         sf.queueDepth,
@@ -121,6 +141,10 @@ func runServe(args []string, out io.Writer) error {
 		RequestTimeout:     sf.timeout,
 		MaxPairsPerRequest: sf.maxPairs,
 		ScoreDelay:         sf.scoreDelay,
+		BreakerThreshold:   sf.breakerThreshold,
+		BreakerCooldown:    sf.breakerCooldown,
+		DisableFallback:    sf.noFallback,
+		Faults:             faults,
 		Reload:             func() (*core.FriendSeeker, string, error) { return serve.LoadModelFile(sf.modelPath) },
 		Logger:             logger,
 	}, model, modelID, datasets)
@@ -139,19 +163,28 @@ func runServe(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "warmed %d dataset session(s) in %.1fs\n", len(datasets), time.Since(start).Seconds())
 	}
 
-	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
+	// SIGHUP hot-swaps the model. Reload races the trainer publishing a
+	// new artifact (atomic rename, but the file may briefly be mid-write
+	// by an uncooperative producer, or the first load may catch a corrupt
+	// artifact), so failed reloads retry with exponential backoff and full
+	// jitter before giving up; the last-known-good model serves throughout.
+	// SIGINT/SIGTERM drain and exit.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
+		reloadPolicy := resilience.Policy{
+			MaxAttempts: 5,
+			BaseDelay:   200 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+		}
 		for range hup {
 			logger.Info("SIGHUP: reloading model", "path", sf.modelPath)
-			m, id, err := serve.LoadModelFile(sf.modelPath)
+			err := resilience.Retry(ctx, reloadPolicy, func() error {
+				_, err := srv.ReloadAndSwap(ctx)
+				return err
+			})
 			if err != nil {
-				logger.Error("reload failed", "err", err)
-				continue
-			}
-			if err := srv.Swap(ctx, m, id); err != nil {
-				logger.Error("swap failed", "err", err)
+				logger.Error("SIGHUP reload gave up; previous model keeps serving", "err", err)
 			}
 		}
 	}()

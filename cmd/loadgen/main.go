@@ -249,14 +249,14 @@ func printReport(out io.Writer, sched *loadsched.Schedule, rep *loadsched.Report
 	}
 	for i, t := range rep.Slots {
 		fmt.Fprintf(out,
-			"%s %3d (%4.0f rps): scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d err %d | p50 %s p99 %s max %s\n",
+			"%s %3d (%4.0f rps): scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d conn %d err %d | p50 %s p99 %s max %s\n",
 			label, i, sched.SlotRPS(i), t.Scheduled, t.Sent, t.OK, t.Rejected, t.GatewayTimeout,
-			t.ClientTimeout, t.Failed, t.P50, t.P99, t.Max)
+			t.ClientTimeout, t.ConnError, t.Failed, t.P50, t.P99, t.Max)
 	}
 	fmt.Fprintf(out,
-		"overall: scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d err %d late %d maxlag %s\n",
+		"overall: scheduled %d sent %d ok %d 429 %d 504 %d ctimeout %d conn %d err %d late %d maxlag %s\n",
 		rep.Scheduled, rep.Sent, rep.OK, rep.Rejected, rep.GatewayTimeout,
-		rep.ClientTimeout, rep.Failed, rep.Late, rep.MaxLag)
+		rep.ClientTimeout, rep.ConnError, rep.Failed, rep.Late, rep.MaxLag)
 	fmt.Fprintf(out,
 		"         offered %s drain %s | goodput %.1f rps | p50 %s p95 %s p99 %s p99.9 %s max %s\n",
 		rep.Offered.Round(time.Millisecond), rep.Drain.Round(time.Millisecond), rep.GoodputRPS(),

@@ -143,8 +143,15 @@ type (
 // New returns an untrained attack. Call Train before Infer.
 func New(cfg Config) (*FriendSeeker, error) { return core.New(cfg) }
 
+// ErrCorruptModel reports a model artifact that is truncated, bit-flipped
+// or otherwise fails integrity verification in LoadModel. Match with
+// errors.Is.
+var ErrCorruptModel = core.ErrCorruptModel
+
 // LoadModel restores a trained attack previously written with
-// (*FriendSeeker).Save, so inference can run without retraining.
+// (*FriendSeeker).Save, so inference can run without retraining. Model
+// files carry a SHA-256 integrity trailer; a damaged artifact fails with
+// ErrCorruptModel rather than restoring a silently wrong model.
 func LoadModel(r io.Reader) (*FriendSeeker, error) { return core.Load(r) }
 
 // NewDataset indexes POIs and check-ins into a Dataset.

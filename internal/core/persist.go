@@ -1,10 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"github.com/friendseeker/friendseeker/internal/joc"
 	"github.com/friendseeker/friendseeker/internal/knn"
@@ -12,10 +17,37 @@ import (
 	"github.com/friendseeker/friendseeker/internal/svm"
 )
 
-// modelFormatVersion guards against loading incompatible files. Version 2
-// stores the division's POI cells as a sorted slice (deterministic,
-// byte-stable encoding) instead of a map.
-const modelFormatVersion = 2
+// Model format history:
+//
+//   - v2 stores the division's POI cells as a sorted slice (deterministic,
+//     byte-stable encoding) instead of a map. A v2 file is a bare gob
+//     stream.
+//   - v3 wraps the gob payload in an integrity envelope: a fixed magic
+//     header plus a trailing SHA-256 of the payload. Load verifies the
+//     checksum before decoding, so a truncated or bit-flipped artifact is
+//     rejected with ErrCorruptModel instead of being half-decoded into a
+//     silently wrong model.
+//
+// Save writes v3; Load reads v3 and, for backward compatibility, bare-gob
+// v2 files (which carry no checksum).
+const (
+	modelFormatVersion  = 3
+	modelFormatV2       = 2
+	checksumSize        = sha256.Size
+	minV3EnvelopeLength = len(magicV3) + checksumSize
+)
+
+// magicV3 marks a checksummed v3 artifact. It is not a valid gob prefix,
+// so v2 readers fail loudly on v3 files rather than misparsing them.
+const magicV3 = "FSKMDL3\n"
+
+// ErrCorruptModel reports a model artifact that is truncated, bit-flipped
+// or otherwise fails integrity verification. Match with errors.Is.
+var ErrCorruptModel = errors.New("core: corrupt model artifact")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorruptModel)...)
+}
 
 // modelFile is the on-disk representation of a trained FriendSeeker.
 type modelFile struct {
@@ -32,7 +64,8 @@ type modelFile struct {
 
 // Save serialises the trained attack (STD, autoencoder weights, feature
 // scaler, KNN reference set, SVM support vectors) so Infer can run in a
-// later process without retraining. The format is Go gob. Save is
+// later process without retraining. The format is the v3 envelope: magic
+// header, Go gob payload, trailing SHA-256 of the payload. Save is
 // deterministic — saving the same model twice yields byte-identical
 // output — and inference never mutates the model, so the bytes written
 // here are independent of any Infer calls made before or after.
@@ -65,21 +98,116 @@ func (fs *FriendSeeker) Save(w io.Writer) error {
 		mf.ScalerMean = fs.scaler.mean
 		mf.ScalerStd = fs.scaler.std
 	}
-	if err := gob.NewEncoder(w).Encode(&mf); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&mf); err != nil {
 		return fmt.Errorf("core: encode model: %w", err)
+	}
+	if _, err := io.WriteString(w, magicV3); err != nil {
+		return fmt.Errorf("core: write model: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("core: write model: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("core: write model: %w", err)
 	}
 	return nil
 }
 
-// Load restores a trained attack previously written by Save.
+// SaveFile writes the model to path atomically: the bytes land in a
+// temporary file in the destination directory, are fsynced, and only then
+// renamed over path. A crash or error mid-save therefore never publishes
+// a torn artifact — path either keeps its previous content or holds the
+// complete new model (whose integrity Load verifies via the v3 checksum).
+func (fs *FriendSeeker) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: create temp model file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fs.Save(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: sync model file: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: close model file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: publish model file: %w", err)
+	}
+	return nil
+}
+
+// Load restores a trained attack previously written by Save. v3 artifacts
+// are verified against their embedded SHA-256 before decoding: truncated
+// or bit-flipped files fail with ErrCorruptModel, never a partial model.
+// Bare-gob v2 artifacts (which predate the checksum) still load.
 func Load(r io.Reader) (*FriendSeeker, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: read model: %w", err)
+	}
+	if len(raw) < len(magicV3) {
+		// Shorter than the magic header: either an empty/truncated v3
+		// prefix or garbage; no valid artifact of any version is this
+		// small.
+		return nil, corruptf("core: model artifact truncated (%d bytes)", len(raw))
+	}
+	if string(raw[:len(magicV3)]) == magicV3 {
+		return loadV3(raw)
+	}
+	return loadLegacyV2(raw)
+}
+
+// loadV3 verifies and decodes a v3 envelope (magic already matched).
+func loadV3(raw []byte) (*FriendSeeker, error) {
+	if len(raw) < minV3EnvelopeLength {
+		return nil, corruptf("core: v3 model artifact truncated (%d bytes)", len(raw))
+	}
+	payload := raw[len(magicV3) : len(raw)-checksumSize]
+	trailer := raw[len(raw)-checksumSize:]
+	sum := sha256.Sum256(payload)
+	if subtle.ConstantTimeCompare(sum[:], trailer) != 1 {
+		return nil, corruptf("core: model checksum mismatch")
+	}
 	var mf modelFile
-	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, fmt.Errorf("core: decode model: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&mf); err != nil {
+		// The checksum matched, so the writer itself produced an
+		// undecodable payload — still an integrity failure from the
+		// reader's point of view.
+		return nil, corruptf("core: decode v3 model: %v", err)
 	}
 	if mf.Version != modelFormatVersion {
 		return nil, fmt.Errorf("core: model format version %d, want %d", mf.Version, modelFormatVersion)
 	}
+	return restoreModel(&mf)
+}
+
+// loadLegacyV2 decodes a pre-checksum bare-gob artifact.
+func loadLegacyV2(raw []byte) (*FriendSeeker, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if mf.Version != modelFormatV2 {
+		return nil, fmt.Errorf("core: model format version %d, want %d or %d",
+			mf.Version, modelFormatV2, modelFormatVersion)
+	}
+	return restoreModel(&mf)
+}
+
+// restoreModel rebuilds a FriendSeeker from a decoded model file (shared
+// by the v2 and v3 paths; the component wire formats are identical).
+func restoreModel(mf *modelFile) (*FriendSeeker, error) {
 	if mf.Division == nil || mf.Autoencoder == nil || mf.Phase1 == nil || mf.Phase2 == nil {
 		return nil, errors.New("core: model file missing components")
 	}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/friendseeker/friendseeker/internal/synth"
+)
+
+// corruptFixture trains one small model and serialises it once; the
+// corpus tests below share it.
+type corruptFixture struct {
+	fs  *FriendSeeker
+	v3  []byte // a valid v3 artifact
+	err error
+}
+
+var (
+	cfxOnce sync.Once
+	cfx     *corruptFixture
+)
+
+func getCorruptFixture(t *testing.T) *corruptFixture {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("trains a model; skipped in -short")
+	}
+	cfxOnce.Do(func() {
+		cfx = &corruptFixture{}
+		// Far below synth.Tiny: the truncation corpus feeds Load every
+		// prefix of this artifact and each v3 load hashes the whole prefix,
+		// so the loop is quadratic in artifact size. A micro-world keeps the
+		// artifact (dominated by the KNN reference set) small enough that
+		// the full corpus runs in seconds.
+		scfg := synth.Tiny(411)
+		scfg.NumUsers = 24
+		scfg.NumCommunities = 3
+		scfg.NumPOIs = 60
+		scfg.SpanWeeks = 4
+		scfg.MaxCheckIns = 30
+		w, err := synth.Generate(scfg)
+		if err != nil {
+			cfx.err = err
+			return
+		}
+		split, err := w.FullView().SplitPairs(0.7, 2, 412)
+		if err != nil {
+			cfx.err = err
+			return
+		}
+		cfg := quickConfig(413)
+		cfg.Epochs = 5
+		fs, err := New(cfg)
+		if err != nil {
+			cfx.err = err
+			return
+		}
+		if err := fs.Train(w.Dataset, split.TrainPairs, split.TrainLabels); err != nil {
+			cfx.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := fs.Save(&buf); err != nil {
+			cfx.err = err
+			return
+		}
+		cfx.fs = fs
+		cfx.v3 = buf.Bytes()
+	})
+	if cfx.err != nil {
+		t.Fatal(cfx.err)
+	}
+	return cfx
+}
+
+// TestLoadTruncatedCorpus feeds Load every strict prefix of a valid v3
+// artifact: each one must be rejected with ErrCorruptModel — never a
+// partial model, never a panic.
+func TestLoadTruncatedCorpus(t *testing.T) {
+	f := getCorruptFixture(t)
+	t.Logf("artifact size: %d bytes", len(f.v3))
+	// The loop hashes O(size²) bytes; refuse to grind for minutes if the
+	// fixture world ever grows the artifact past the corpus budget.
+	if len(f.v3) > 256<<10 {
+		t.Fatalf("fixture artifact is %d bytes; every-prefix corpus needs it under 256KiB — shrink the fixture world", len(f.v3))
+	}
+	for n := 0; n < len(f.v3); n++ {
+		fs, err := Load(bytes.NewReader(f.v3[:n]))
+		if fs != nil {
+			t.Fatalf("prefix %d/%d: Load returned a model from a truncated artifact", n, len(f.v3))
+		}
+		if !errors.Is(err, ErrCorruptModel) {
+			t.Fatalf("prefix %d/%d: err = %v, want ErrCorruptModel", n, len(f.v3), err)
+		}
+	}
+}
+
+// TestLoadBitFlippedCorpus flips one bit at a spread of offsets across
+// the envelope: any flip at or beyond the magic header must fail the
+// checksum with ErrCorruptModel; flips inside the header must still fail
+// to load (they no longer look like a v3 file at all).
+func TestLoadBitFlippedCorpus(t *testing.T) {
+	f := getCorruptFixture(t)
+	stride := len(f.v3) / 97
+	if stride < 1 {
+		stride = 1
+	}
+	for off := 0; off < len(f.v3); off += stride {
+		flipped := make([]byte, len(f.v3))
+		copy(flipped, f.v3)
+		flipped[off] ^= 0x10
+		fs, err := Load(bytes.NewReader(flipped))
+		if fs != nil || err == nil {
+			t.Fatalf("offset %d: bit-flipped artifact loaded", off)
+		}
+		if off >= len(magicV3) && !errors.Is(err, ErrCorruptModel) {
+			t.Fatalf("offset %d: err = %v, want ErrCorruptModel", off, err)
+		}
+	}
+}
+
+// TestLoadV3RoundTrip: the happy path through the checksummed envelope.
+func TestLoadV3RoundTrip(t *testing.T) {
+	f := getCorruptFixture(t)
+	if !bytes.HasPrefix(f.v3, []byte(magicV3)) {
+		t.Fatalf("Save did not write the v3 magic header")
+	}
+	restored, err := Load(bytes.NewReader(f.v3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Trained() {
+		t.Fatal("restored model not marked trained")
+	}
+}
+
+// TestLoadV2BackwardCompat: artifacts written before the integrity
+// envelope — a bare gob stream with Version 2 — must still load.
+func TestLoadV2BackwardCompat(t *testing.T) {
+	f := getCorruptFixture(t)
+	// Rebuild the pre-v3 byte layout from the same model: strip the
+	// envelope, decode the payload, rewrite it as a bare Version-2 gob.
+	payload := f.v3[len(magicV3) : len(f.v3)-checksumSize]
+	var mf modelFile
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Version = modelFormatV2
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(&mf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&legacy)
+	if err != nil {
+		t.Fatalf("v2 artifact failed to load: %v", err)
+	}
+	if !restored.Trained() {
+		t.Fatal("restored v2 model not marked trained")
+	}
+	// And an unknown bare-gob version is rejected, not misread.
+	mf.Version = 1
+	var old bytes.Buffer
+	if err := gob.NewEncoder(&old).Encode(&mf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&old); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v1 artifact: err = %v, want version error", err)
+	}
+}
+
+// TestSaveFileAtomic: SaveFile publishes via temp + rename, so a failed
+// save leaves the previous artifact untouched and no temp litter behind.
+func TestSaveFileAtomic(t *testing.T) {
+	f := getCorruptFixture(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+
+	if err := f.fs.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, f.v3) {
+		t.Fatal("SaveFile wrote different bytes than Save")
+	}
+	if _, err := Load(bytes.NewReader(want)); err != nil {
+		t.Fatalf("SaveFile artifact fails to load: %v", err)
+	}
+
+	// A failing save (untrained model) must not clobber the good file.
+	untrained, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := untrained.SaveFile(path); !errors.Is(err, ErrNotTrained) {
+		t.Fatalf("untrained SaveFile = %v, want ErrNotTrained", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, want) {
+		t.Fatal("failed SaveFile clobbered the existing artifact")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp litter left behind: %v", names)
+	}
+}
+
+// TestLoadEmptyAndTiny: degenerate inputs are corrupt, not panics.
+func TestLoadEmptyAndTiny(t *testing.T) {
+	for _, in := range []string{"", "F", "FSKMDL3", magicV3} {
+		if _, err := Load(strings.NewReader(in)); !errors.Is(err, ErrCorruptModel) {
+			t.Errorf("Load(%q) = %v, want ErrCorruptModel", in, err)
+		}
+	}
+}

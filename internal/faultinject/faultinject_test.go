@@ -1,0 +1,177 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("flush"); err != nil {
+		t.Errorf("nil Fire = %v, want nil", err)
+	}
+	b := []byte("payload")
+	if got := in.Corrupt("load", b); !bytes.Equal(got, b) {
+		t.Errorf("nil Corrupt changed the payload")
+	}
+	if in.Count("flush") != 0 || in.Sites() != nil {
+		t.Error("nil injector should report nothing")
+	}
+}
+
+func TestFireErrorSchedule(t *testing.T) {
+	in := New(Rule{Site: "flush", Kind: KindError, From: 2, To: 4})
+	var errs []bool
+	for i := 0; i < 7; i++ {
+		errs = append(errs, in.Fire("flush") != nil)
+	}
+	want := []bool{false, false, true, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Errorf("invocation %d: fault = %v, want %v", i, errs[i], want[i])
+		}
+	}
+	if in.Count("flush") != 7 {
+		t.Errorf("Count = %d, want 7", in.Count("flush"))
+	}
+}
+
+func TestFireErrorIsTyped(t *testing.T) {
+	in := New(Rule{Site: "warm", Kind: KindError, From: 0})
+	if err := in.Fire("warm"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected in chain", err)
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	in := New(Rule{Site: "flush", Kind: KindError, From: 0})
+	if err := in.Fire("warm"); err != nil {
+		t.Errorf("warm faulted from a flush rule: %v", err)
+	}
+	if err := in.Fire("flush"); err == nil {
+		t.Error("flush invocation 0 should fault")
+	}
+}
+
+func TestEveryStride(t *testing.T) {
+	in := New(Rule{Site: "s", Kind: KindError, From: 1, To: 9, Every: 3})
+	var got []int
+	for i := 0; i < 12; i++ {
+		if in.Fire("s") != nil {
+			got = append(got, i)
+		}
+	}
+	want := []int{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("faulted at %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("faulted at %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDelayFaultSleeps(t *testing.T) {
+	in := New(Rule{Site: "s", Kind: KindDelay, From: 0, Delay: 123 * time.Millisecond})
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept = d })
+	if err := in.Fire("s"); err != nil {
+		t.Fatalf("delay fault returned error: %v", err)
+	}
+	if slept != 123*time.Millisecond {
+		t.Errorf("slept %v, want 123ms", slept)
+	}
+}
+
+func TestCorruptFlipsDeterministically(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 64)
+	run := func() []byte {
+		in := New(Rule{Site: "load", Kind: KindCorrupt, From: 1})
+		first := in.Corrupt("load", payload)
+		if !bytes.Equal(first, payload) {
+			t.Fatal("invocation 0 should pass through unchanged")
+		}
+		return in.Corrupt("load", payload)
+	}
+	a, b := run(), run()
+	if bytes.Equal(a, payload) {
+		t.Fatal("scheduled corruption left the payload intact")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("corruption is not deterministic across runs")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	// The original buffer must never be mutated.
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0xAB}, 64)) {
+		t.Error("Corrupt mutated the caller's buffer")
+	}
+}
+
+func TestCorruptIgnoredByFire(t *testing.T) {
+	in := New(Rule{Site: "load", Kind: KindCorrupt, From: 0, To: 100})
+	if err := in.Fire("load"); err != nil {
+		t.Errorf("Fire applied a corrupt rule: %v", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	in, err := Parse("flush:err@3-6;load:corrupt@2;warm:delay=50ms@0-*/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetSleep(func(time.Duration) {})
+	// flush errors exactly on 3..6.
+	for i := 0; i < 8; i++ {
+		want := i >= 3 && i <= 6
+		if got := in.Fire("flush") != nil; got != want {
+			t.Errorf("flush %d: fault=%v want %v", i, got, want)
+		}
+	}
+	// load corrupts only invocation 2.
+	payload := []byte("model-bytes-model-bytes")
+	for i := 0; i < 4; i++ {
+		changed := !bytes.Equal(in.Corrupt("load", payload), payload)
+		if want := i == 2; changed != want {
+			t.Errorf("load %d: corrupted=%v want %v", i, changed, want)
+		}
+	}
+	// warm delays every second invocation forever; no errors either way.
+	for i := 0; i < 5; i++ {
+		if err := in.Fire("warm"); err != nil {
+			t.Errorf("warm %d errored: %v", i, err)
+		}
+	}
+	sites := in.Sites()
+	if len(sites) != 3 || sites[0] != "flush" || sites[1] != "load" || sites[2] != "warm" {
+		t.Errorf("Sites = %v", sites)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		";;",
+		"noseparator",
+		"site:err",          // missing selector
+		"site:bogus@1",      // unknown kind
+		"site:delay=x@1",    // bad duration
+		"site:err@-1",       // negative index
+		"site:err@5-2",      // inverted range
+		"site:err@1-4/zero", // bad stride
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}

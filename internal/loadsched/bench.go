@@ -42,6 +42,10 @@ type BenchReport struct {
 	DrainMS       float64        `json:"drain_ms"`
 	GoodputRPS    float64        `json:"goodput_rps"`
 	LatencyMS     LatencySummary `json:"latency_ms"`
+	// ConnErrors (appended in PR 9) counts connection-level failures —
+	// refused/reset/dial errors — separated from Failed so chaos runs
+	// read correctly. Absent in older artifacts (decodes as 0).
+	ConnErrors int `json:"conn_errors"`
 }
 
 // roundMS rounds a milliseconds value to 3 decimal places so artifacts
@@ -66,6 +70,7 @@ func (r *Report) Bench() BenchReport {
 		Timeout504:    r.GatewayTimeout,
 		ClientTimeout: r.ClientTimeout,
 		Failed:        r.Failed,
+		ConnErrors:    r.ConnError,
 		Late:          r.Late,
 		MaxLagMS:      ms(float64(r.MaxLag.Microseconds()) / 1000),
 		OfferedMS:     ms(float64(r.Offered.Microseconds()) / 1000),

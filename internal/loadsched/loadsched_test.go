@@ -171,7 +171,7 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 		"",
 		"slot,invocations\n0,5\n",
 		"# some/other/schema mode=sweep seed=1 slot_ms=1000\nslot,invocations\n0,5\n",
-		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n1,5\n",   // out of order
+		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n1,5\n",  // out of order
 		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n0,-2\n", // negative
 		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=0\nslot,invocations\n0,5\n",     // bad slot
 		"# friendseeker/loadsched/v1 mode=sweep seed=1 slot_ms=1000\nslot,invocations\n",       // no rows

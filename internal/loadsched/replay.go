@@ -3,10 +3,12 @@ package loadsched
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http"
 	"os"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -30,6 +32,11 @@ const (
 	OutcomeClientTimeout
 	// OutcomeFailed is any other transport error or status.
 	OutcomeFailed
+	// OutcomeConnError is a connection-level failure — refused, reset or
+	// aborted before an HTTP response. During chaos runs these mean "the
+	// process was not there", which reads very differently from a 5xx the
+	// server chose to send; lumping them into OutcomeFailed hid that.
+	OutcomeConnError
 )
 
 // Classify maps an HTTP status / transport error pair to an Outcome.
@@ -37,6 +44,9 @@ func Classify(status int, err error) Outcome {
 	if err != nil {
 		if isClientTimeout(err) {
 			return OutcomeClientTimeout
+		}
+		if isConnError(err) {
+			return OutcomeConnError
 		}
 		return OutcomeFailed
 	}
@@ -66,6 +76,18 @@ func isClientTimeout(err error) bool {
 	return os.IsTimeout(err)
 }
 
+// isConnError reports whether err is a connection-level failure: refused
+// or reset at the socket layer, or any dial error (the server was not
+// reachable at all, as opposed to reachable-but-misbehaving).
+func isConnError(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
+}
+
 // Tally accumulates outcome counts and latencies for a slice of the
 // replay (one slot, or the whole run).
 type Tally struct {
@@ -75,6 +97,7 @@ type Tally struct {
 	Rejected       int
 	GatewayTimeout int
 	ClientTimeout  int
+	ConnError      int
 	Failed         int
 
 	// Latency percentiles over OK responses only (errors and rejections
@@ -95,6 +118,8 @@ func (t *Tally) record(o Outcome, lat time.Duration) {
 		t.GatewayTimeout++
 	case OutcomeClientTimeout:
 		t.ClientTimeout++
+	case OutcomeConnError:
+		t.ConnError++
 	default:
 		t.Failed++
 	}
@@ -272,6 +297,7 @@ func Merge(reports []*Report) *Report {
 		out.Rejected += r.Rejected
 		out.GatewayTimeout += r.GatewayTimeout
 		out.ClientTimeout += r.ClientTimeout
+		out.ConnError += r.ConnError
 		out.Failed += r.Failed
 		out.Late += r.Late
 		if r.MaxLag > out.MaxLag {

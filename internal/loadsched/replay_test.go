@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -31,11 +33,48 @@ func TestClassify(t *testing.T) {
 		{0, &url.Error{Op: "Post", URL: "http://x", Err: timeoutErr{}}, OutcomeClientTimeout},
 		// Generic transport errors stay failed.
 		{0, errors.New("connection refused"), OutcomeFailed},
+		// Connection-level failures get their own class: refused/reset at
+		// the socket layer (as http.Client surfaces them, wrapped in
+		// url.Error around net.OpError around syscall errors)...
+		{0, &url.Error{Op: "Post", URL: "http://x",
+			Err: &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}}, OutcomeConnError},
+		{0, &url.Error{Op: "Post", URL: "http://x",
+			Err: &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}}, OutcomeConnError},
+		// ...and any dial error, even without a recognisable errno.
+		{0, &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("no route to host")}, OutcomeConnError},
+		// But a read error with an unknown cause stays failed.
+		{0, &net.OpError{Op: "read", Net: "tcp", Err: errors.New("mystery")}, OutcomeFailed},
 	}
 	for _, c := range cases {
 		if got := Classify(c.status, c.err); got != c.want {
 			t.Errorf("Classify(%d, %v) = %v, want %v", c.status, c.err, got, c.want)
 		}
+	}
+}
+
+// TestReplayClassifiesConnErrors replays against a server that is not
+// there: every outcome must land in the conn class, not generic failed.
+func TestReplayClassifiesConnErrors(t *testing.T) {
+	// Reserve a port and close the listener so connections are refused.
+	hs := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	addr := hs.URL
+	hs.Close()
+
+	sched := &Schedule{Mode: ModeBurst, Seed: 1, Slot: 50 * time.Millisecond, Invocations: []int{3, 3}}
+	client := &http.Client{Timeout: time.Second}
+	rep := Replay(context.Background(), sched, func(int) (int, error) {
+		resp, err := client.Post(addr+"/v1/infer", "application/json", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	})
+	if rep.ConnError != 6 {
+		t.Errorf("ConnError = %d, want 6 (failed=%d ok=%d)", rep.ConnError, rep.Failed, rep.OK)
+	}
+	if rep.Failed != 0 {
+		t.Errorf("Failed = %d, want 0: refused connections must be classed conn", rep.Failed)
 	}
 }
 

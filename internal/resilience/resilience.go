@@ -1,0 +1,246 @@
+// Package resilience holds the small, reusable failure-handling
+// primitives of the serving stack: retry with exponential backoff and
+// full jitter, and a consecutive-failure circuit breaker.
+//
+// Both primitives are deliberately free of any serving-specific types so
+// they can wrap anything that returns an error: the SIGHUP model-reload
+// path retries with Retry, and the per-dataset scoring path in
+// internal/serve degrades through a Breaker. Tests inject the clock and
+// sleeper, so every schedule is deterministic.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy parameterises Retry. The zero value is invalid; use a positive
+// MaxAttempts and BaseDelay.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+	// BaseDelay is the backoff cap for the first retry; the cap doubles
+	// per attempt (full jitter draws uniformly from [0, cap]).
+	BaseDelay time.Duration
+	// MaxDelay bounds the backoff cap. Zero means no bound.
+	MaxDelay time.Duration
+	// Seed, when non-zero, makes the jitter sequence deterministic.
+	Seed int64
+	// Sleep replaces the delay between attempts; nil uses a real timer
+	// honouring ctx. Tests use it to run schedules instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retry runs fn up to p.MaxAttempts times, sleeping an exponentially
+// capped, fully jittered delay between attempts (the AWS "full jitter"
+// schedule: delay ~ Uniform[0, min(MaxDelay, BaseDelay*2^attempt)]).
+// It returns nil on the first success; after the final attempt it returns
+// the last error. A cancelled context stops the schedule immediately and
+// the context error joins the last attempt's error.
+func Retry(ctx context.Context, p Policy, fn func() error) error {
+	if p.MaxAttempts < 1 {
+		return errors.New("resilience: MaxAttempts must be >= 1")
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d := jitteredDelay(p, rng, attempt-1)
+			if err := sleep(ctx, d); err != nil {
+				return errors.Join(lastErr, err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return errors.Join(lastErr, err)
+		}
+		if lastErr = fn(); lastErr == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts: %w", p.MaxAttempts, lastErr)
+}
+
+// jitteredDelay draws the full-jitter backoff for the given retry index
+// (0 = delay before the second attempt).
+func jitteredDelay(p Policy, rng *rand.Rand, retry int) time.Duration {
+	cap := p.BaseDelay
+	for i := 0; i < retry && cap < 1<<40; i++ {
+		cap *= 2
+	}
+	if p.MaxDelay > 0 && cap > p.MaxDelay {
+		cap = p.MaxDelay
+	}
+	var u float64
+	if rng != nil {
+		u = rng.Float64()
+	} else {
+		u = rand.Float64()
+	}
+	return time.Duration(u * float64(cap))
+}
+
+// sleepCtx is the production sleeper: a timer that honours cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BreakerState is the circuit breaker's observable state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes every attempt through (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails fast; after the cooldown one probe is allowed.
+	BreakerOpen
+	// BreakerHalfOpen has granted a probe and is awaiting its verdict.
+	BreakerHalfOpen
+)
+
+// String renders the state for health endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// every attempt; Threshold consecutive failures open it. Open, Allow
+// fails fast until Cooldown has elapsed, then grants exactly one
+// half-open probe: the probe's Success closes the breaker, its Failure
+// re-opens it (restarting the cooldown). Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+
+	// onOpen, if set, runs (outside the lock) each closed/half-open ->
+	// open transition; serve uses it to count breaker trips.
+	onOpen func()
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes every cooldown thereafter.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// WithClock replaces the breaker's clock (tests only). Returns b.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	return b
+}
+
+// OnOpen registers a callback run on each transition to open. Returns b.
+func (b *Breaker) OnOpen(fn func()) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onOpen = fn
+	return b
+}
+
+// Allow reports whether an attempt against the protected dependency may
+// proceed. When the breaker is open and the cooldown has elapsed it
+// transitions to half-open and grants this caller the single probe; the
+// caller must then report Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: a probe is already in flight.
+		return false
+	}
+}
+
+// Success records a successful attempt: the failure streak resets and a
+// half-open breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = BreakerClosed
+}
+
+// Failure records a failed attempt: a half-open probe re-opens the
+// breaker immediately; a closed breaker opens once the consecutive
+// failure count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	var opened func()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		opened = b.onOpen
+	default:
+		b.failures++
+		if b.state == BreakerClosed && b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			opened = b.onOpen
+		}
+	}
+	b.mu.Unlock()
+	if opened != nil {
+		opened()
+	}
+}
+
+// State returns the current state (open breakers past their cooldown
+// still report open until an Allow claims the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,212 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	var slept []time.Duration
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Seed:        42,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("sleeps = %d, want 2", len(slept))
+	}
+	// Full jitter: each delay within [0, cap] with the cap doubling.
+	caps := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	for i, d := range slept {
+		if d < 0 || d > caps[i] {
+			t.Errorf("sleep %d = %v, want within [0, %v]", i, d, caps[i])
+		}
+	}
+}
+
+func TestRetryJitterDeterministicUnderSeed(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		_ = Retry(context.Background(), Policy{
+			MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, Seed: 7,
+			Sleep: func(_ context.Context, d time.Duration) error {
+				slept = append(slept, d)
+				return nil
+			},
+		}, func() error { return errors.New("always") })
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("sleeps = %d/%d, want 3/3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sleep %d differs across seeded runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("permanent")
+	err := Retry(context.Background(), Policy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 1,
+		Sleep: func(context.Context, time.Duration) error { return nil },
+	}, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Retry = %v, want wrapped sentinel", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestRetryMaxDelayCapsBackoff(t *testing.T) {
+	var slept []time.Duration
+	_ = Retry(context.Background(), Policy{
+		MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 150 * time.Millisecond, Seed: 3,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}, func() error { return errors.New("always") })
+	for i, d := range slept {
+		if d > 150*time.Millisecond {
+			t.Errorf("sleep %d = %v exceeds MaxDelay", i, d)
+		}
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Policy{
+		MaxAttempts: 10, BaseDelay: time.Millisecond, Seed: 1,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}, func() error { calls++; return errors.New("transient") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled in chain", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancel during first backoff)", calls)
+	}
+}
+
+func TestRetryRejectsZeroAttempts(t *testing.T) {
+	if err := Retry(context.Background(), Policy{}, func() error { return nil }); err == nil {
+		t.Fatal("Retry with MaxAttempts 0 should error")
+	}
+}
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	opens := 0
+	b := NewBreaker(3, time.Second).WithClock(clk.now).OnOpen(func() { opens++ })
+
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("initial state = %v", got)
+	}
+	// Two failures: still closed (threshold 3).
+	b.Failure()
+	b.Failure()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("breaker opened before threshold")
+	}
+	// A success resets the streak.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	// Third consecutive failure opens it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if opens != 1 {
+		t.Fatalf("onOpen fired %d times, want 1", opens)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside cooldown must fail fast")
+	}
+
+	// Cooldown elapses: exactly one probe is granted.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not granted after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe granted while first is in flight")
+	}
+
+	// Probe fails: re-open, cooldown restarts.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if opens != 2 {
+		t.Fatalf("onOpen fired %d times, want 2", opens)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker granted an attempt before cooldown")
+	}
+
+	// Next probe succeeds: closed and admitting again.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not granted after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package serve
+
+// Chaos acceptance suite (`make chaos`): replays a deterministic
+// open-loop schedule against a server with a seeded fault-injection
+// schedule active — primary-scorer failures mid-run plus corrupted model
+// artifacts on the reload path — and asserts the failure-hardening
+// invariants:
+//
+//  1. Correctness under faults: every 200 NOT flagged degraded is
+//     byte-identical to a direct Infer of the serving model; every 200
+//     flagged degraded matches the co-location fallback exactly.
+//  2. Last-known-good: swap attempts that hit a corrupt artifact are
+//     rejected (422, counted) and the old model keeps serving.
+//  3. The ladder closes the loop: the breaker opens on consecutive
+//     primary failures and a half-open probe restores the primary after
+//     the cooldown.
+//  4. No request is dropped on the floor: every scheduled request gets
+//     an HTTP answer (no connection errors, no panics).
+//
+// Everything is seeded — the synth world, the fault schedule, the load
+// schedule — so a violation reproduces exactly.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/loadsched"
+)
+
+const chaosPairsPerRequest = 4
+
+// chaosResult records one replayed request for post-hoc verification.
+type chaosResult struct {
+	code     int
+	offset   int
+	degraded bool
+	dec      []bool
+	body     string
+}
+
+// chaosSend returns a loadsched.SendFunc posting rotating pair chunks and
+// recording each response into results[i].
+func chaosSend(t *testing.T, f *serveFixture, client *http.Client, url string, results []chaosResult) loadsched.SendFunc {
+	t.Helper()
+	return func(i int) (int, error) {
+		offset := (i * 3) % (len(f.pairs) - chaosPairsPerRequest)
+		body := make([][2]int64, chaosPairsPerRequest)
+		for j, p := range f.pairs[offset : offset+chaosPairsPerRequest] {
+			body[j] = [2]int64{int64(p.A), int64(p.B)}
+		}
+		payload, err := json.Marshal(inferRequest{Dataset: "tiny", Pairs: body})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Post(url+"/v1/infer", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return 0, err
+		}
+		r := chaosResult{code: resp.StatusCode, offset: offset, body: string(raw)}
+		if resp.StatusCode == http.StatusOK {
+			var ir inferResponse
+			if err := json.Unmarshal(raw, &ir); err != nil {
+				return 0, err
+			}
+			r.degraded = ir.Degraded
+			r.dec = ir.Decisions
+		}
+		results[i] = r
+		return resp.StatusCode, nil
+	}
+}
+
+// verifyChaosResults checks invariant 1 against the given model truth.
+func verifyChaosResults(t *testing.T, f *serveFixture, results []chaosResult, direct []bool, wantFB map[int][]bool) (degraded int) {
+	t.Helper()
+	for i, r := range results {
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: status %d (%s)", i, r.code, r.body)
+		}
+		want := direct[r.offset : r.offset+chaosPairsPerRequest]
+		if r.degraded {
+			degraded++
+			want = wantFB[r.offset]
+		}
+		for j := range r.dec {
+			if r.dec[j] != want[j] {
+				t.Fatalf("request %d (offset %d, degraded=%v) pair %d: served %v, truth %v",
+					i, r.offset, r.degraded, j, r.dec[j], want[j])
+			}
+		}
+	}
+	return degraded
+}
+
+func TestChaosAcceptance(t *testing.T) {
+	f := getFixture(t)
+
+	// The seeded fault schedule: primary scoring fails on flush
+	// invocations 3-5 (three consecutive → the breaker opens at threshold
+	// 3), and the first two model reloads read a corrupted artifact.
+	inj, err := faultinject.Parse("flush:err@3-5;load:corrupt@0-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var modelBRaw bytes.Buffer
+	if err := f.modelB.Save(&modelBRaw); err != nil {
+		t.Fatal(err)
+	}
+	reload := func() (*core.FriendSeeker, string, error) {
+		raw := inj.Corrupt("load", modelBRaw.Bytes())
+		m, err := core.Load(bytes.NewReader(raw))
+		if err != nil {
+			return nil, "", err
+		}
+		return m, "model-b", nil
+	}
+
+	const cooldown = 300 * time.Millisecond
+	s, err := New(Config{
+		MaxInFlight:      64,
+		QueueDepth:       512,
+		BatchSize:        8,
+		MaxWait:          time.Millisecond,
+		RequestTimeout:   10 * time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  cooldown,
+		Reload:           reload,
+		Faults:           inj,
+	}, f.modelA, "model-a", []Dataset{{Name: "tiny", Data: f.world.Dataset}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	// Precompute fallback truth for every chunk offset the send function
+	// can produce.
+	wantFB := map[int][]bool{}
+	for i := 0; i < len(f.pairs); i++ {
+		offset := (i * 3) % (len(f.pairs) - chaosPairsPerRequest)
+		if _, ok := wantFB[offset]; !ok {
+			wantFB[offset] = fallbackDecisions(t, f, f.pairs[offset:offset+chaosPairsPerRequest])
+		}
+	}
+
+	// --- Phase A: replay under active faults, with two corrupt swap
+	// attempts fired mid-schedule.
+	sched := &loadsched.Schedule{
+		Mode: loadsched.ModeBurst, Seed: 42,
+		Slot:        150 * time.Millisecond,
+		Invocations: []int{40, 40, 40, 40},
+	}
+	results := make([]chaosResult, 160)
+
+	swapCodes := make(chan int, 2)
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for _, wait := range []time.Duration{150 * time.Millisecond, 300 * time.Millisecond} {
+			time.Sleep(wait)
+			code, _ := adminSwap(t, client, hs.URL)
+			swapCodes <- code
+		}
+	}()
+
+	rep := loadsched.Replay(context.Background(), sched, chaosSend(t, f, client, hs.URL, results))
+	swapWG.Wait()
+	close(swapCodes)
+
+	// Invariant 4: every scheduled request was sent and answered in-band.
+	if rep.Sent != rep.Scheduled || rep.Scheduled != 160 {
+		t.Fatalf("sent %d / scheduled %d: replay under faults dropped requests", rep.Sent, rep.Scheduled)
+	}
+	if rep.ConnError != 0 || rep.ClientTimeout != 0 {
+		t.Fatalf("conn errors %d, client timeouts %d: the server must stay reachable through faults",
+			rep.ConnError, rep.ClientTimeout)
+	}
+	if rep.OK != rep.Sent {
+		t.Fatalf("ok %d != sent %d (429=%d 504=%d failed=%d): capacity is generous, every request must be answered 200",
+			rep.OK, rep.Sent, rep.Rejected, rep.GatewayTimeout, rep.Failed)
+	}
+
+	// Invariant 1: unflagged answers are model-A truth, degraded answers
+	// are fallback truth. The fault schedule guarantees at least the three
+	// faulted batches were answered degraded.
+	degraded := verifyChaosResults(t, f, results, f.directA, wantFB)
+	if degraded == 0 {
+		t.Fatal("no degraded responses despite three injected primary failures")
+	}
+
+	// Invariant 2: both mid-run swap attempts hit the corrupted artifact,
+	// were rejected 422 and counted, and model A kept serving.
+	for code := range swapCodes {
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("corrupt swap attempt: status %d, want 422", code)
+		}
+	}
+	if got := s.met.swapFailuresTotal.Value(); got != 2 {
+		t.Errorf("swapFailuresTotal = %d, want 2", got)
+	}
+	if got := s.ModelID(); got != "model-a" {
+		t.Fatalf("model id after failed swaps = %q, want model-a", got)
+	}
+
+	// Invariant 3: the breaker opened on the consecutive failures...
+	if got := s.met.breakerOpenTotal.Value(); got != 1 {
+		t.Errorf("breakerOpenTotal = %d, want 1", got)
+	}
+	// ...and a half-open probe restores the primary after the cooldown.
+	time.Sleep(cooldown + 100*time.Millisecond)
+	recovery := make([]chaosResult, 1)
+	if _, err := chaosSend(t, f, client, hs.URL, recovery)(0); err != nil {
+		t.Fatal(err)
+	}
+	if recovery[0].code != http.StatusOK || recovery[0].degraded {
+		t.Fatalf("post-cooldown request: code %d degraded %v (%s): primary did not recover",
+			recovery[0].code, recovery[0].degraded, recovery[0].body)
+	}
+	if _, h := getHealth(t, client, hs.URL); h.Breakers["tiny"] != "closed" {
+		t.Fatalf("breaker after recovery = %q, want closed", h.Breakers["tiny"])
+	}
+
+	// --- Phase B: the fault schedule is exhausted; a clean reload now
+	// swaps to model B with zero downtime, and the full replay answers
+	// exactly as model B — no degradation left anywhere.
+	code, body := adminSwap(t, client, hs.URL)
+	if code != http.StatusOK {
+		t.Fatalf("clean swap: status %d (%s)", code, body)
+	}
+	if got := s.ModelID(); got != "model-b" {
+		t.Fatalf("model id after clean swap = %q, want model-b", got)
+	}
+	schedB := &loadsched.Schedule{
+		Mode: loadsched.ModeBurst, Seed: 43,
+		Slot:        150 * time.Millisecond,
+		Invocations: []int{30, 30},
+	}
+	resultsB := make([]chaosResult, 60)
+	repB := loadsched.Replay(context.Background(), schedB, chaosSend(t, f, client, hs.URL, resultsB))
+	if repB.OK != repB.Sent || repB.Sent != 60 {
+		t.Fatalf("phase B: ok %d sent %d", repB.OK, repB.Sent)
+	}
+	if d := verifyChaosResults(t, f, resultsB, f.directB, wantFB); d != 0 {
+		t.Fatalf("phase B: %d degraded responses after recovery and clean swap", d)
+	}
+	t.Logf("chaos: phase A degraded=%d swaps rejected=2, phase B clean on %s", degraded, s.ModelID())
+}

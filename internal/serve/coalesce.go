@@ -2,10 +2,19 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/resilience"
 )
+
+// errPrimaryUnavailable means the dataset's circuit breaker is open and
+// no fallback tier is configured: the request is answered fast with 503
+// and a Retry-After hint instead of queueing behind a scorer known to be
+// failing.
+var errPrimaryUnavailable = errors.New("serve: primary scorer unavailable (circuit breaker open)")
 
 // decider is the scoring dependency of a coalescer: core.PairScorer in
 // production, a fake in tests. Decide must return one decision per pair,
@@ -26,6 +35,10 @@ type item struct {
 
 type itemResult struct {
 	decision bool
+	// degraded marks a decision scored by the fallback tier instead of the
+	// primary model; the response flags it so callers know the serving
+	// identity contract does not apply.
+	degraded bool
 	err      error
 }
 
@@ -37,6 +50,16 @@ type coalescerConfig struct {
 	// a load-test hook, zero in production.
 	scoreDelay time.Duration
 	met        *serverMetrics
+	// breaker trips after consecutive primary-scoring failures; while open,
+	// batches skip the primary entirely (no resolve, no session rebuild)
+	// and go straight to the fallback tier. Nil disables breaking.
+	breaker *resilience.Breaker
+	// fallback is the degraded-tier scorer used when the primary fails or
+	// the breaker is open. Nil means fail fast instead (503 when open).
+	fallback decider
+	// faults is the chaos-test injector; its "flush" site fires before each
+	// primary scoring attempt. Nil (production) is a no-op.
+	faults *faultinject.Injector
 }
 
 // coalescer micro-batches concurrently arriving pair requests into single
@@ -151,24 +174,75 @@ func (c *coalescer) flush(ctx context.Context, batch []*item) {
 			t.Stop()
 		}
 	}
-	d, err := c.resolve(ctx)
-	if err != nil {
-		fail(err)
-		return
-	}
 	pairs := make([]checkin.Pair, len(live))
 	for i, it := range live {
 		pairs[i] = it.pair
+	}
+
+	// Degradation ladder, rung 1: the primary scorer, gated by the
+	// breaker. While the breaker is open no primary work is attempted at
+	// all — in particular no session rebuild, which is the expensive
+	// operation the breaker exists to rate-limit.
+	primaryErr := errPrimaryUnavailable
+	if c.cfg.breaker == nil || c.cfg.breaker.Allow() {
+		primaryErr = c.scorePrimary(ctx, live, pairs)
+		if primaryErr == nil {
+			if c.cfg.breaker != nil {
+				c.cfg.breaker.Success()
+			}
+			return
+		}
+		// Server shutdown mid-batch is not a scorer fault: answer with the
+		// cancellation but leave the breaker streak alone.
+		if ctx.Err() != nil {
+			fail(primaryErr)
+			return
+		}
+		if c.cfg.breaker != nil {
+			c.cfg.breaker.Failure()
+		}
+	}
+
+	// Rung 2: the co-location fallback, flagged degraded. Rung 3: fast
+	// failure (the handler maps errPrimaryUnavailable to 503+Retry-After).
+	if c.cfg.fallback != nil {
+		decisions, err := c.cfg.fallback.Decide(ctx, pairs)
+		if err != nil {
+			fail(errors.Join(primaryErr, err))
+			return
+		}
+		if c.cfg.met != nil {
+			c.cfg.met.degradedPairsTotal.Add(int64(len(live)))
+		}
+		for i, it := range live {
+			it.done <- itemResult{decision: decisions[i], degraded: true}
+		}
+		return
+	}
+	fail(primaryErr)
+}
+
+// scorePrimary runs one batch through the primary model scorer: fault
+// hook, session resolve (rebuilding a previously failed session), then
+// the batched decision. On success results are delivered; any error is
+// returned undelivered so flush can try the next ladder rung.
+func (c *coalescer) scorePrimary(ctx context.Context, live []*item, pairs []checkin.Pair) error {
+	if err := c.cfg.faults.Fire("flush"); err != nil {
+		return err
+	}
+	d, err := c.resolve(ctx)
+	if err != nil {
+		return err
 	}
 	// The batch is scored under the server's context, not any single
 	// request's: one request's deadline must not cancel work that other
 	// requests in the batch are waiting on.
 	decisions, err := d.Decide(ctx, pairs)
 	if err != nil {
-		fail(err)
-		return
+		return err
 	}
 	for i, it := range live {
 		it.done <- itemResult{decision: decisions[i]}
 	}
+	return nil
 }

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"context"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// coLocationFallback is the bottom rung of the degradation ladder: a
+// training-free co-location heuristic that answers pairs when the
+// primary FriendSeeker scorer is unavailable (its circuit breaker is
+// open, or the current batch's scoring failed).
+//
+// The heuristic — "friends co-visit at least minCommon distinct POIs" —
+// is the cheapest member of the co-location baseline family (Hsieh et
+// al., and the Malik et al. co-location study in PAPERS.md): even simple
+// co-location features retain useful friendship signal, which is exactly
+// what a degraded tier needs. It is built once per dataset at server
+// start from the dataset alone, needs no model artifact, allocates
+// nothing per decision, and is deterministic, so degraded responses are
+// reproducible across chaos runs.
+//
+// Responses scored here are flagged "degraded": true — the serving
+// identity contract (byte-identical to direct Infer) explicitly does not
+// apply to them.
+type coLocationFallback struct {
+	sets      map[checkin.UserID]map[checkin.POIID]struct{}
+	minCommon int
+}
+
+// fallbackMinCommonPOIs is the co-visit threshold: one shared venue is
+// weak evidence (hubs), two distinct shared venues is the classic
+// co-location cutoff.
+const fallbackMinCommonPOIs = 2
+
+func newCoLocationFallback(ds *checkin.Dataset) *coLocationFallback {
+	users := ds.Users()
+	f := &coLocationFallback{
+		sets:      make(map[checkin.UserID]map[checkin.POIID]struct{}, len(users)),
+		minCommon: fallbackMinCommonPOIs,
+	}
+	for _, u := range users {
+		if tr, err := ds.Trajectory(u); err == nil {
+			f.sets[u] = tr.POISet()
+		}
+	}
+	return f
+}
+
+// Decide implements decider. Users the dataset has never seen decide
+// false, mirroring the primary scorer's posture.
+func (f *coLocationFallback) Decide(ctx context.Context, pairs []checkin.Pair) ([]bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		sa, sb := f.sets[p.A], f.sets[p.B]
+		if len(sb) < len(sa) {
+			sa, sb = sb, sa
+		}
+		common := 0
+		for poi := range sa {
+			if _, ok := sb[poi]; ok {
+				common++
+				if common >= f.minCommon {
+					out[i] = true
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}

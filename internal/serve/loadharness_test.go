@@ -74,7 +74,7 @@ func TestSaturatingScheduleHonestAccounting(t *testing.T) {
 	if rep.OK == 0 {
 		t.Error("ok = 0: admission control should shed load, not starve it entirely")
 	}
-	if got := rep.OK + rep.Rejected + rep.GatewayTimeout + rep.ClientTimeout + rep.Failed; got != rep.Sent {
+	if got := rep.OK + rep.Rejected + rep.GatewayTimeout + rep.ClientTimeout + rep.ConnError + rep.Failed; got != rep.Sent {
 		t.Errorf("outcomes %d != sent %d: every request must be accounted", got, rep.Sent)
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"github.com/friendseeker/friendseeker/internal/resilience"
 	"github.com/friendseeker/friendseeker/internal/telemetry"
 )
 
@@ -22,6 +23,11 @@ type serverMetrics struct {
 	pairsTotal            *telemetry.Counter
 	batchesTotal          *telemetry.Counter
 	swapsTotal            *telemetry.Counter
+	swapFailuresTotal     *telemetry.Counter
+	breakerOpenTotal      *telemetry.Counter
+	degradedTotal         *telemetry.Counter
+	degradedPairsTotal    *telemetry.Counter
+	unavailableTotal      *telemetry.Counter
 
 	requestSeconds      *telemetry.Histogram
 	coalesceWaitSeconds *telemetry.Histogram
@@ -44,6 +50,11 @@ func newServerMetrics() *serverMetrics {
 		pairsTotal:            r.Counter("fs_serve_pairs_total", "pair decisions returned"),
 		batchesTotal:          r.Counter("fs_serve_batches_total", "coalescer batches scored"),
 		swapsTotal:            r.Counter("fs_serve_model_swaps_total", "successful hot model swaps"),
+		swapFailuresTotal:     r.Counter("fs_serve_swap_failures_total", "rejected model swaps (corrupt, untrained, or failed warm); the previous model kept serving"),
+		breakerOpenTotal:      r.Counter("fs_serve_breaker_open_total", "times a dataset circuit breaker opened"),
+		degradedTotal:         r.Counter("fs_serve_degraded_total", "infer requests answered by the degraded fallback tier"),
+		degradedPairsTotal:    r.Counter("fs_serve_degraded_pairs_total", "pair decisions scored by the fallback scorer"),
+		unavailableTotal:      r.Counter("fs_serve_unavailable_total", "requests answered 503 with the breaker open and no fallback configured"),
 
 		// Fine buckets: the trace-driven load harness reads p99.9 off these
 		// histograms, which needs sub-decade bucket resolution.
@@ -65,6 +76,17 @@ func (m *serverMetrics) registerGauges(s *Server) {
 		n := 0
 		for _, e := range s.datasets {
 			n += len(e.co.in)
+		}
+		return float64(n)
+	})
+	// The registry has no label support, so per-dataset breaker state lives
+	// in /healthz; the gauge carries the aggregate for alerting.
+	m.registry.Gauge("fs_serve_breakers_open", "dataset circuit breakers currently not closed (open or half-open)", func() float64 {
+		n := 0
+		for _, e := range s.datasets {
+			if e.breaker != nil && e.breaker.State() != resilience.BreakerClosed {
+				n++
+			}
 		}
 		return float64(n)
 	})

@@ -29,12 +29,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/resilience"
 )
 
 // Config parameterises the server. The zero value gets sensible defaults
@@ -63,10 +66,29 @@ type Config struct {
 	// tail latency) can be produced deterministically with a tiny model
 	// and the trace-driven load harness. Zero (the default) in production.
 	ScoreDelay time.Duration
-	// Reload, when set, backs POST /v1/admin/swap: it loads a fresh model
-	// (typically by re-reading the model file) which the server then warms
-	// and publishes. Without it the endpoint answers 501.
+	// Reload, when set, backs POST /v1/admin/swap and ReloadAndSwap: it
+	// loads a fresh model (typically by re-reading the model file) which
+	// the server then warms and publishes. Without it the endpoint answers
+	// 501. A reload or warm failure never unseats the last-known-good
+	// model: the previous state keeps serving and the attempt is counted
+	// in fs_serve_swap_failures_total.
 	Reload func() (*core.FriendSeeker, string, error)
+	// BreakerThreshold is the consecutive primary-scoring failures a
+	// dataset tolerates before its circuit breaker opens (default 5;
+	// negative disables breaking entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open probe batch through (default 5s). Also the Retry-After
+	// hint on 503s when no fallback is configured.
+	BreakerCooldown time.Duration
+	// DisableFallback turns off the degraded co-location tier. With it set,
+	// an open breaker answers 503 + Retry-After instead of degraded
+	// decisions.
+	DisableFallback bool
+	// Faults is the deterministic chaos-test fault injector threaded
+	// through the warm and flush paths. Nil (the production default) makes
+	// every hook a no-op.
+	Faults *faultinject.Injector
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -93,6 +115,12 @@ func (c Config) fillDefaults() Config {
 	if c.MaxPairsPerRequest > c.QueueDepth {
 		c.MaxPairsPerRequest = c.QueueDepth
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -114,13 +142,19 @@ type dsEntry struct {
 	data     *checkin.Dataset
 	refPairs []checkin.Pair
 	co       *coalescer
+	// breaker trips after consecutive primary-scoring failures on this
+	// dataset; nil when breaking is disabled.
+	breaker *resilience.Breaker
 }
 
-// session is one (model, dataset) scorer, built at most once.
+// session is one (model, dataset) scorer, built on first use. A failed
+// build is NOT sticky: the next caller retries it, so a transient warm
+// failure heals once the breaker lets a probe through — the pre-PR-9
+// sync.Once session turned one bad build into a permanently dead
+// (model, dataset) pair.
 type session struct {
-	once   sync.Once
+	mu     sync.Mutex
 	scorer *core.PairScorer
-	err    error
 }
 
 // modelState is everything derived from one loaded model. Swapping the
@@ -134,13 +168,25 @@ type modelState struct {
 
 // scorer returns the dataset's PairScorer, building it on first use. The
 // build runs under the supplied (server-lifetime) context so a single
-// request's deadline can never poison the session.
-func (ms *modelState) scorer(ctx context.Context, e *dsEntry) (*core.PairScorer, error) {
+// request's deadline can never poison the session. faults' "warm" site
+// fires before each build attempt (nil-safe), letting chaos tests fail
+// session construction deterministically.
+func (ms *modelState) scorer(ctx context.Context, e *dsEntry, faults *faultinject.Injector) (*core.PairScorer, error) {
 	s := ms.sessions[e.name]
-	s.once.Do(func() {
-		s.scorer, s.err = ms.fs.NewPairScorer(ctx, e.data, e.refPairs)
-	})
-	return s.scorer, s.err
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scorer != nil {
+		return s.scorer, nil
+	}
+	if err := faults.Fire("warm"); err != nil {
+		return nil, fmt.Errorf("serve: warm %q: %w", e.name, err)
+	}
+	sc, err := ms.fs.NewPairScorer(ctx, e.data, e.refPairs)
+	if err != nil {
+		return nil, err
+	}
+	s.scorer = sc
+	return sc, nil
 }
 
 // Server serves friendship-inference decisions over HTTP.
@@ -199,14 +245,29 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 			refPairs = AllUserPairs(d.Data)
 		}
 		e := &dsEntry{name: d.Name, data: d.Data, refPairs: refPairs}
+		if cfg.BreakerThreshold > 0 {
+			name := d.Name
+			e.breaker = resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown).
+				OnOpen(func() {
+					s.met.breakerOpenTotal.Inc()
+					s.log.Warn("circuit breaker opened", "dataset", name)
+				})
+		}
+		var fb decider
+		if !cfg.DisableFallback {
+			fb = newCoLocationFallback(d.Data)
+		}
 		e.co = newCoalescer(coalescerConfig{
 			queueDepth: cfg.QueueDepth,
 			batchSize:  cfg.BatchSize,
 			maxWait:    cfg.MaxWait,
 			scoreDelay: cfg.ScoreDelay,
 			met:        s.met,
+			breaker:    e.breaker,
+			fallback:   fb,
+			faults:     cfg.Faults,
 		}, func(ctx context.Context) (decider, error) {
-			return s.state.Load().scorer(s.baseCtx, e)
+			return s.state.Load().scorer(s.baseCtx, e, cfg.Faults)
 		})
 		s.datasets[d.Name] = e
 		s.flushWG.Add(1)
@@ -244,7 +305,7 @@ func (s *Server) warmState(ctx context.Context, ms *modelState) error {
 		wg.Add(1)
 		go func(slot int, e *dsEntry) {
 			defer wg.Done()
-			_, err := ms.scorer(ctx, e)
+			_, err := ms.scorer(ctx, e, s.cfg.Faults)
 			if err != nil {
 				errs[slot] = fmt.Errorf("serve: warm %q: %w", e.name, err)
 			}
@@ -255,25 +316,64 @@ func (s *Server) warmState(ctx context.Context, ms *modelState) error {
 	return errors.Join(errs...)
 }
 
+// errUntrainedModel rejects a swap candidate that is nil or has never
+// been trained; like a corrupt artifact it is the candidate's fault, not
+// the server's, so the admin endpoint maps it to 422.
+var errUntrainedModel = errors.New("serve: swap model must be trained")
+
+// ErrNoReloader is returned by ReloadAndSwap when no Config.Reload was
+// provided.
+var ErrNoReloader = errors.New("serve: no model reloader configured")
+
 // Swap publishes a new model with zero downtime: every dataset session is
 // built for the new model first (the old model keeps serving meanwhile),
 // then the state pointer flips. In-flight batches finish against whichever
 // model they started with — safe because trained models are read-only at
 // inference.
+//
+// Swap never unseats the last-known-good state on failure: an untrained
+// candidate or a failed warm leaves the previous model serving, counts
+// the attempt in fs_serve_swap_failures_total, and returns the error.
 func (s *Server) Swap(ctx context.Context, model *core.FriendSeeker, modelID string) error {
 	if model == nil || !model.Trained() {
-		return errors.New("serve: swap model must be trained")
+		s.met.swapFailuresTotal.Inc()
+		return errUntrainedModel
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	ns := s.newModelState(model, modelID)
 	if err := s.warmState(ctx, ns); err != nil {
-		return err
+		s.met.swapFailuresTotal.Inc()
+		s.log.Error("swap rejected; previous model keeps serving",
+			"candidate", modelID, "serving", s.state.Load().id, "err", err)
+		return fmt.Errorf("serve: swap %s: %w", modelID, err)
 	}
 	s.state.Store(ns)
 	s.met.swapsTotal.Inc()
 	s.log.Info("model swapped", "model", modelID)
 	return nil
+}
+
+// ReloadAndSwap loads a fresh model via Config.Reload and publishes it.
+// It is the shared implementation behind POST /v1/admin/swap and the
+// CLI's SIGHUP handler. A reload error (missing file, corrupt artifact)
+// is a swap failure: it is counted, the last-known-good model keeps
+// serving, and the error is returned for the caller to classify.
+func (s *Server) ReloadAndSwap(ctx context.Context) (string, error) {
+	if s.cfg.Reload == nil {
+		return "", ErrNoReloader
+	}
+	model, id, err := s.cfg.Reload()
+	if err != nil {
+		s.met.swapFailuresTotal.Inc()
+		s.log.Error("model reload failed; previous model keeps serving",
+			"serving", s.state.Load().id, "err", err)
+		return "", fmt.Errorf("serve: reload model: %w", err)
+	}
+	if err := s.Swap(ctx, model, id); err != nil {
+		return "", err
+	}
+	return id, nil
 }
 
 // ModelID returns the identity of the currently served model.
@@ -391,6 +491,10 @@ type inferResponse struct {
 	Model     string `json:"model"`
 	Dataset   string `json:"dataset"`
 	Decisions []bool `json:"decisions"`
+	// Degraded marks decisions scored by the co-location fallback tier
+	// while the primary scorer was unavailable: still answers, but the
+	// byte-identical-to-Infer contract does not apply to them.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // errorResponse is the body of every non-2xx response.
@@ -485,9 +589,20 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 
 	decisions := make([]bool, len(items))
+	degraded := false
 	for i, it := range items {
 		select {
 		case res := <-it.done:
+			if errors.Is(res.err, errPrimaryUnavailable) {
+				// Breaker open, no fallback: fail fast with a retry hint
+				// sized to the breaker cooldown rather than queueing behind
+				// a scorer known to be failing.
+				s.met.unavailableTotal.Inc()
+				s.log.Warn("infer unavailable", "dataset", req.Dataset, "err", res.err)
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.BreakerCooldown)))
+				s.reject(w, http.StatusServiceUnavailable, res.err.Error())
+				return
+			}
 			if res.err != nil {
 				s.met.errorTotal.Inc()
 				s.log.Error("infer failed", "dataset", req.Dataset, "err", res.err)
@@ -495,6 +610,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			decisions[i] = res.decision
+			degraded = degraded || res.degraded
 		case <-ctx.Done():
 			s.met.timeoutTotal.Inc()
 			s.log.Warn("infer timed out", "dataset", req.Dataset, "pairs", len(pairs),
@@ -507,32 +623,63 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	state := s.state.Load()
 	s.met.okTotal.Inc()
 	s.met.pairsTotal.Add(int64(len(pairs)))
+	if degraded {
+		s.met.degradedTotal.Inc()
+	}
 	s.met.requestSeconds.Observe(time.Since(start).Seconds())
 	s.log.Info("infer", "dataset", req.Dataset, "pairs", len(pairs),
-		"model", state.id, "dur_ms", time.Since(start).Milliseconds())
+		"model", state.id, "degraded", degraded, "dur_ms", time.Since(start).Milliseconds())
 	writeJSON(w, http.StatusOK, inferResponse{
 		Model:     state.id,
 		Dataset:   req.Dataset,
 		Decisions: decisions,
+		Degraded:  degraded,
 	})
+}
+
+// retryAfterSeconds renders a cooldown as a Retry-After value, rounding
+// up so sub-second cooldowns do not advertise "retry immediately".
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	names := make([]string, 0, len(s.datasets))
-	for name := range s.datasets {
+	breakers := make(map[string]string, len(s.datasets))
+	notClosed := 0
+	for name, e := range s.datasets {
 		names = append(names, name)
+		if e.breaker != nil {
+			st := e.breaker.State()
+			breakers[name] = st.String()
+			if st != resilience.BreakerClosed {
+				notClosed++
+			}
+		}
 	}
 	sort.Strings(names)
 	status := "ok"
 	code := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
 		code = http.StatusServiceUnavailable
+	case notClosed > 0:
+		// Still 200: the server answers (degraded or fast-failing per
+		// dataset), so load balancers should keep it in rotation, but the
+		// status tells operators the primary tier is impaired.
+		status = "degraded"
 	}
 	writeJSON(w, code, map[string]any{
-		"status":   status,
-		"model":    s.state.Load().id,
-		"datasets": names,
+		"status":        status,
+		"model":         s.state.Load().id,
+		"datasets":      names,
+		"breakers":      breakers,
+		"swap_failures": s.met.swapFailuresTotal.Value(),
 	})
 }
 
@@ -542,18 +689,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Reload == nil {
+	id, err := s.ReloadAndSwap(r.Context())
+	switch {
+	case errors.Is(err, ErrNoReloader):
 		s.reject(w, http.StatusNotImplemented, "no model reloader configured")
-		return
-	}
-	model, id, err := s.cfg.Reload()
-	if err != nil {
-		s.reject(w, http.StatusInternalServerError, "reload model: "+err.Error())
-		return
-	}
-	if err := s.Swap(r.Context(), model, id); err != nil {
+	case errors.Is(err, core.ErrCorruptModel), errors.Is(err, errUntrainedModel):
+		// The candidate artifact is bad — unprocessable — and the previous
+		// model keeps serving; 422 tells the operator to fix the artifact,
+		// not retry the server.
+		s.reject(w, http.StatusUnprocessableEntity, "swap model: "+err.Error())
+	case err != nil:
 		s.reject(w, http.StatusInternalServerError, "swap model: "+err.Error())
-		return
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"model": id})
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"model": id})
 }
