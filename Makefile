@@ -15,7 +15,7 @@ GO ?= go
 # confidence intervals.
 BENCH_COUNT ?= 5
 
-.PHONY: all vet build test race check chaos bench bench-serve serve-smoke
+.PHONY: all vet build test race check chaos bench bench-serve serve-smoke ingest-smoke
 
 all: check
 
@@ -39,6 +39,12 @@ check: vet build test race
 # model, boot `friendseeker serve`, probe it and replay load with loadgen.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# End-to-end smoke of the online ingestion loop: train on a time-split
+# base corpus, stream the tail into POST /v1/checkins while loadgen keeps
+# reading, and assert the drift-triggered retrain hot-swaps a new model.
+ingest-smoke:
+	bash scripts/ingest_smoke.sh
 
 # Chaos acceptance: replay a fixed-seed load schedule against the serving
 # stack with a seeded fault-injection schedule active (primary-scorer

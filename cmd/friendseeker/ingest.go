@@ -1,0 +1,164 @@
+// The ingest subcommand: a log-replay client that streams a check-in CSV
+// into a running server's POST /v1/checkins endpoint in global time
+// order, optionally rate-limited, so recorded traces can drive the online
+// ingestion path (and its drift-triggered retraining) end to end.
+//
+// Usage:
+//
+//	friendseeker ingest -addr http://localhost:8470 -checkins stream.csv -batch 64
+//
+// -from-frac/-to-frac select a slice of the time-ordered trace, so one
+// CSV can seed the server's base corpus (offline) and replay only its
+// tail (online).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/ingest"
+)
+
+type ingestFlags struct {
+	addr     string
+	checkins string
+	fromFrac float64
+	toFrac   float64
+	batch    int
+	rate     float64
+	timeout  time.Duration
+}
+
+func parseIngestFlags(args []string) (*ingestFlags, error) {
+	fs := flag.NewFlagSet("friendseeker ingest", flag.ContinueOnError)
+	inf := &ingestFlags{}
+	fs.StringVar(&inf.addr, "addr", "http://localhost:8470", "server base URL")
+	fs.StringVar(&inf.checkins, "checkins", "", "check-in CSV to replay")
+	fs.Float64Var(&inf.fromFrac, "from-frac", 0, "start of the replayed slice, as a fraction of the time-ordered trace")
+	fs.Float64Var(&inf.toFrac, "to-frac", 1, "end of the replayed slice, as a fraction of the time-ordered trace")
+	fs.IntVar(&inf.batch, "batch", 64, "records per POST /v1/checkins batch")
+	fs.Float64Var(&inf.rate, "rate", 0, "records per second (0 = as fast as the server accepts)")
+	fs.DurationVar(&inf.timeout, "timeout", 30*time.Second, "per-request HTTP timeout")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if inf.checkins == "" {
+		return nil, fmt.Errorf("-checkins is required")
+	}
+	if inf.fromFrac < 0 || inf.toFrac > 1 || inf.fromFrac >= inf.toFrac {
+		return nil, fmt.Errorf("want 0 <= -from-frac < -to-frac <= 1, got %v..%v", inf.fromFrac, inf.toFrac)
+	}
+	if inf.batch <= 0 {
+		return nil, fmt.Errorf("-batch must be positive")
+	}
+	return inf, nil
+}
+
+// replayRecords flattens a dataset into wire records sorted by global
+// check-in time (ties broken by user then POI for determinism), which is
+// the order the ingestor's per-user monotonicity check expects a
+// historical trace to arrive in.
+func replayRecords(ds *checkin.Dataset) ([]ingest.Record, error) {
+	cs := ds.AllCheckIns()
+	recs := make([]ingest.Record, 0, len(cs))
+	for _, c := range cs {
+		p, err := ds.POI(c.POI)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, ingest.Record{
+			User: int64(c.User),
+			POI:  int64(c.POI),
+			Lat:  p.Center.Lat,
+			Lng:  p.Center.Lng,
+			Time: c.Time,
+		})
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if !recs[i].Time.Equal(recs[j].Time) {
+			return recs[i].Time.Before(recs[j].Time)
+		}
+		if recs[i].User != recs[j].User {
+			return recs[i].User < recs[j].User
+		}
+		return recs[i].POI < recs[j].POI
+	})
+	return recs, nil
+}
+
+func runIngest(args []string, out io.Writer) error {
+	inf, err := parseIngestFlags(args)
+	if err != nil {
+		return err
+	}
+	ds, err := loadCheckInsCSV(inf.checkins)
+	if err != nil {
+		return fmt.Errorf("checkins %q: %w", inf.checkins, err)
+	}
+	recs, err := replayRecords(ds)
+	if err != nil {
+		return err
+	}
+	lo := int(inf.fromFrac * float64(len(recs)))
+	hi := int(inf.toFrac * float64(len(recs)))
+	recs = recs[lo:hi]
+	if len(recs) == 0 {
+		return fmt.Errorf("selected slice %v..%v of %q is empty", inf.fromFrac, inf.toFrac, inf.checkins)
+	}
+
+	client := &http.Client{Timeout: inf.timeout}
+	url := inf.addr + "/v1/checkins"
+	var sent, accepted, rejected, batches int
+	start := time.Now()
+	for off := 0; off < len(recs); off += inf.batch {
+		end := min(off+inf.batch, len(recs))
+		chunk := recs[off:end]
+		status, body, err := postBatch(client, url, chunk)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", batches, err)
+		}
+		batches++
+		sent += len(chunk)
+		switch status {
+		case http.StatusOK:
+			accepted += len(chunk)
+		case http.StatusBadRequest:
+			// A rejected batch is all-or-nothing server side; report it and
+			// keep replaying — one bad record must not strand the tail.
+			rejected += len(chunk)
+			fmt.Fprintf(out, "batch %d rejected: %s\n", batches-1, bytes.TrimSpace(body))
+		default:
+			return fmt.Errorf("batch %d: server answered %d: %s", batches-1, status, bytes.TrimSpace(body))
+		}
+		if inf.rate > 0 {
+			time.Sleep(time.Duration(float64(len(chunk)) / inf.rate * float64(time.Second)))
+		}
+	}
+	fmt.Fprintf(out, "replayed %d record(s) in %d batch(es) in %.1fs: %d accepted, %d rejected\n",
+		sent, batches, time.Since(start).Seconds(), accepted, rejected)
+	return nil
+}
+
+func postBatch(client *http.Client, url string, recs []ingest.Record) (int, []byte, error) {
+	payload, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}

@@ -2,7 +2,9 @@
 // a labelled check-in trace and attacks a target trace, printing the
 // predicted friendships and (when ground truth is supplied) the attack's
 // precision/recall/F1. The serve subcommand instead runs a long-lived
-// inference server over a previously saved model (see serve.go).
+// inference server over a previously saved model (see serve.go), and the
+// ingest subcommand replays a check-in CSV into a running server's
+// streaming ingestion endpoint (see ingest.go).
 //
 // Input formats: the CSV trace format of cmd/synthgen, or the original
 // SNAP Gowalla/Brightkite formats via -snap.
@@ -12,6 +14,7 @@
 //	friendseeker -checkins trace.csv -edges truth.csv
 //	friendseeker -checkins loc.txt -edges graph.txt -snap -sigma 1000
 //	friendseeker serve -model model.bin -data tiny=trace.csv -listen :8470
+//	friendseeker ingest -addr http://localhost:8470 -checkins stream.csv
 package main
 
 import (
@@ -32,9 +35,12 @@ import (
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "serve" {
+	switch {
+	case len(args) > 0 && args[0] == "serve":
 		err = runServe(args[1:], os.Stdout)
-	} else {
+	case len(args) > 0 && args[0] == "ingest":
+		err = runIngest(args[1:], os.Stdout)
+	default:
 		err = run(args, os.Stdout)
 	}
 	if err != nil {

@@ -1,0 +1,168 @@
+// Interleaved write traffic: -checkin-mix streams synthetic check-in
+// batches to POST /v1/checkins alongside the read schedule, so bench runs
+// measure the read path under concurrent ingestion. Writes ride outside
+// the open-loop read accounting — a slow write path backs up the writer,
+// never the scheduled reads — and are tallied separately in the bench
+// artifact's writes_* fields.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/ingest"
+	"github.com/friendseeker/friendseeker/internal/loadsched"
+)
+
+// writeTally is the outcome count of the interleaved write stream.
+type writeTally struct {
+	sent     int // batches posted
+	ok       int // batches accepted 200
+	rejected int // batches answered 400/429/503
+	failed   int // transport errors, 5xx, or batches dropped at a full queue
+}
+
+// checkinWriter serializes all write batches through one goroutine: a
+// single global time cursor then guarantees the per-user timestamp
+// monotonicity the ingestor enforces, no matter how reads interleave.
+type checkinWriter struct {
+	client *http.Client
+	url    string
+	users  []checkin.UserID
+	pois   []checkin.POI
+	batch  int
+
+	// next indexes users/pois round-robin; cursor advances one second per
+	// record, starting just past the served trace's last check-in so every
+	// synthetic write is at or past the server's ingest horizon.
+	next   int
+	cursor time.Time
+
+	queue chan struct{} // one token per requested batch
+	done  chan struct{}
+
+	mu    sync.Mutex
+	tally writeTally
+}
+
+func newCheckinWriter(client *http.Client, url string, ds *checkin.Dataset, batch int) *checkinWriter {
+	_, last := ds.Span()
+	return &checkinWriter{
+		client: client,
+		url:    url,
+		users:  ds.Users(),
+		pois:   ds.POIs(),
+		batch:  batch,
+		cursor: last.Add(time.Second),
+		queue:  make(chan struct{}, 1024),
+		done:   make(chan struct{}),
+	}
+}
+
+func (w *checkinWriter) start() {
+	go func() {
+		defer close(w.done)
+		for range w.queue {
+			w.post()
+		}
+	}()
+}
+
+// interleave wraps the read sender: every scheduled read accrues mix
+// write-batch credit, and each whole credit enqueues one batch for the
+// writer goroutine. The enqueue never blocks — an over-full write queue
+// drops the batch (counted failed) instead of stalling the open-loop
+// read schedule.
+func (w *checkinWriter) interleave(send loadsched.SendFunc, mix float64) loadsched.SendFunc {
+	var mu sync.Mutex
+	credit := 0.0
+	return func(i int) (int, error) {
+		mu.Lock()
+		credit += mix
+		pending := 0
+		for credit >= 1 {
+			credit--
+			pending++
+		}
+		mu.Unlock()
+		for ; pending > 0; pending-- {
+			select {
+			case w.queue <- struct{}{}:
+			default:
+				w.mu.Lock()
+				w.tally.sent++
+				w.tally.failed++
+				w.mu.Unlock()
+			}
+		}
+		return send(i)
+	}
+}
+
+// post builds and sends one batch of synthetic check-ins over the served
+// world's own users and POIs.
+func (w *checkinWriter) post() {
+	recs := make([]ingest.Record, w.batch)
+	for i := range recs {
+		u := w.users[w.next%len(w.users)]
+		p := w.pois[w.next%len(w.pois)]
+		w.next++
+		w.cursor = w.cursor.Add(time.Second)
+		recs[i] = ingest.Record{
+			User: int64(u),
+			POI:  int64(p.ID),
+			Lat:  p.Center.Lat,
+			Lng:  p.Center.Lng,
+			Time: w.cursor,
+		}
+	}
+	payload, err := json.Marshal(map[string]any{"records": recs})
+	if err != nil {
+		w.count(func(t *writeTally) { t.sent++; t.failed++ })
+		return
+	}
+	resp, err := w.client.Post(w.url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		w.count(func(t *writeTally) { t.sent++; t.failed++ })
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		w.count(func(t *writeTally) { t.sent++; t.ok++ })
+	case resp.StatusCode == http.StatusBadRequest ||
+		resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		w.count(func(t *writeTally) { t.sent++; t.rejected++ })
+	default:
+		w.count(func(t *writeTally) { t.sent++; t.failed++ })
+	}
+}
+
+func (w *checkinWriter) count(f func(*writeTally)) {
+	w.mu.Lock()
+	f(&w.tally)
+	w.mu.Unlock()
+}
+
+// stop drains the queue, waits for the writer goroutine, and returns the
+// final tally.
+func (w *checkinWriter) stop() writeTally {
+	close(w.queue)
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tally
+}
+
+func (t writeTally) String() string {
+	return fmt.Sprintf("writes: sent %d ok %d rejected %d failed %d",
+		t.sent, t.ok, t.rejected, t.failed)
+}

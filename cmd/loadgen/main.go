@@ -34,6 +34,10 @@
 // Pairs come either from regenerating the synthetic world in-process
 // (-preset/-seed, giving exactly the pairs the server's dataset holds) or
 // from a check-in CSV (-checkins).
+//
+// -checkin-mix interleaves POST /v1/checkins write batches with the read
+// schedule (see checkins.go), reported separately as writes_* in the
+// bench artifact so read-path goodput stays comparable across runs.
 package main
 
 import (
@@ -102,12 +106,21 @@ func run(args []string, out io.Writer) error {
 		schedIn  = fs.String("schedule", "", "replay this schedule file (.csv or .json) instead of generating one")
 		schedOut = fs.String("save-schedule", "", "write the schedule to this file (.csv or .json)")
 		report   = fs.String("report", "", "write a bench-report JSON (BENCH_serve schema) to this file")
+
+		checkinMix   = fs.Float64("checkin-mix", 0, "POST /v1/checkins write batches per scheduled infer request (0 disables write traffic)")
+		checkinBatch = fs.Int("checkin-batch", 16, "records per interleaved check-in write batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *perReq < 1 {
 		return fmt.Errorf("-pairs must be >= 1")
+	}
+	if *checkinMix < 0 {
+		return fmt.Errorf("-checkin-mix must be >= 0")
+	}
+	if *checkinBatch < 1 {
+		return fmt.Errorf("-checkin-batch must be >= 1")
 	}
 
 	sched, err := buildSchedule(*schedIn, *mode, *seed, *slot, *slots,
@@ -130,7 +143,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-dataset is required")
 	}
 
-	pairs, err := loadPairs(*checkins, *preset, *seed, *users, *pois, *weeks)
+	ds, pairs, err := loadPairs(*checkins, *preset, *seed, *users, *pois, *weeks)
 	if err != nil {
 		return err
 	}
@@ -147,15 +160,34 @@ func run(args []string, out io.Writer) error {
 
 	client := &http.Client{Timeout: *timeout}
 	url := strings.TrimRight(*addr, "/") + "/v1/infer"
-	rep := loadsched.Replay(context.Background(), sched, newSender(client, url, *dsName, pairs, *perReq))
+	send := newSender(client, url, *dsName, pairs, *perReq)
+	var writer *checkinWriter
+	if *checkinMix > 0 {
+		writer = newCheckinWriter(client, strings.TrimRight(*addr, "/")+"/v1/checkins", ds, *checkinBatch)
+		writer.start()
+		send = writer.interleave(send, *checkinMix)
+		fmt.Fprintf(out, "write traffic: %.3g check-in batch(es) per read, %d records/batch\n",
+			*checkinMix, *checkinBatch)
+	}
+	rep := loadsched.Replay(context.Background(), sched, send)
 
 	printReport(out, sched, rep)
+	var writes writeTally
+	if writer != nil {
+		writes = writer.stop()
+		fmt.Fprintln(out, writes)
+	}
 	if *report != "" {
 		f, err := os.Create(*report)
 		if err != nil {
 			return err
 		}
-		if err := rep.Bench().Write(f); err != nil {
+		b := rep.Bench()
+		b.WritesSent = writes.sent
+		b.WritesOK = writes.ok
+		b.WritesRejected = writes.rejected
+		b.WritesFailed = writes.failed
+		if err := b.Write(f); err != nil {
 			f.Close()
 			return err
 		}
@@ -283,19 +315,20 @@ func parseRamp(spec string) ([]int, error) {
 	return stages, nil
 }
 
-// loadPairs derives the candidate pair list from a CSV trace or by
+// loadPairs derives the candidate pair list (and the backing dataset,
+// which the write mixer draws users/POIs from) from a CSV trace or by
 // regenerating the synthetic world.
-func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) ([]checkin.Pair, error) {
+func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) (*checkin.Dataset, []checkin.Pair, error) {
 	var ds *checkin.Dataset
 	if checkinsPath != "" {
 		f, err := os.Open(checkinsPath)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer f.Close()
 		ds, err = dataset.ReadCheckInsCSV(f)
 		if err != nil {
-			return nil, fmt.Errorf("parse check-ins csv: %w", err)
+			return nil, nil, fmt.Errorf("parse check-ins csv: %w", err)
 		}
 	} else {
 		var cfg synth.Config
@@ -307,7 +340,7 @@ func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) 
 		case "tiny":
 			cfg = synth.Tiny(seed)
 		default:
-			return nil, fmt.Errorf("unknown preset %q (want gowalla, brightkite or tiny)", preset)
+			return nil, nil, fmt.Errorf("unknown preset %q (want gowalla, brightkite or tiny)", preset)
 		}
 		if users > 0 {
 			cfg.NumUsers = users
@@ -320,7 +353,7 @@ func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) 
 		}
 		world, err := synth.Generate(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("generate world: %w", err)
+			return nil, nil, fmt.Errorf("generate world: %w", err)
 		}
 		ds = world.Dataset
 	}
@@ -331,7 +364,7 @@ func loadPairs(checkinsPath, preset string, seed int64, users, pois, weeks int) 
 			pairs = append(pairs, checkin.MakePair(ids[i], ids[j]))
 		}
 	}
-	return pairs, nil
+	return ds, pairs, nil
 }
 
 // postInfer sends one infer request and returns the HTTP status.

@@ -14,7 +14,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/dataset"
 	"github.com/friendseeker/friendseeker/internal/synth"
 )
@@ -29,15 +31,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
 	var (
-		preset = fs.String("preset", "gowalla", "world preset: gowalla | brightkite | tiny")
-		seed   = fs.Int64("seed", 1, "generator seed (equal seeds give equal worlds)")
-		users  = fs.Int("users", 0, "override the preset's user count")
-		pois   = fs.Int("pois", 0, "override the preset's POI count")
-		weeks  = fs.Int("weeks", 0, "override the preset's trace span in weeks")
-		outDir = fs.String("out", ".", "output directory")
+		preset    = fs.String("preset", "gowalla", "world preset: gowalla | brightkite | tiny")
+		seed      = fs.Int64("seed", 1, "generator seed (equal seeds give equal worlds)")
+		users     = fs.Int("users", 0, "override the preset's user count")
+		pois      = fs.Int("pois", 0, "override the preset's POI count")
+		weeks     = fs.Int("weeks", 0, "override the preset's trace span in weeks")
+		outDir    = fs.String("out", ".", "output directory")
+		splitFrac = fs.Float64("split-frac", 0, "also split the trace at this time-order fraction into -checkins-base.csv and -checkins-stream.csv (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *splitFrac != 0 && (*splitFrac <= 0 || *splitFrac >= 1) {
+		return fmt.Errorf("-split-frac must be in (0,1), got %v", *splitFrac)
 	}
 
 	var cfg synth.Config
@@ -96,5 +102,61 @@ func run(args []string) error {
 		len(world.RealEdges()), len(world.CyberEdges()))
 	fmt.Println("wrote", checkinsPath)
 	fmt.Println("wrote", edgesPath)
+
+	if *splitFrac > 0 {
+		basePath := filepath.Join(*outDir, cfg.Name+"-checkins-base.csv")
+		streamPath := filepath.Join(*outDir, cfg.Name+"-checkins-stream.csv")
+		if err := writeSplit(world.Dataset, *splitFrac, basePath, streamPath); err != nil {
+			return err
+		}
+		fmt.Println("wrote", basePath)
+		fmt.Println("wrote", streamPath)
+	}
+	return nil
+}
+
+// writeSplit cuts the trace at a fraction of its global time order —
+// base serves as an offline training corpus, stream as the online tail a
+// server ingests live. Records sharing the boundary timestamp all land in
+// base, so every streamed record is at or past the base horizon and the
+// ingestor's per-user monotonicity check accepts a faithful replay.
+func writeSplit(ds *checkin.Dataset, frac float64, basePath, streamPath string) error {
+	cs := ds.AllCheckIns()
+	sort.SliceStable(cs, func(i, j int) bool {
+		if !cs[i].Time.Equal(cs[j].Time) {
+			return cs[i].Time.Before(cs[j].Time)
+		}
+		if cs[i].User != cs[j].User {
+			return cs[i].User < cs[j].User
+		}
+		return cs[i].POI < cs[j].POI
+	})
+	cut := int(frac * float64(len(cs)))
+	for cut > 0 && cut < len(cs) && cs[cut].Time.Equal(cs[cut-1].Time) {
+		cut++
+	}
+	if cut <= 0 || cut >= len(cs) {
+		return fmt.Errorf("split-frac %v leaves an empty side (%d check-ins)", frac, len(cs))
+	}
+	for _, part := range []struct {
+		path string
+		cs   []checkin.CheckIn
+	}{{basePath, cs[:cut]}, {streamPath, cs[cut:]}} {
+		sub, err := ds.WithCheckIns(part.cs)
+		if err != nil {
+			return fmt.Errorf("split %s: %w", part.path, err)
+		}
+		f, err := os.Create(part.path)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteCheckInsCSV(f, sub); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", part.path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,175 @@
+package ingest
+
+import (
+	"math"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+)
+
+// DriftConfig parameterises the drift detector. The zero value gets
+// defaults from fillDefaults.
+type DriftConfig struct {
+	// Window is the number of most recent check-ins the windowed statistics
+	// (new-user rate, cell-occupancy shift) are computed over (default 256).
+	Window int
+	// MinCheckIns gates the score: until this many check-ins have streamed
+	// in since the baseline, the score is 0 — a trickle should never
+	// trigger a retrain (default 50).
+	MinCheckIns int
+	// VolumeWeight, NewUserWeight and ShiftWeight weigh the three
+	// components into the scalar score (each defaults to 1).
+	VolumeWeight  float64
+	NewUserWeight float64
+	ShiftWeight   float64
+}
+
+func (c DriftConfig) fillDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinCheckIns <= 0 {
+		c.MinCheckIns = 50
+	}
+	if c.VolumeWeight == 0 && c.NewUserWeight == 0 && c.ShiftWeight == 0 {
+		c.VolumeWeight, c.NewUserWeight, c.ShiftWeight = 1, 1, 1
+	}
+	return c
+}
+
+// DriftReport is a point-in-time reading of the drift detector.
+type DriftReport struct {
+	// SinceBaseline is the number of check-ins ingested since the baseline
+	// (the trained snapshot, or the last successful retrain).
+	SinceBaseline int `json:"since_baseline"`
+	// BaselineCheckIns is the corpus size the baseline was captured at.
+	BaselineCheckIns int `json:"baseline_checkins"`
+	// VolumeRatio is SinceBaseline / BaselineCheckIns: how much the corpus
+	// has grown relative to what the serving model was trained on.
+	VolumeRatio float64 `json:"volume_ratio"`
+	// NewUserRate is the fraction of windowed check-ins from users the
+	// baseline had never seen.
+	NewUserRate float64 `json:"new_user_rate"`
+	// OccupancyShift is the total-variation distance between the windowed
+	// spatial cell-occupancy distribution and the baseline's.
+	OccupancyShift float64 `json:"occupancy_shift"`
+	// Score is the weighted sum of the three components (0 while below the
+	// MinCheckIns gate); the retrain worker compares it to its threshold.
+	Score float64 `json:"score"`
+}
+
+// driftEntry is one windowed check-in observation.
+type driftEntry struct {
+	cell    int
+	newUser bool
+}
+
+// driftState tracks windowed ingest statistics against a baseline
+// snapshot. Not safe for concurrent use; the Ingestor serialises access.
+type driftState struct {
+	cfg DriftConfig
+
+	baselineUsers    map[checkin.UserID]struct{}
+	baselineOcc      []float64 // normalised spatial occupancy at baseline
+	baselineCheckIns int
+	sinceBaseline    int
+
+	ring      []driftEntry
+	ringHead  int
+	ringCount int
+	windowOcc []float64 // raw per-cell counts over the window
+	newInWin  int       // windowed entries with newUser set
+}
+
+func newDriftState(cfg DriftConfig, cells int) *driftState {
+	cfg = cfg.fillDefaults()
+	return &driftState{
+		cfg:       cfg,
+		ring:      make([]driftEntry, cfg.Window),
+		windowOcc: make([]float64, cells),
+	}
+}
+
+// rebaseline captures the current corpus as the new reference: windowed
+// statistics restart empty and SinceBaseline resets, so the score relaxes
+// to 0 until fresh drift accumulates.
+func (d *driftState) rebaseline(users map[checkin.UserID]struct{}, occupancy []float64, checkIns int) {
+	d.baselineUsers = users
+	total := 0.0
+	for _, v := range occupancy {
+		total += v
+	}
+	d.baselineOcc = make([]float64, len(occupancy))
+	if total > 0 {
+		for i, v := range occupancy {
+			d.baselineOcc[i] = v / total
+		}
+	}
+	d.baselineCheckIns = checkIns
+	d.sinceBaseline = 0
+	d.ringHead, d.ringCount, d.newInWin = 0, 0, 0
+	for i := range d.windowOcc {
+		d.windowOcc[i] = 0
+	}
+}
+
+// observe records one ingested check-in.
+func (d *driftState) observe(user checkin.UserID, cell int) {
+	d.sinceBaseline++
+	_, known := d.baselineUsers[user]
+	e := driftEntry{cell: cell, newUser: !known}
+	if d.ringCount == len(d.ring) {
+		old := d.ring[d.ringHead]
+		if old.cell >= 0 && old.cell < len(d.windowOcc) {
+			d.windowOcc[old.cell]--
+		}
+		if old.newUser {
+			d.newInWin--
+		}
+	} else {
+		d.ringCount++
+	}
+	d.ring[d.ringHead] = e
+	d.ringHead = (d.ringHead + 1) % len(d.ring)
+	if cell >= 0 && cell < len(d.windowOcc) {
+		d.windowOcc[cell]++
+	}
+	if e.newUser {
+		d.newInWin++
+	}
+}
+
+// report computes the current drift reading.
+func (d *driftState) report() DriftReport {
+	r := DriftReport{
+		SinceBaseline:    d.sinceBaseline,
+		BaselineCheckIns: d.baselineCheckIns,
+	}
+	base := d.baselineCheckIns
+	if base < 1 {
+		base = 1
+	}
+	r.VolumeRatio = float64(d.sinceBaseline) / float64(base)
+	if d.ringCount > 0 {
+		r.NewUserRate = float64(d.newInWin) / float64(d.ringCount)
+		// Total-variation distance between the windowed and baseline
+		// spatial occupancy distributions: 0 when activity lands where the
+		// trained snapshot saw it, 1 when it lands entirely elsewhere.
+		winTotal := float64(d.ringCount)
+		var tv float64
+		for i := range d.windowOcc {
+			p := d.windowOcc[i] / winTotal
+			q := 0.0
+			if i < len(d.baselineOcc) {
+				q = d.baselineOcc[i]
+			}
+			tv += math.Abs(p - q)
+		}
+		r.OccupancyShift = tv / 2
+	}
+	if d.sinceBaseline >= d.cfg.MinCheckIns {
+		r.Score = d.cfg.VolumeWeight*r.VolumeRatio +
+			d.cfg.NewUserWeight*r.NewUserRate +
+			d.cfg.ShiftWeight*r.OccupancyShift
+	}
+	return r
+}

@@ -1,0 +1,449 @@
+// Package ingest is the streaming check-in ingestion subsystem: it turns
+// the batch-only synthesize → train → serve pipeline into an online loop.
+//
+// Check-ins arrive as records (via POST /v1/checkins or the friendseeker
+// ingest replay tool), are validated at the boundary, appended to a
+// crash-safe append-only segment log with dense sequence numbers (the
+// versioned dataset: the manifest is published atomically, the active
+// tail is repaired by truncation on restart), and applied to an
+// incremental joc.Accumulator so the spatial division and per-pair JOC
+// aggregates are maintained in place — a check-in touches only its own
+// STD cell, and the maintained state is bit-identical to a from-scratch
+// batch rebuild over the same log (see joc.Accumulator and the
+// equivalence tests).
+//
+// A windowed drift detector compares live ingest against the trained
+// snapshot (volume growth, new-user rate, spatial occupancy shift); a
+// background Retrainer turns a drifted corpus into a candidate model
+// trained on a consistent Snapshot, verifies it, and lands it through the
+// serving layer's zero-downtime swap, keeping last-known-good on any
+// failure.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"sync"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/geo"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/telemetry"
+)
+
+// Record is one submitted check-in. Coordinates ride along so POIs the
+// corpus has never seen can be registered (first submission wins, exactly
+// like the CSV trace format carries coordinates inline on every row).
+type Record struct {
+	User int64     `json:"user"`
+	POI  int64     `json:"poi"`
+	Lat  float64   `json:"lat"`
+	Lng  float64   `json:"lng"`
+	Time time.Time `json:"time"`
+}
+
+// ValidationError is the typed rejection of a malformed record; the API
+// boundary maps it to a 400. Index identifies the offending record within
+// the submitted batch (ingestion is all-or-nothing: nothing before or
+// after the bad record is applied).
+type ValidationError struct {
+	Index  int    // position in the submitted batch
+	Field  string // "lat", "lng" or "time"
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("ingest: record %d: invalid %s: %s", e.Index, e.Field, e.Reason)
+}
+
+// defaultPOIRadius is assigned to POIs first seen through ingestion (the
+// trace formats carry no radius either; synth uses the same scale).
+const defaultPOIRadius = 50.0
+
+// Options parameterises Open.
+type Options struct {
+	// Dir is the segment-log directory (required). It is created if
+	// missing; an existing log is replayed on top of Base.
+	Dir string
+	// Base is the corpus the serving model was trained on; the accumulator,
+	// monotonicity horizon and drift baseline are seeded from it. Optional
+	// when Division is set.
+	Base *checkin.Dataset
+	// Division fixes the STD reference frame for incremental maintenance
+	// and drift measurement. When nil it is built from Base with
+	// Sigma/Tau.
+	Division *joc.Division
+	// Sigma and Tau are the division parameters used when Division is nil
+	// (defaults: 100 POIs per grid, 7 days — the paper's settings).
+	Sigma int
+	Tau   time.Duration
+	// SegmentRecords is the per-segment rotation threshold (default 4096).
+	SegmentRecords int
+	// Drift parameterises the drift detector.
+	Drift DriftConfig
+	// Faults is the deterministic fault injector ("ingest" error site on
+	// the write path, "segment" corrupt site on the log encoder). Nil
+	// disables injection.
+	Faults *faultinject.Injector
+	// Logger receives structured ingest logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// ingestMetrics are registered onto the serving registry by
+// RegisterMetrics; until then they are nil and recording is skipped.
+type ingestMetrics struct {
+	appliedTotal  *telemetry.Counter
+	rejectedTotal *telemetry.Counter
+	batchesTotal  *telemetry.Counter
+	applySeconds  *telemetry.Histogram
+}
+
+// Ingestor is the live ingestion state machine. All mutating entry points
+// serialise on one writer lock; Snapshot and the read accessors take the
+// read side, so serving traffic never waits on ingestion.
+type Ingestor struct {
+	mu  sync.RWMutex
+	log *segmentLog
+	acc *joc.Accumulator
+
+	pois     map[checkin.POIID]checkin.POI
+	all      []checkin.CheckIn // base corpus + streamed records
+	lastTime map[checkin.UserID]time.Time
+	baseSize int // check-ins in the base corpus
+	drift    *driftState
+
+	faults *faultinject.Injector
+	logger *slog.Logger
+
+	met       ingestMetrics
+	lastApply time.Time
+}
+
+// Open builds an Ingestor: the accumulator is seeded from Base, then any
+// existing segment log at Dir is replayed on top (crash recovery), so the
+// in-memory state always equals base + every durable record.
+func Open(opts Options) (*Ingestor, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("ingest: Options.Dir is required")
+	}
+	div := opts.Division
+	if div == nil {
+		if opts.Base == nil {
+			return nil, errors.New("ingest: need Options.Division or Options.Base")
+		}
+		sigma := opts.Sigma
+		if sigma <= 0 {
+			sigma = 100
+		}
+		tau := opts.Tau
+		if tau <= 0 {
+			tau = 7 * 24 * time.Hour
+		}
+		d, err := joc.NewDivision(opts.Base, sigma, tau)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: build division: %w", err)
+		}
+		div = d
+	}
+	acc, err := joc.NewAccumulator(div)
+	if err != nil {
+		return nil, err
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	g := &Ingestor{
+		acc:      acc,
+		pois:     make(map[checkin.POIID]checkin.POI),
+		lastTime: make(map[checkin.UserID]time.Time),
+		drift:    newDriftState(opts.Drift, div.NumSpatialCells()),
+		faults:   opts.Faults,
+		logger:   logger,
+	}
+	if opts.Base != nil {
+		if err := acc.ApplyDataset(opts.Base); err != nil {
+			return nil, fmt.Errorf("ingest: seed accumulator: %w", err)
+		}
+		for _, p := range opts.Base.POIs() {
+			g.pois[p.ID] = p
+		}
+		g.all = opts.Base.AllCheckIns()
+		g.baseSize = len(g.all)
+		for _, u := range opts.Base.Users() {
+			tr, err := opts.Base.Trajectory(u)
+			if err != nil {
+				return nil, err
+			}
+			if _, last, ok := tr.Span(); ok {
+				g.lastTime[u] = last
+			}
+		}
+	}
+	// Baseline = the trained corpus; everything replayed from the log
+	// below counts as post-baseline drift (a restart conservatively
+	// re-arms the detector rather than losing drift accrued before it).
+	g.rebaselineLocked()
+
+	l, replayed, err := openSegmentLog(opts.Dir, opts.SegmentRecords, opts.Faults)
+	if err != nil {
+		return nil, err
+	}
+	g.log = l
+	for _, lr := range replayed {
+		g.applyLocked(lr.Rec)
+	}
+	if len(replayed) > 0 {
+		logger.Info("ingest log replayed", "records", len(replayed), "last_seq", l.lastSeq())
+	}
+	return g, nil
+}
+
+// Close releases the segment log. The Ingestor must not be used after.
+func (g *Ingestor) Close() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.log.close()
+}
+
+// Division returns the STD reference frame incremental state lives in.
+func (g *Ingestor) Division() *joc.Division { return g.acc.Division() }
+
+// Ingest validates and durably applies a batch of records. It is
+// all-or-nothing: the first invalid record rejects the whole batch with a
+// *ValidationError (mapped to a 400 at the API boundary) and nothing is
+// logged or applied. On success the records are on disk (group-commit
+// fsync) and folded into the incremental state, and the assigned
+// sequence-number range is returned.
+func (g *Ingestor) Ingest(ctx context.Context, recs []Record) (first, last uint64, err error) {
+	if len(recs) == 0 {
+		return 0, 0, &ValidationError{Index: 0, Field: "batch", Reason: "empty batch"}
+	}
+	start := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	// Validate the whole batch against current state plus earlier records
+	// of the same batch before touching the log.
+	staged := make(map[checkin.UserID]time.Time)
+	for i, r := range recs {
+		if err := g.validateLocked(i, r, staged); err != nil {
+			if g.met.rejectedTotal != nil {
+				g.met.rejectedTotal.Add(int64(len(recs)))
+			}
+			return 0, 0, err
+		}
+		u := checkin.UserID(r.User)
+		if t, ok := staged[u]; !ok || r.Time.After(t) {
+			staged[u] = r.Time
+		}
+	}
+	if err := g.faults.Fire("ingest"); err != nil {
+		return 0, 0, fmt.Errorf("ingest: %w", err)
+	}
+	first, err = g.log.append(recs)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range recs {
+		g.applyLocked(r)
+	}
+	g.lastApply = time.Now()
+	if g.met.appliedTotal != nil {
+		g.met.appliedTotal.Add(int64(len(recs)))
+		g.met.batchesTotal.Inc()
+		g.met.applySeconds.Observe(time.Since(start).Seconds())
+	}
+	return first, first + uint64(len(recs)) - 1, nil
+}
+
+// validateLocked enforces the API-boundary invariants for one record:
+// finite in-range WGS84 coordinates and per-user monotonically
+// non-decreasing timestamps (against both durable state and earlier
+// records in the same batch).
+func (g *Ingestor) validateLocked(i int, r Record, staged map[checkin.UserID]time.Time) *ValidationError {
+	switch {
+	case math.IsNaN(r.Lat):
+		return &ValidationError{Index: i, Field: "lat", Reason: "not a number"}
+	case math.IsNaN(r.Lng):
+		return &ValidationError{Index: i, Field: "lng", Reason: "not a number"}
+	case r.Lat < geo.MinLatitude || r.Lat > geo.MaxLatitude:
+		return &ValidationError{Index: i, Field: "lat", Reason: fmt.Sprintf("%g outside [%g, %g]", r.Lat, geo.MinLatitude, geo.MaxLatitude)}
+	case r.Lng < geo.MinLongitude || r.Lng > geo.MaxLongitude:
+		return &ValidationError{Index: i, Field: "lng", Reason: fmt.Sprintf("%g outside [%g, %g]", r.Lng, geo.MinLongitude, geo.MaxLongitude)}
+	case r.Time.IsZero():
+		return &ValidationError{Index: i, Field: "time", Reason: "missing timestamp"}
+	}
+	u := checkin.UserID(r.User)
+	horizon, ok := staged[u]
+	if !ok {
+		horizon, ok = g.lastTime[u]
+	}
+	if ok && r.Time.Before(horizon) {
+		return &ValidationError{Index: i, Field: "time",
+			Reason: fmt.Sprintf("non-monotonic: %s is before the user's last accepted check-in at %s",
+				r.Time.UTC().Format(time.RFC3339), horizon.UTC().Format(time.RFC3339))}
+	}
+	return nil
+}
+
+// applyLocked folds one validated, durable record into in-memory state.
+// It must be deterministic from the record alone so a restart replaying
+// the log reconstructs identical state.
+func (g *Ingestor) applyLocked(r Record) {
+	ci := checkin.CheckIn{User: checkin.UserID(r.User), POI: checkin.POIID(r.POI), Time: r.Time}
+	p, known := g.pois[ci.POI]
+	if !known {
+		p = checkin.POI{ID: ci.POI, Center: geo.Point{Lat: r.Lat, Lng: r.Lng}, Radius: defaultPOIRadius}
+		g.pois[ci.POI] = p
+	}
+	res := g.acc.Apply(ci, p.Center)
+	g.all = append(g.all, ci)
+	if t, ok := g.lastTime[ci.User]; !ok || r.Time.After(t) {
+		g.lastTime[ci.User] = r.Time
+	}
+	g.drift.observe(ci.User, res.SpatialCell)
+}
+
+// Snapshot materialises the current corpus (base + every ingested record)
+// as an immutable dataset. The writer lock is held only for the O(n)
+// slice copies; dataset indexing happens outside it. Datasets built from
+// equal record sets are identical regardless of arrival order (NewDataset
+// sorts), which is what makes retraining from a Snapshot equivalent to
+// retraining on a batch-rebuilt corpus.
+func (g *Ingestor) Snapshot() (*checkin.Dataset, error) {
+	g.mu.RLock()
+	cs := make([]checkin.CheckIn, len(g.all))
+	copy(cs, g.all)
+	pois := make([]checkin.POI, 0, len(g.pois))
+	for _, p := range g.pois {
+		pois = append(pois, p)
+	}
+	g.mu.RUnlock()
+	return checkin.NewDataset(pois, cs)
+}
+
+// PairJOC assembles the incrementally maintained joint occurrence cuboid
+// of a user pair — bit-identical to a batch rebuild over base + log.
+func (g *Ingestor) PairJOC(a, b checkin.UserID) (*joc.JOC, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.acc.PairJOC(a, b)
+}
+
+// Candidates returns the incrementally tracked candidate pairs (users
+// sharing at least one spatial grid), sorted.
+func (g *Ingestor) Candidates() []checkin.Pair {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.acc.Candidates()
+}
+
+// Drift returns the current drift reading.
+func (g *Ingestor) Drift() DriftReport {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.drift.report()
+}
+
+// Rebaseline re-arms the drift detector against the current corpus; the
+// retrain worker calls it after successfully publishing a new model.
+func (g *Ingestor) Rebaseline() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.rebaselineLocked()
+}
+
+func (g *Ingestor) rebaselineLocked() {
+	users := make(map[checkin.UserID]struct{}, len(g.lastTime))
+	for u := range g.lastTime {
+		users[u] = struct{}{}
+	}
+	g.drift.rebaseline(users, g.acc.CellOccupancy(), len(g.all))
+}
+
+// Stats is a point-in-time summary for /healthz and logs.
+type Stats struct {
+	LastSeq        uint64      `json:"last_seq"`
+	SealedSegments int         `json:"sealed_segments"`
+	ActiveRecords  int         `json:"active_records"`
+	Streamed       int         `json:"streamed_checkins"`
+	CheckIns       int         `json:"checkins"`
+	Users          int         `json:"users"`
+	POIs           int         `json:"pois"`
+	Candidates     int         `json:"candidate_pairs"`
+	Drift          DriftReport `json:"drift"`
+}
+
+// Stats returns the current ingest summary.
+func (g *Ingestor) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return Stats{
+		LastSeq:        g.log.lastSeq(),
+		SealedSegments: len(g.log.sealed),
+		ActiveRecords:  g.log.activeCount,
+		Streamed:       len(g.all) - g.baseSize,
+		CheckIns:       len(g.all),
+		Users:          g.acc.NumUsers(),
+		POIs:           len(g.pois),
+		Candidates:     g.acc.NumCandidates(),
+		Drift:          g.drift.report(),
+	}
+}
+
+// RegisterMetrics wires the ingest surface onto a telemetry registry
+// (the serving subsystem passes its /metrics registry): applied/rejected
+// counters, the apply-latency histogram, and gauges for sequence
+// position, segment counts, drift components and write-path lag.
+func (g *Ingestor) RegisterMetrics(r *telemetry.Registry) {
+	g.met = ingestMetrics{
+		appliedTotal:  r.Counter("fs_ingest_checkins_total", "check-ins durably ingested and applied"),
+		rejectedTotal: r.Counter("fs_ingest_rejected_total", "check-ins rejected by boundary validation"),
+		batchesTotal:  r.Counter("fs_ingest_batches_total", "ingest batches committed"),
+		applySeconds: r.Histogram("fs_ingest_apply_seconds",
+			"ingest batch latency: validate + fsync append + incremental apply (seconds)",
+			telemetry.DefaultLatencyBuckets()),
+	}
+	r.Gauge("fs_ingest_last_seq", "highest assigned log sequence number", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return float64(g.log.lastSeq())
+	})
+	r.Gauge("fs_ingest_segments_sealed", "sealed log segments", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return float64(len(g.log.sealed))
+	})
+	r.Gauge("fs_ingest_active_records", "records in the active (unsealed) segment", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		return float64(g.log.activeCount)
+	})
+	r.Gauge("fs_ingest_lag_seconds", "seconds since the last applied ingest batch (0 before the first)", func() float64 {
+		g.mu.RLock()
+		defer g.mu.RUnlock()
+		if g.lastApply.IsZero() {
+			return 0
+		}
+		return time.Since(g.lastApply).Seconds()
+	})
+	r.Gauge("fs_ingest_drift_score", "weighted drift score vs the trained snapshot", func() float64 {
+		return g.Drift().Score
+	})
+	r.Gauge("fs_ingest_drift_volume_ratio", "check-in volume growth since the baseline", func() float64 {
+		return g.Drift().VolumeRatio
+	})
+	r.Gauge("fs_ingest_drift_new_user_rate", "fraction of windowed check-ins from users unseen at baseline", func() float64 {
+		return g.Drift().NewUserRate
+	})
+	r.Gauge("fs_ingest_drift_occupancy_shift", "total-variation shift of windowed spatial occupancy vs baseline", func() float64 {
+		return g.Drift().OccupancyShift
+	})
+}

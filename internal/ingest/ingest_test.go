@@ -1,0 +1,472 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/geo"
+	"github.com/friendseeker/friendseeker/internal/joc"
+	"github.com/friendseeker/friendseeker/internal/synth"
+	"github.com/friendseeker/friendseeker/internal/telemetry"
+)
+
+// tinyWorld is a shrunken synth world: big enough to train against, small
+// enough that ingest tests stay fast.
+func tinyWorld(t *testing.T, seed int64) *synth.World {
+	t.Helper()
+	cfg := synth.Tiny(seed)
+	cfg.NumUsers = 24
+	cfg.NumCommunities = 3
+	cfg.NumCities = 1
+	cfg.NumPOIs = 60
+	cfg.SpanWeeks = 4
+	cfg.MaxCheckIns = 30
+	cfg.CyberGroups = 4
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func openTestIngestor(t *testing.T, dir string, base *checkin.Dataset, drift DriftConfig) *Ingestor {
+	t.Helper()
+	g, err := Open(Options{Dir: dir, Base: base, Sigma: 20, Tau: 7 * 24 * time.Hour, Drift: drift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// streamRecords derives a deterministic stream of future check-ins: a mix
+// of existing users revisiting known POIs and new users at new POIs, all
+// timestamped after the base span so monotonicity holds.
+func streamRecords(w *synth.World, n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	users := w.Dataset.Users()
+	pois := w.Dataset.POIs()
+	_, last := w.Dataset.Span()
+	out := make([]Record, n)
+	for i := range out {
+		at := last.Add(time.Duration(i+1) * time.Minute)
+		if rng.Intn(2) == 0 {
+			p := pois[rng.Intn(len(pois))]
+			out[i] = Record{
+				User: int64(users[rng.Intn(len(users))]),
+				POI:  int64(p.ID), Lat: p.Center.Lat, Lng: p.Center.Lng, Time: at,
+			}
+		} else {
+			out[i] = Record{
+				User: 100000 + int64(rng.Intn(8)),
+				POI:  200000 + int64(rng.Intn(10)),
+				Lat:  30.2 + rng.Float64()*0.2, Lng: 120.2 + rng.Float64()*0.2,
+				Time: at,
+			}
+		}
+	}
+	return out
+}
+
+func TestIngestValidation(t *testing.T) {
+	w := tinyWorld(t, 1)
+	g := openTestIngestor(t, t.TempDir(), w.Dataset, DriftConfig{})
+	ctx := context.Background()
+	users := w.Dataset.Users()
+	u := users[0]
+	tr, err := w.Dataset.Trajectory(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lastAt, _ := tr.Span()
+	future := lastAt.Add(time.Hour)
+
+	cases := []struct {
+		name  string
+		recs  []Record
+		field string
+	}{
+		{"nan lat", []Record{{User: 1, POI: 1, Lat: math.NaN(), Lng: 120, Time: future}}, "lat"},
+		{"nan lng", []Record{{User: 1, POI: 1, Lat: 30, Lng: math.NaN(), Time: future}}, "lng"},
+		{"lat out of range", []Record{{User: 1, POI: 1, Lat: 91, Lng: 120, Time: future}}, "lat"},
+		{"lng out of range", []Record{{User: 1, POI: 1, Lat: 30, Lng: -181, Time: future}}, "lng"},
+		{"missing time", []Record{{User: 1, POI: 1, Lat: 30, Lng: 120}}, "time"},
+		{"non-monotonic vs corpus", []Record{
+			{User: int64(u), POI: 1, Lat: 30, Lng: 120, Time: lastAt.Add(-time.Hour)}}, "time"},
+		{"non-monotonic within batch", []Record{
+			{User: 7777, POI: 1, Lat: 30, Lng: 120, Time: future.Add(time.Hour)},
+			{User: 7777, POI: 1, Lat: 30, Lng: 120, Time: future}}, "time"},
+		{"empty batch", nil, "batch"},
+	}
+	for _, tc := range cases {
+		before := g.Stats()
+		_, _, err := g.Ingest(ctx, tc.recs)
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Fatalf("%s: error = %v, want *ValidationError", tc.name, err)
+		}
+		if verr.Field != tc.field {
+			t.Fatalf("%s: field = %q, want %q", tc.name, verr.Field, tc.field)
+		}
+		if !strings.Contains(verr.Error(), "invalid "+tc.field) {
+			t.Fatalf("%s: message %q", tc.name, verr.Error())
+		}
+		after := g.Stats()
+		if after.Streamed != before.Streamed || after.LastSeq != before.LastSeq {
+			t.Fatalf("%s: rejected batch mutated state: %+v -> %+v", tc.name, before, after)
+		}
+	}
+
+	// A batch that fails on its last record applies nothing (atomicity).
+	_, _, err = g.Ingest(ctx, []Record{
+		{User: 8888, POI: 5, Lat: 30, Lng: 120, Time: future},
+		{User: 1, POI: 1, Lat: math.NaN(), Lng: 120, Time: future},
+	})
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Index != 1 {
+		t.Fatalf("error = %v, want *ValidationError at index 1", err)
+	}
+	if got := g.Stats().Streamed; got != 0 {
+		t.Fatalf("streamed = %d after rejected batch, want 0", got)
+	}
+
+	// Equal timestamps are allowed (ties are not "non-monotonic"), and a
+	// valid batch assigns a contiguous sequence range.
+	first, last, err := g.Ingest(ctx, []Record{
+		{User: int64(u), POI: 1, Lat: 30, Lng: 120, Time: lastAt},
+		{User: int64(u), POI: 1, Lat: 30, Lng: 120, Time: lastAt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || last != 2 {
+		t.Fatalf("seq range = [%d, %d], want [1, 2]", first, last)
+	}
+}
+
+// TestIngestCrashReplayEquivalence streams records (sealing several
+// segments), reopens the ingestor on the same log, and checks the
+// recovered state — stats, candidates, and every candidate pair's
+// incrementally maintained JOC — is bit-identical to a from-scratch batch
+// rebuild over base + log.
+func TestIngestCrashReplayEquivalence(t *testing.T) {
+	w := tinyWorld(t, 2)
+	dir := t.TempDir()
+	g, err := Open(Options{Dir: dir, Base: w.Dataset, Sigma: 20, Tau: 7 * 24 * time.Hour, SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := streamRecords(w, 60, 2)
+	ctx := context.Background()
+	for i := 0; i < len(recs); i += 7 {
+		end := i + 7
+		if end > len(recs) {
+			end = len(recs)
+		}
+		if _, _, err := g.Ingest(ctx, recs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.Stats()
+	if st.Streamed != 60 || st.LastSeq != 60 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SealedSegments == 0 {
+		t.Fatal("expected sealed segments at SegmentRecords=16")
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" and reopen: replay must reconstruct identical state.
+	g2, err := Open(Options{Dir: dir, Base: w.Dataset, Sigma: 20, Tau: 7 * 24 * time.Hour, SegmentRecords: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	st2 := g2.Stats()
+	if st2.Streamed != st.Streamed || st2.LastSeq != st.LastSeq ||
+		st2.Users != st.Users || st2.POIs != st.POIs || st2.Candidates != st.Candidates {
+		t.Fatalf("recovered stats %+v != pre-crash %+v", st2, st)
+	}
+
+	// Batch rebuild: a fresh dataset from base + streamed records, viewed
+	// through the same division.
+	snap, err := g2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.NumCheckIns() != w.Dataset.NumCheckIns()+60 {
+		t.Fatalf("snapshot has %d check-ins", snap.NumCheckIns())
+	}
+	view, err := joc.NewDatasetView(g2.Division(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := g2.Candidates()
+	if len(pairs) == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	for _, p := range pairs {
+		want, err := view.BuildFlattened(p.A, p.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g2.PairJOC(p.A, p.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFlat := got.Flatten()
+		for k := range want {
+			if math.Float64bits(want[k]) != math.Float64bits(gotFlat[k]) {
+				t.Fatalf("pair %v cell %d: incremental %v != batch %v", p, k, gotFlat[k], want[k])
+			}
+		}
+	}
+}
+
+func TestDriftDetector(t *testing.T) {
+	w := tinyWorld(t, 3)
+	g := openTestIngestor(t, t.TempDir(), w.Dataset,
+		DriftConfig{Window: 32, MinCheckIns: 10})
+	if s := g.Drift().Score; s != 0 {
+		t.Fatalf("initial drift score = %v, want 0", s)
+	}
+
+	// Below the MinCheckIns gate the score stays 0 even though stats move.
+	recs := streamRecords(w, 5, 3)
+	if _, _, err := g.Ingest(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	if s := g.Drift().Score; s != 0 {
+		t.Fatalf("gated drift score = %v, want 0", s)
+	}
+
+	// A burst of brand-new users at brand-new POIs moves every component.
+	_, last := w.Dataset.Span()
+	var novel []Record
+	for i := 0; i < 40; i++ {
+		novel = append(novel, Record{
+			User: 500000 + int64(i%10),
+			POI:  600000 + int64(i%12),
+			Lat:  31.8, Lng: 121.8,
+			Time: last.Add(time.Duration(i+10) * time.Minute),
+		})
+	}
+	if _, _, err := g.Ingest(context.Background(), novel); err != nil {
+		t.Fatal(err)
+	}
+	d := g.Drift()
+	if d.Score <= 0 || d.NewUserRate == 0 || d.OccupancyShift == 0 || d.VolumeRatio == 0 {
+		t.Fatalf("drift after novel burst = %+v, want every component > 0", d)
+	}
+
+	// Rebaselining adopts the current corpus and relaxes the score.
+	g.Rebaseline()
+	d2 := g.Drift()
+	if d2.Score != 0 || d2.SinceBaseline != 0 {
+		t.Fatalf("drift after rebaseline = %+v, want zeroed", d2)
+	}
+}
+
+func TestRetrainerLifecycle(t *testing.T) {
+	w := tinyWorld(t, 4)
+	g := openTestIngestor(t, t.TempDir(), w.Dataset,
+		DriftConfig{Window: 32, MinCheckIns: 10})
+	reg := telemetry.NewRegistry()
+	g.RegisterMetrics(reg)
+
+	ctx := context.Background()
+	var published []string
+	okTrainer := func(ctx context.Context, snap *checkin.Dataset) (*core.FriendSeeker, error) {
+		return trainTiny(t, snap, w)
+	}
+	rt, err := NewRetrainer(g, RetrainConfig{
+		Threshold: 0.2,
+		Cooldown:  time.Nanosecond,
+		Train:     okTrainer,
+		Verify: func(ctx context.Context, cand *core.FriendSeeker, snap *checkin.Dataset) error {
+			if !cand.Trained() {
+				return errors.New("untrained candidate")
+			}
+			return nil
+		},
+		Publish: func(ctx context.Context, cand *core.FriendSeeker, id string, snap *checkin.Dataset) error {
+			published = append(published, id)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.RegisterMetrics(reg)
+
+	// Below threshold: no attempt.
+	if pub, err := rt.RunOnce(ctx); err != nil || pub {
+		t.Fatalf("RunOnce under threshold = (%v, %v)", pub, err)
+	}
+
+	// Drive drift over the threshold, then retrain must publish and
+	// rebaseline.
+	_, last := w.Dataset.Span()
+	var novel []Record
+	for i := 0; i < 60; i++ {
+		novel = append(novel, Record{
+			User: 500000 + int64(i%10), POI: 600000 + int64(i%12),
+			Lat: 31.9, Lng: 121.9, Time: last.Add(time.Duration(i+1) * time.Minute),
+		})
+	}
+	if _, _, err := g.Ingest(ctx, novel); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Drift(); d.Score < 0.2 {
+		t.Fatalf("drift %v below test threshold", d.Score)
+	}
+	pub, err := rt.RunOnce(ctx)
+	if err != nil || !pub {
+		t.Fatalf("RunOnce = (%v, %v), want published", pub, err)
+	}
+	if len(published) != 1 || published[0] == "" {
+		t.Fatalf("published = %v", published)
+	}
+	if d := g.Drift(); d.Score != 0 {
+		t.Fatalf("drift after publish = %v, want rebaselined to 0", d.Score)
+	}
+	out := rt.Outcome()
+	if out.Attempts != 1 || out.Successes != 1 || out.Failures != 0 || out.LastModel != published[0] {
+		t.Fatalf("outcome = %+v", out)
+	}
+
+	// A failing trainer keeps last-known-good: failure counted, no publish.
+	rtBad, err := NewRetrainer(g, RetrainConfig{
+		Threshold: 0.2,
+		Cooldown:  time.Nanosecond,
+		Train: func(ctx context.Context, snap *checkin.Dataset) (*core.FriendSeeker, error) {
+			return nil, errors.New("boom")
+		},
+		Publish: func(ctx context.Context, cand *core.FriendSeeker, id string, snap *checkin.Dataset) error {
+			t.Fatal("publish must not run for a failed train")
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Ingest(ctx, streamRecords(w, 60, 44)); err != nil {
+		t.Fatal(err)
+	}
+	for g.Drift().Score < 0.2 {
+		var more []Record
+		for i := 0; i < 40; i++ {
+			more = append(more, Record{
+				User: 700000 + int64(i%9), POI: 800000 + int64(i%7),
+				Lat: 31.7, Lng: 121.7, Time: last.Add(time.Duration(i+200) * time.Minute),
+			})
+		}
+		if _, _, err := g.Ingest(ctx, more); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pub, err := rtBad.RunOnce(ctx); err == nil || pub {
+		t.Fatalf("RunOnce with failing trainer = (%v, %v), want error", pub, err)
+	}
+	if out := rtBad.Outcome(); out.Failures != 1 || out.LastError == "" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+// trainTiny trains a minimal real model on a snapshot, using the base
+// world's labelled split (every labelled user exists in the snapshot,
+// which is a superset of the base corpus).
+func trainTiny(t *testing.T, snap *checkin.Dataset, w *synth.World) (*core.FriendSeeker, error) {
+	t.Helper()
+	view := &synth.View{Dataset: w.Dataset, Truth: w.Truth}
+	split, err := view.SplitPairs(0.7, 2, 5)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := core.New(core.Config{
+		Sigma: 20, Tau: 7 * 24 * time.Hour, FeatureDim: 16, K: 2, Epochs: 4, Seed: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.Train(snap, split.TrainPairs, split.TrainLabels); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// TestRetrainModelEquivalence is the end-to-end form of the acceptance
+// criterion: a model trained on the incrementally maintained Snapshot must
+// be byte-identical (same Save artifact, hence same model ID) to one
+// trained on a from-scratch batch rebuild of base + streamed records.
+func TestRetrainModelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two real models")
+	}
+	w := tinyWorld(t, 6)
+	g := openTestIngestor(t, t.TempDir(), w.Dataset, DriftConfig{})
+	recs := streamRecords(w, 40, 6)
+	if _, _, err := g.Ingest(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch rebuild: hand-assemble the same corpus from raw parts, in a
+	// different insertion order than the ingestor saw.
+	pois := w.Dataset.POIs()
+	seen := make(map[checkin.POIID]bool, len(pois))
+	for _, p := range pois {
+		seen[p.ID] = true
+	}
+	for _, r := range recs { // forward order: POI registration is first-wins
+		if !seen[checkin.POIID(r.POI)] {
+			seen[checkin.POIID(r.POI)] = true
+			pois = append(pois, checkin.POI{
+				ID: checkin.POIID(r.POI), Center: geo.Point{Lat: r.Lat, Lng: r.Lng},
+				Radius: defaultPOIRadius,
+			})
+		}
+	}
+	cs := make([]checkin.CheckIn, 0, len(recs)+w.Dataset.NumCheckIns())
+	for i := len(recs) - 1; i >= 0; i-- { // reversed arrival order
+		r := recs[i]
+		cs = append(cs, checkin.CheckIn{User: checkin.UserID(r.User), POI: checkin.POIID(r.POI), Time: r.Time})
+	}
+	cs = append(cs, w.Dataset.AllCheckIns()...)
+	batch, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fsSnap, err := trainTiny(t, snap, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsBatch, err := trainTiny(t, batch, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idSnap, err := modelID(fsSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idBatch, err := modelID(fsBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idSnap != idBatch {
+		t.Fatalf("model from incremental snapshot (%s) differs from batch rebuild (%s)", idSnap, idBatch)
+	}
+}

@@ -1,0 +1,376 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/faultinject"
+)
+
+// ErrCorruptLog reports a sealed segment that no longer matches its
+// manifest entry. Sealed segments are immutable once published, so unlike
+// a torn active tail (which is expected after a crash and repaired by
+// truncation), sealed corruption means lost data and fails Open loudly.
+var ErrCorruptLog = errors.New("ingest: corrupt sealed segment")
+
+// manifestName is the atomically published segment index.
+const manifestName = "MANIFEST.json"
+
+// segPrefix/segSuffix shape segment file names: seg-<firstSeq>.log.
+const (
+	segPrefix = "seg-"
+	segSuffix = ".log"
+)
+
+// segmentInfo is one sealed segment in the manifest.
+type segmentInfo struct {
+	Name  string `json:"name"`
+	First uint64 `json:"first"`
+	Last  uint64 `json:"last"`
+}
+
+// manifest is the durable index of the segment log. It is published
+// atomically (temp + fsync + rename, the SaveFile pattern), so a reader
+// never observes a torn index; the active segment is intentionally NOT
+// listed — its tail is reconstructed (and repaired) by scanning at open.
+type manifest struct {
+	Version int           `json:"version"`
+	Sealed  []segmentInfo `json:"sealed"`
+	// ActiveFirst is the first sequence number of the active segment.
+	ActiveFirst uint64 `json:"active_first"`
+}
+
+// logRecord is one durable check-in with its assigned sequence number.
+type logRecord struct {
+	Seq uint64
+	Rec Record
+}
+
+// segmentLog is an append-only, crash-safe check-in log: records carry
+// dense sequence numbers, live in size-bounded segment files, and sealed
+// segments are indexed by an atomically published manifest. Not safe for
+// concurrent use; the Ingestor serialises access.
+type segmentLog struct {
+	dir        string
+	segRecords int
+	faults     *faultinject.Injector
+
+	f           *os.File // active segment, append-only
+	activeFirst uint64
+	activeCount int
+	nextSeq     uint64
+	sealed      []segmentInfo
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, first, segSuffix)
+}
+
+// openSegmentLog opens (or creates) the log at dir and replays it:
+// sealed segments are verified against the manifest, then the active
+// segment is scanned line by line — a torn or corrupt tail (the expected
+// state after a crash mid-append) is truncated at the last whole,
+// well-formed record. The replayed records are returned in sequence order
+// for the caller to rebuild in-memory state.
+func openSegmentLog(dir string, segRecords int, faults *faultinject.Injector) (*segmentLog, []logRecord, error) {
+	if segRecords < 1 {
+		segRecords = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("ingest: create log dir: %w", err)
+	}
+	l := &segmentLog{dir: dir, segRecords: segRecords, faults: faults, nextSeq: 1, activeFirst: 1}
+
+	m, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, err
+	}
+	var replayed []logRecord
+	if m != nil {
+		l.sealed = m.Sealed
+		l.activeFirst = m.ActiveFirst
+		l.nextSeq = m.ActiveFirst
+		for _, si := range m.Sealed {
+			recs, err := readSegment(filepath.Join(dir, si.Name), si.First)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: %s: %v", ErrCorruptLog, si.Name, err)
+			}
+			if len(recs) == 0 || recs[len(recs)-1].Seq != si.Last {
+				return nil, nil, fmt.Errorf("%w: %s: has %d records, manifest says %d-%d",
+					ErrCorruptLog, si.Name, len(recs), si.First, si.Last)
+			}
+			replayed = append(replayed, recs...)
+		}
+	}
+
+	// Scan the active segment, repairing a torn tail by truncation.
+	activePath := filepath.Join(dir, segName(l.activeFirst))
+	recs, goodBytes, err := scanActive(activePath, l.activeFirst)
+	if err != nil {
+		return nil, nil, err
+	}
+	if goodBytes >= 0 {
+		if err := os.Truncate(activePath, goodBytes); err != nil {
+			return nil, nil, fmt.Errorf("ingest: repair torn segment: %w", err)
+		}
+	}
+	replayed = append(replayed, recs...)
+	l.activeCount = len(recs)
+	l.nextSeq = l.activeFirst + uint64(len(recs))
+
+	f, err := os.OpenFile(activePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ingest: open active segment: %w", err)
+	}
+	l.f = f
+	return l, replayed, nil
+}
+
+// readManifest returns nil (not an error) when no manifest exists yet.
+func readManifest(path string) (*manifest, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("ingest: parse manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("ingest: unsupported manifest version %d", m.Version)
+	}
+	if m.ActiveFirst == 0 {
+		m.ActiveFirst = 1
+	}
+	sort.Slice(m.Sealed, func(i, j int) bool { return m.Sealed[i].First < m.Sealed[j].First })
+	return &m, nil
+}
+
+// readSegment parses a sealed segment strictly: any malformed line or
+// sequence gap is an error (sealed segments are immutable).
+func readSegment(path string, first uint64) ([]logRecord, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []logRecord
+	want := first
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		lr, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if lr.Seq != want {
+			return nil, fmt.Errorf("sequence gap: got %d, want %d", lr.Seq, want)
+		}
+		out = append(out, lr)
+		want++
+	}
+	return out, nil
+}
+
+// scanActive parses the active segment leniently: it stops at the first
+// malformed, incomplete (no trailing newline) or out-of-sequence line and
+// reports the byte offset of the last good record, so the caller can
+// truncate the tear away. A missing file is zero records.
+func scanActive(path string, first uint64) (recs []logRecord, goodBytes int64, err error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, -1, nil
+	}
+	if err != nil {
+		return nil, -1, fmt.Errorf("ingest: read active segment: %w", err)
+	}
+	want := first
+	var off int64
+	for len(raw) > 0 {
+		nl := -1
+		for i, b := range raw {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			break // torn tail: last line has no newline
+		}
+		lr, perr := parseLine(string(raw[:nl]))
+		if perr != nil || lr.Seq != want {
+			break // torn or corrupt from here on
+		}
+		recs = append(recs, lr)
+		want++
+		off += int64(nl) + 1
+		raw = raw[nl+1:]
+	}
+	return recs, off, nil
+}
+
+// formatLine renders one record as a log line (no trailing newline):
+//
+//	seq,user,time,lat,lng,poi
+//
+// Times use RFC3339Nano so replay preserves full timestamp fidelity. All
+// fields are numeric or RFC3339, so no CSV quoting is ever needed.
+func formatLine(seq uint64, r Record) string {
+	return strconv.FormatUint(seq, 10) + "," +
+		strconv.FormatInt(r.User, 10) + "," +
+		r.Time.UTC().Format(time.RFC3339Nano) + "," +
+		strconv.FormatFloat(r.Lat, 'g', -1, 64) + "," +
+		strconv.FormatFloat(r.Lng, 'g', -1, 64) + "," +
+		strconv.FormatInt(r.POI, 10)
+}
+
+func parseLine(line string) (logRecord, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 6 {
+		return logRecord{}, fmt.Errorf("ingest: malformed log line (%d fields)", len(parts))
+	}
+	seq, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad seq: %w", err)
+	}
+	user, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad user: %w", err)
+	}
+	ts, err := time.Parse(time.RFC3339Nano, parts[2])
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad time: %w", err)
+	}
+	lat, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad lat: %w", err)
+	}
+	lng, err := strconv.ParseFloat(parts[4], 64)
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad lng: %w", err)
+	}
+	poi, err := strconv.ParseInt(parts[5], 10, 64)
+	if err != nil {
+		return logRecord{}, fmt.Errorf("ingest: bad poi: %w", err)
+	}
+	return logRecord{Seq: seq, Rec: Record{User: user, POI: poi, Lat: lat, Lng: lng, Time: ts}}, nil
+}
+
+// append durably writes a batch: lines are buffered, fsynced once per
+// batch (group commit), and only then do the records count as ingested.
+// The "segment" corrupt hook fires per line so chaos tests can plant a
+// deterministic bit-flip and exercise the torn-tail repair. Returns the
+// first sequence number assigned to the batch.
+func (l *segmentLog) append(recs []Record) (uint64, error) {
+	first := l.nextSeq
+	w := bufio.NewWriter(l.f)
+	for i, r := range recs {
+		line := []byte(formatLine(first+uint64(i), r) + "\n")
+		line = l.faults.Corrupt("segment", line)
+		if _, err := w.Write(line); err != nil {
+			return 0, fmt.Errorf("ingest: append: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return 0, fmt.Errorf("ingest: append: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("ingest: sync segment: %w", err)
+	}
+	l.nextSeq += uint64(len(recs))
+	l.activeCount += len(recs)
+	if l.activeCount >= l.segRecords {
+		if err := l.seal(); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// seal closes the active segment, records it in the manifest (published
+// atomically) and starts a fresh active segment. Crash ordering: the
+// manifest lands only after the sealed bytes are synced, and a crash
+// before the new active file exists is indistinguishable from an empty
+// active segment at the next open.
+func (l *segmentLog) seal() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("ingest: seal sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("ingest: seal close: %w", err)
+	}
+	l.sealed = append(l.sealed, segmentInfo{
+		Name:  segName(l.activeFirst),
+		First: l.activeFirst,
+		Last:  l.nextSeq - 1,
+	})
+	l.activeFirst = l.nextSeq
+	l.activeCount = 0
+	if err := l.writeManifest(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.activeFirst)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: open new active segment: %w", err)
+	}
+	l.f = f
+	return nil
+}
+
+// writeManifest publishes the manifest atomically: temp file in the same
+// directory, fsync, rename — a reader observes either the old or the new
+// index, never a torn one (the PR-9 SaveFile pattern).
+func (l *segmentLog) writeManifest() (err error) {
+	raw, err := json.MarshalIndent(manifest{Version: 1, Sealed: l.sealed, ActiveFirst: l.activeFirst}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ingest: encode manifest: %w", err)
+	}
+	path := filepath.Join(l.dir, manifestName)
+	tmp, err := os.CreateTemp(l.dir, manifestName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ingest: create temp manifest: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(append(raw, '\n')); err != nil {
+		return fmt.Errorf("ingest: write manifest: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ingest: sync manifest: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ingest: close manifest: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ingest: publish manifest: %w", err)
+	}
+	return nil
+}
+
+// lastSeq returns the highest assigned sequence number (0 when empty).
+func (l *segmentLog) lastSeq() uint64 { return l.nextSeq - 1 }
+
+// close releases the active segment file handle.
+func (l *segmentLog) close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

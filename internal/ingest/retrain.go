@@ -1,0 +1,238 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/core"
+	"github.com/friendseeker/friendseeker/internal/telemetry"
+)
+
+// RetrainConfig parameterises the background retrain worker. Train and
+// Publish are required; everything else has defaults.
+type RetrainConfig struct {
+	// Threshold is the drift score at which a retrain is attempted
+	// (default 0.5).
+	Threshold float64
+	// Interval is the drift polling cadence (default 5s).
+	Interval time.Duration
+	// Cooldown is the minimum gap between retrain attempts, successful or
+	// not, so a persistently failing trainer cannot spin (default 1m).
+	Cooldown time.Duration
+	// Train builds a candidate model from a consistent snapshot. It runs
+	// on the worker goroutine and must not mutate the snapshot.
+	Train func(ctx context.Context, snap *checkin.Dataset) (*core.FriendSeeker, error)
+	// Verify, when set, vets the candidate (e.g. held-out F1 against the
+	// serving model) before it is published; an error rejects it.
+	Verify func(ctx context.Context, cand *core.FriendSeeker, snap *checkin.Dataset) error
+	// Publish lands a verified candidate — typically the serving layer's
+	// zero-downtime SwapWithDataset plus an atomic SaveFile of the
+	// artifact. An error keeps last-known-good serving.
+	Publish func(ctx context.Context, cand *core.FriendSeeker, id string, snap *checkin.Dataset) error
+	// Logger receives structured retrain logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c RetrainConfig) fillDefaults() RetrainConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Retrainer watches an Ingestor's drift score and, past the threshold,
+// retrains in the background: snapshot → train → verify → publish. It
+// never blocks ingestion or serving (training runs on its own goroutine
+// against an immutable snapshot), and a failure at any stage counts as a
+// failed attempt while the previous model keeps serving.
+type Retrainer struct {
+	ing *Ingestor
+	cfg RetrainConfig
+
+	mu          sync.Mutex
+	running     bool // an attempt is in flight
+	lastAttempt time.Time
+	lastModelID string
+	lastError   string
+	attempts    int64
+	successes   int64
+	failures    int64
+
+	met retrainMetrics
+}
+
+type retrainMetrics struct {
+	attemptsTotal  *telemetry.Counter
+	successesTotal *telemetry.Counter
+	failuresTotal  *telemetry.Counter
+}
+
+// NewRetrainer wires a worker to an ingestor.
+func NewRetrainer(ing *Ingestor, cfg RetrainConfig) (*Retrainer, error) {
+	if ing == nil {
+		return nil, errors.New("ingest: nil ingestor")
+	}
+	if cfg.Train == nil || cfg.Publish == nil {
+		return nil, errors.New("ingest: RetrainConfig needs Train and Publish")
+	}
+	return &Retrainer{ing: ing, cfg: cfg.fillDefaults()}, nil
+}
+
+// Run polls drift until ctx is cancelled. Call on its own goroutine.
+func (rt *Retrainer) Run(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := rt.RunOnce(ctx); err != nil {
+				rt.cfg.Logger.Error("retrain attempt failed; last-known-good keeps serving", "err", err)
+			}
+		}
+	}
+}
+
+// RunOnce attempts one retrain if the drift score is past the threshold
+// and the cooldown has elapsed. It reports whether a new model was
+// published. Exposed so tests and smoke tooling can drive the worker
+// deterministically.
+func (rt *Retrainer) RunOnce(ctx context.Context) (published bool, err error) {
+	d := rt.ing.Drift()
+	rt.mu.Lock()
+	if rt.running || d.Score < rt.cfg.Threshold ||
+		(!rt.lastAttempt.IsZero() && time.Since(rt.lastAttempt) < rt.cfg.Cooldown) {
+		rt.mu.Unlock()
+		return false, nil
+	}
+	rt.running = true
+	rt.lastAttempt = time.Now()
+	rt.attempts++
+	rt.mu.Unlock()
+	if rt.met.attemptsTotal != nil {
+		rt.met.attemptsTotal.Inc()
+	}
+	rt.cfg.Logger.Info("drift threshold crossed; retraining",
+		"score", d.Score, "volume_ratio", d.VolumeRatio,
+		"new_user_rate", d.NewUserRate, "occupancy_shift", d.OccupancyShift)
+
+	defer func() {
+		rt.mu.Lock()
+		rt.running = false
+		if err != nil {
+			rt.failures++
+			rt.lastError = err.Error()
+		} else if published {
+			rt.successes++
+			rt.lastError = ""
+		}
+		rt.mu.Unlock()
+		if rt.met.failuresTotal != nil && err != nil {
+			rt.met.failuresTotal.Inc()
+		}
+		if rt.met.successesTotal != nil && err == nil && published {
+			rt.met.successesTotal.Inc()
+		}
+	}()
+
+	snap, err := rt.ing.Snapshot()
+	if err != nil {
+		return false, fmt.Errorf("ingest: retrain snapshot: %w", err)
+	}
+	cand, err := rt.cfg.Train(ctx, snap)
+	if err != nil {
+		return false, fmt.Errorf("ingest: retrain train: %w", err)
+	}
+	if rt.cfg.Verify != nil {
+		if err := rt.cfg.Verify(ctx, cand, snap); err != nil {
+			return false, fmt.Errorf("ingest: retrain verify: %w", err)
+		}
+	}
+	id, err := modelID(cand)
+	if err != nil {
+		return false, err
+	}
+	if err := rt.cfg.Publish(ctx, cand, id, snap); err != nil {
+		return false, fmt.Errorf("ingest: retrain publish: %w", err)
+	}
+	// The published model was trained on this corpus: it becomes the new
+	// drift baseline, relaxing the score back toward zero.
+	rt.ing.Rebaseline()
+	rt.mu.Lock()
+	rt.lastModelID = id
+	rt.mu.Unlock()
+	rt.cfg.Logger.Info("retrained model published", "model", id,
+		"checkins", snap.NumCheckIns(), "users", snap.NumUsers())
+	return true, nil
+}
+
+// modelID derives the serving identity of a candidate from its artifact
+// bytes — the same short SHA-256 the serving layer computes for models
+// loaded from disk, so IDs are comparable across load paths.
+func modelID(fs *core.FriendSeeker) (string, error) {
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		return "", fmt.Errorf("ingest: hash candidate: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return fmt.Sprintf("%x", sum[:6]), nil
+}
+
+// Outcome is a point-in-time summary of the worker for /healthz.
+type Outcome struct {
+	Attempts  int64  `json:"attempts"`
+	Successes int64  `json:"successes"`
+	Failures  int64  `json:"failures"`
+	Running   bool   `json:"running"`
+	LastModel string `json:"last_model,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Outcome returns the worker's current summary.
+func (rt *Retrainer) Outcome() Outcome {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return Outcome{
+		Attempts:  rt.attempts,
+		Successes: rt.successes,
+		Failures:  rt.failures,
+		Running:   rt.running,
+		LastModel: rt.lastModelID,
+		LastError: rt.lastError,
+	}
+}
+
+// RegisterMetrics wires retrain outcome counters onto a registry.
+func (rt *Retrainer) RegisterMetrics(r *telemetry.Registry) {
+	rt.met = retrainMetrics{
+		attemptsTotal:  r.Counter("fs_retrain_attempts_total", "drift-triggered retrain attempts"),
+		successesTotal: r.Counter("fs_retrain_successes_total", "retrains that published a new model"),
+		failuresTotal:  r.Counter("fs_retrain_failures_total", "retrain attempts that failed (train, verify or publish); last-known-good kept serving"),
+	}
+	r.Gauge("fs_retrain_running", "1 while a retrain attempt is in flight", func() float64 {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		if rt.running {
+			return 1
+		}
+		return 0
+	})
+}

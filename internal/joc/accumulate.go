@@ -1,0 +1,250 @@
+package joc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// Accumulator maintains JOC sufficient statistics over a fixed Division
+// incrementally, one check-in at a time. Because every JOC channel is a sum
+// of per-check-in contributions — n_a/n_b are per-cell check-in counts and
+// n_ab derives from per-user distinct (cell, POI) visit sets — a check-in
+// touches exactly one STD cell of one user's aggregate, and a pair's cuboid
+// can be assembled on demand from the two users' aggregates without ever
+// materialising per-pair state. The streaming ingestion subsystem feeds an
+// Accumulator as check-ins arrive; PairJOC then matches a from-scratch
+// batch rebuild (Division.Build / DatasetView.Build over the same records)
+// bit-for-bit, because float64 counts are accumulated by exact +1.0
+// additions whose order does not matter.
+//
+// POIs the division has never seen are resolved to a spatial grid by
+// clamped location the first time they appear, exactly as DatasetView does
+// at construction; later sightings reuse the recorded cell, so resolution
+// is first-wins and order-independent for a fixed POI→centre mapping.
+//
+// An Accumulator also tracks candidate pairs — pairs of users sharing at
+// least one spatial grid — incrementally: when a check-in puts a user into
+// a spatial cell for the first time, only pairs against that cell's
+// existing visitors are added.
+//
+// Accumulator is not safe for concurrent use; the ingestion subsystem
+// serialises writers and snapshots under its own lock.
+type Accumulator struct {
+	div        *Division
+	overlay    map[checkin.POIID]int // POIs unknown to div, first-wins
+	users      map[checkin.UserID]*userAgg
+	cellUsers  map[int][]checkin.UserID // spatial cell -> users seen there
+	candidates map[checkin.Pair]struct{}
+	checkIns   int
+}
+
+// userAgg is one user's incremental JOC contribution.
+type userAgg struct {
+	counts map[int]float64      // flattened STD cell -> check-in count
+	pois   map[cellPOI]struct{} // distinct (STD cell, POI) visits
+	cells  map[int]struct{}     // spatial grids touched
+}
+
+// NewAccumulator creates an empty accumulator over a division.
+func NewAccumulator(div *Division) (*Accumulator, error) {
+	if div == nil {
+		return nil, errors.New("joc: nil division")
+	}
+	return &Accumulator{
+		div:        div,
+		overlay:    make(map[checkin.POIID]int),
+		users:      make(map[checkin.UserID]*userAgg),
+		cellUsers:  make(map[int][]checkin.UserID),
+		candidates: make(map[checkin.Pair]struct{}),
+	}, nil
+}
+
+// Division returns the underlying (shared, read-only) division.
+func (a *Accumulator) Division() *Division { return a.div }
+
+// ApplyResult describes the incremental effect of one check-in.
+type ApplyResult struct {
+	// SpatialCell is the spatial grid the check-in landed in.
+	SpatialCell int
+	// TimeSlot is the (clamped) temporal slot.
+	TimeSlot int
+	// NewUser reports whether this was the user's first check-in.
+	NewUser bool
+	// NewPOI reports whether the POI was resolved through the overlay for
+	// the first time (unknown to both the division and prior check-ins).
+	NewPOI bool
+	// NewCandidates is the number of candidate pairs created by this
+	// check-in (the user entered a spatial cell for the first time).
+	NewCandidates int
+}
+
+// Apply records one check-in. center is the POI's centre, used to resolve
+// POIs the division has never seen; for POIs already known (to the
+// division or from an earlier Apply) it is ignored, mirroring the
+// first-wins POI registration of checkin.NewDataset.
+func (a *Accumulator) Apply(c checkin.CheckIn, center geo.Point) ApplyResult {
+	var res ApplyResult
+	i, known := a.div.poiCellOf(c.POI)
+	if !known {
+		if oc, ok := a.overlay[c.POI]; ok {
+			i = oc
+		} else {
+			i = a.div.sd.LocateClamped(center)
+			a.overlay[c.POI] = i
+			res.NewPOI = true
+		}
+	}
+	j := a.div.TimeSlot(c.Time)
+	k := i*a.div.slots + j
+	res.SpatialCell, res.TimeSlot = i, j
+
+	g, ok := a.users[c.User]
+	if !ok {
+		g = &userAgg{
+			counts: make(map[int]float64),
+			pois:   make(map[cellPOI]struct{}),
+			cells:  make(map[int]struct{}),
+		}
+		a.users[c.User] = g
+		res.NewUser = true
+	}
+	g.counts[k]++
+	g.pois[cellPOI{k, c.POI}] = struct{}{}
+	if _, seen := g.cells[i]; !seen {
+		g.cells[i] = struct{}{}
+		for _, v := range a.cellUsers[i] {
+			p := checkin.MakePair(c.User, v)
+			if _, dup := a.candidates[p]; !dup {
+				a.candidates[p] = struct{}{}
+				res.NewCandidates++
+			}
+		}
+		a.cellUsers[i] = append(a.cellUsers[i], c.User)
+	}
+	a.checkIns++
+	return res
+}
+
+// ApplyDataset seeds the accumulator from every check-in of a dataset
+// (user-then-time order; the resulting state is order-independent anyway).
+func (a *Accumulator) ApplyDataset(ds *checkin.Dataset) error {
+	if ds == nil {
+		return errors.New("joc: nil dataset")
+	}
+	for _, c := range ds.AllCheckIns() {
+		p, err := ds.POI(c.POI)
+		if err != nil {
+			return err
+		}
+		a.Apply(c, p.Center)
+	}
+	return nil
+}
+
+// PairJOC assembles the joint occurrence cuboid of pair (ua, ub) from the
+// two users' incremental aggregates. The result is bit-identical to a
+// batch Division.Build / DatasetView.Build over the same check-ins.
+func (a *Accumulator) PairJOC(ua, ub checkin.UserID) (*JOC, error) {
+	ga, ok := a.users[ua]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, ua)
+	}
+	gb, ok := a.users[ub]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownUser, ub)
+	}
+	ncells := a.div.NumSpatialCells() * a.div.slots
+	o := &JOC{
+		I:  a.div.NumSpatialCells(),
+		J:  a.div.slots,
+		NA: make([]float64, ncells), NB: make([]float64, ncells), NAB: make([]float64, ncells),
+	}
+	for k, v := range ga.counts {
+		o.NA[k] = v
+	}
+	for k, v := range gb.counts {
+		o.NB[k] = v
+	}
+	intersectPOIs(ga.pois, gb.pois, o.NAB)
+	return o, nil
+}
+
+// PairJOCFlattened assembles and flattens in one step.
+func (a *Accumulator) PairJOCFlattened(ua, ub checkin.UserID) ([]float64, error) {
+	o, err := a.PairJOC(ua, ub)
+	if err != nil {
+		return nil, err
+	}
+	return o.Flatten(), nil
+}
+
+// NumCheckIns returns how many check-ins have been applied.
+func (a *Accumulator) NumCheckIns() int { return a.checkIns }
+
+// NumUsers returns how many distinct users have been seen.
+func (a *Accumulator) NumUsers() int { return len(a.users) }
+
+// HasUser reports whether the user has at least one applied check-in.
+func (a *Accumulator) HasUser(u checkin.UserID) bool {
+	_, ok := a.users[u]
+	return ok
+}
+
+// UnseenPOIs returns how many POIs were resolved through the overlay.
+func (a *Accumulator) UnseenPOIs() int { return len(a.overlay) }
+
+// UserSpatialCells returns the set of spatial grids the user has check-ins
+// in. The map is a copy.
+func (a *Accumulator) UserSpatialCells(u checkin.UserID) map[int]struct{} {
+	g, ok := a.users[u]
+	if !ok {
+		return nil
+	}
+	out := make(map[int]struct{}, len(g.cells))
+	for c := range g.cells {
+		out[c] = struct{}{}
+	}
+	return out
+}
+
+// CellOccupancy returns, per spatial grid, the total number of applied
+// check-ins that landed there. The drift detector compares this
+// distribution against the trained snapshot's.
+func (a *Accumulator) CellOccupancy() []float64 {
+	out := make([]float64, a.div.NumSpatialCells())
+	for _, g := range a.users {
+		for k, v := range g.counts {
+			out[k/a.div.slots] += v
+		}
+	}
+	return out
+}
+
+// NumCandidates returns the number of candidate pairs tracked so far.
+func (a *Accumulator) NumCandidates() int { return len(a.candidates) }
+
+// HasCandidate reports whether the pair shares at least one spatial grid.
+func (a *Accumulator) HasCandidate(p checkin.Pair) bool {
+	_, ok := a.candidates[p]
+	return ok
+}
+
+// Candidates returns every pair of users sharing at least one spatial
+// grid, sorted (A, then B). The slice is a copy.
+func (a *Accumulator) Candidates() []checkin.Pair {
+	out := make([]checkin.Pair, 0, len(a.candidates))
+	for p := range a.candidates {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}

@@ -1,0 +1,260 @@
+package joc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/friendseeker/friendseeker/internal/checkin"
+	"github.com/friendseeker/friendseeker/internal/geo"
+)
+
+// randomWorld generates a random trace where the division only knows a
+// prefix of the POI universe, so the accumulator must resolve the rest
+// through its overlay exactly as DatasetView does.
+func randomWorld(t *testing.T, seed int64) (div *Division, pois []checkin.POI, cs []checkin.CheckIn) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nPOIs, nUsers, nCheckIns := 30, 12, 400
+	pois = make([]checkin.POI, nPOIs)
+	for i := range pois {
+		pois[i] = checkin.POI{
+			ID:     checkin.POIID(i + 1),
+			Center: geo.Point{Lat: 30 + 2*rng.Float64(), Lng: 120 + 2*rng.Float64()},
+			Radius: 50,
+		}
+	}
+	span := 28 * day
+	cs = make([]checkin.CheckIn, nCheckIns)
+	for i := range cs {
+		cs[i] = checkin.CheckIn{
+			User: checkin.UserID(rng.Intn(nUsers) + 1),
+			POI:  pois[rng.Intn(nPOIs)].ID,
+			Time: t0.Add(time.Duration(rng.Int63n(int64(span)))),
+		}
+	}
+
+	// The division is trained on check-ins at the first 2/3 of POIs only;
+	// the remaining POIs are "unseen" and exercise the overlay path.
+	known := nPOIs * 2 / 3
+	var trainCS []checkin.CheckIn
+	for _, c := range cs {
+		if int(c.POI) <= known {
+			trainCS = append(trainCS, c)
+		}
+	}
+	trainDS, err := checkin.NewDataset(pois[:known], trainCS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div, err = NewDivision(trainDS, 4, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return div, pois, cs
+}
+
+// TestAccumulatorMatchesBatchRebuild is the incremental-vs-batch
+// equivalence property test: feeding the same check-ins to an Accumulator
+// in any order yields, for every user pair, a JOC bit-identical to a
+// from-scratch DatasetView build over the full dataset — including POIs
+// the division has never seen — plus identical user cell sets and
+// candidate pairs.
+func TestAccumulatorMatchesBatchRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		div, pois, cs := randomWorld(t, seed)
+		full, err := checkin.NewDataset(pois, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, err := NewDatasetView(div, full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers := make(map[checkin.POIID]geo.Point, len(pois))
+		for _, p := range pois {
+			centers[p.ID] = p.Center
+		}
+
+		orderRNG := rand.New(rand.NewSource(seed * 100))
+		for trial := 0; trial < 4; trial++ {
+			perm := orderRNG.Perm(len(cs))
+			acc, err := NewAccumulator(div)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, idx := range perm {
+				c := cs[idx]
+				acc.Apply(c, centers[c.POI])
+			}
+			if acc.NumCheckIns() != len(cs) {
+				t.Fatalf("seed %d trial %d: NumCheckIns = %d, want %d", seed, trial, acc.NumCheckIns(), len(cs))
+			}
+			if acc.UnseenPOIs() != view.UnseenPOIs() {
+				t.Fatalf("seed %d trial %d: UnseenPOIs = %d, want %d", seed, trial, acc.UnseenPOIs(), view.UnseenPOIs())
+			}
+
+			users := full.Users()
+			// Every pair's cuboid must match the batch build bit-for-bit.
+			for i := 0; i < len(users); i++ {
+				for j := i + 1; j < len(users); j++ {
+					a, b := users[i], users[j]
+					want, err := view.Build(a, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := acc.PairJOC(a, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantFlat, gotFlat := want.Flatten(), got.Flatten()
+					if len(wantFlat) != len(gotFlat) {
+						t.Fatalf("pair (%d,%d): flat len %d != %d", a, b, len(gotFlat), len(wantFlat))
+					}
+					for k := range wantFlat {
+						if math.Float64bits(wantFlat[k]) != math.Float64bits(gotFlat[k]) {
+							t.Fatalf("seed %d trial %d pair (%d,%d): cell %d: incremental %v != batch %v",
+								seed, trial, a, b, k, gotFlat[k], wantFlat[k])
+						}
+					}
+				}
+			}
+
+			// User spatial cell sets match the batch computation.
+			batchCells := view.UserSpatialCells()
+			for _, u := range users {
+				want := batchCells[u]
+				got := acc.UserSpatialCells(u)
+				if len(want) != len(got) {
+					t.Fatalf("user %d: cell set size %d != %d", u, len(got), len(want))
+				}
+				for c := range want {
+					if _, ok := got[c]; !ok {
+						t.Fatalf("user %d: missing cell %d", u, c)
+					}
+				}
+			}
+
+			// Candidate pairs are exactly the pairs sharing a spatial cell.
+			wantCand := 0
+			for i := 0; i < len(users); i++ {
+				for j := i + 1; j < len(users); j++ {
+					shared := false
+					for c := range batchCells[users[i]] {
+						if _, ok := batchCells[users[j]][c]; ok {
+							shared = true
+							break
+						}
+					}
+					p := checkin.MakePair(users[i], users[j])
+					if shared {
+						wantCand++
+					}
+					if acc.HasCandidate(p) != shared {
+						t.Fatalf("pair %v: HasCandidate = %v, want %v", p, acc.HasCandidate(p), shared)
+					}
+				}
+			}
+			if acc.NumCandidates() != wantCand {
+				t.Fatalf("NumCandidates = %d, want %d", acc.NumCandidates(), wantCand)
+			}
+			if got := acc.Candidates(); len(got) != wantCand {
+				t.Fatalf("len(Candidates()) = %d, want %d", len(got), wantCand)
+			}
+		}
+	}
+}
+
+// TestAccumulatorSeedThenStream checks that seeding from a base dataset and
+// streaming a tail reaches the same state as applying everything — the
+// exact shape of the ingestion subsystem's restart replay.
+func TestAccumulatorSeedThenStream(t *testing.T) {
+	div, pois, cs := randomWorld(t, 7)
+	full, err := checkin.NewDataset(pois, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := full.WithCheckIns(cs[:len(cs)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := make(map[checkin.POIID]geo.Point, len(pois))
+	for _, p := range pois {
+		centers[p.ID] = p.Center
+	}
+
+	acc, err := NewAccumulator(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.ApplyDataset(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs[len(cs)/2:] {
+		acc.Apply(c, centers[c.POI])
+	}
+
+	view, err := NewDatasetView(div, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := full.Users()
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			want, err := view.BuildFlattened(users[i], users[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := acc.PairJOCFlattened(users[i], users[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range want {
+				if math.Float64bits(want[k]) != math.Float64bits(got[k]) {
+					t.Fatalf("pair (%d,%d) cell %d: %v != %v", users[i], users[j], k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestAccumulatorErrors(t *testing.T) {
+	if _, err := NewAccumulator(nil); err == nil {
+		t.Fatal("nil division should fail")
+	}
+	ds := smallDataset(t)
+	div, err := NewDivision(ds, 1, 7*day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewAccumulator(div)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.PairJOC(10, 20); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("error = %v, want ErrUnknownUser", err)
+	}
+	if err := acc.ApplyDataset(nil); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	res := acc.Apply(checkin.CheckIn{User: 10, POI: 1, Time: t0.Add(day)}, geo.Point{Lat: 30.1, Lng: 120.1})
+	if !res.NewUser || res.NewPOI {
+		t.Fatalf("first apply: %+v", res)
+	}
+	if _, err := acc.PairJOC(10, 20); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("error = %v, want ErrUnknownUser for missing second user", err)
+	}
+	if !acc.HasUser(10) || acc.HasUser(20) {
+		t.Fatal("HasUser wrong")
+	}
+	occ := acc.CellOccupancy()
+	sum := 0.0
+	for _, v := range occ {
+		sum += v
+	}
+	if sum != 1 {
+		t.Fatalf("CellOccupancy sum = %v, want 1", sum)
+	}
+}

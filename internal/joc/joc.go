@@ -240,10 +240,6 @@ func buildJOC(d *Division, res cellResolver, ds *checkin.Dataset, a, b checkin.U
 	// Distinct (cell, POI) visits per user, to compute n_ab as the number
 	// of POIs visited by both users whose check-ins land in the cell. One
 	// flat composite-key map per user, not one map per touched cell.
-	type cellPOI struct {
-		cell int
-		poi  checkin.POIID
-	}
 	poisA := make(map[cellPOI]struct{}, len(ta.CheckIns))
 	poisB := make(map[cellPOI]struct{}, len(tb.CheckIns))
 
@@ -266,12 +262,35 @@ func buildJOC(d *Division, res cellResolver, ds *checkin.Dataset, a, b checkin.U
 	if len(small) > len(large) {
 		small, large = large, small
 	}
+	intersectPOIs(poisA, poisB, o.NAB)
+	return o, nil
+}
+
+// cellPOI is a distinct (STD cell, POI) visit of one user. It is the
+// sufficient statistic behind n_ab: a POI counts toward a cell's n_ab iff
+// both users have at least one check-in at that POI landing in the cell.
+// Shared between the batch builder (buildJOC) and the incremental
+// Accumulator so both maintain identical state.
+type cellPOI struct {
+	cell int
+	poi  checkin.POIID
+}
+
+// intersectPOIs adds 1 to nab[cell] for every (cell, POI) visit present in
+// both users' visit sets, iterating the smaller set. The additions commute
+// (distinct map keys, +1.0 each), so the result is independent of both map
+// iteration order and check-in arrival order — the property the
+// incremental-vs-batch equivalence tests pin down bit-exactly.
+func intersectPOIs(a, b map[cellPOI]struct{}, nab []float64) {
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
 	for cp := range small {
 		if _, shared := large[cp]; shared {
-			o.NAB[cp.cell]++
+			nab[cp.cell]++
 		}
 	}
-	return o, nil
 }
 
 // BuildFlattened builds and flattens in one step.

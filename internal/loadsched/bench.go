@@ -46,6 +46,15 @@ type BenchReport struct {
 	// refused/reset/dial errors — separated from Failed so chaos runs
 	// read correctly. Absent in older artifacts (decodes as 0).
 	ConnErrors int `json:"conn_errors"`
+	// Writes* (appended in PR 10) tally the POST /v1/checkins batches a
+	// -checkin-mix run interleaves with the read schedule. They live
+	// outside the read-path counters above, so GoodputRPS and the latency
+	// summary stay pure read-path figures comparable with read-only
+	// artifacts. Zero/absent in read-only runs and older artifacts.
+	WritesSent     int `json:"writes_sent,omitempty"`
+	WritesOK       int `json:"writes_ok,omitempty"`
+	WritesRejected int `json:"writes_rejected,omitempty"`
+	WritesFailed   int `json:"writes_failed,omitempty"`
 }
 
 // roundMS rounds a milliseconds value to 3 decimal places so artifacts

@@ -54,9 +54,11 @@ type coalescerConfig struct {
 	// batches skip the primary entirely (no resolve, no session rebuild)
 	// and go straight to the fallback tier. Nil disables breaking.
 	breaker *resilience.Breaker
-	// fallback is the degraded-tier scorer used when the primary fails or
-	// the breaker is open. Nil means fail fast instead (503 when open).
-	fallback decider
+	// fallback returns the degraded-tier scorer used when the primary fails
+	// or the breaker is open — a getter because the dataset (and with it
+	// the co-location tier) can be hot-swapped. Nil getter or nil result
+	// means fail fast instead (503 when open).
+	fallback func() decider
 	// faults is the chaos-test injector; its "flush" site fires before each
 	// primary scoring attempt. Nil (production) is a no-op.
 	faults *faultinject.Injector
@@ -205,8 +207,12 @@ func (c *coalescer) flush(ctx context.Context, batch []*item) {
 
 	// Rung 2: the co-location fallback, flagged degraded. Rung 3: fast
 	// failure (the handler maps errPrimaryUnavailable to 503+Retry-After).
+	var fb decider
 	if c.cfg.fallback != nil {
-		decisions, err := c.cfg.fallback.Decide(ctx, pairs)
+		fb = c.cfg.fallback()
+	}
+	if fb != nil {
+		decisions, err := fb.Decide(ctx, pairs)
 		if err != nil {
 			fail(errors.Join(primaryErr, err))
 			return

@@ -29,9 +29,15 @@ type serverMetrics struct {
 	degradedPairsTotal    *telemetry.Counter
 	unavailableTotal      *telemetry.Counter
 
+	checkinRequestsTotal   *telemetry.Counter
+	checkinOKTotal         *telemetry.Counter
+	checkinBadRequestTotal *telemetry.Counter
+	checkinErrorTotal      *telemetry.Counter
+
 	requestSeconds      *telemetry.Histogram
 	coalesceWaitSeconds *telemetry.Histogram
 	batchPairs          *telemetry.Histogram
+	checkinSeconds      *telemetry.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -56,6 +62,11 @@ func newServerMetrics() *serverMetrics {
 		degradedPairsTotal:    r.Counter("fs_serve_degraded_pairs_total", "pair decisions scored by the fallback scorer"),
 		unavailableTotal:      r.Counter("fs_serve_unavailable_total", "requests answered 503 with the breaker open and no fallback configured"),
 
+		checkinRequestsTotal:   r.Counter("fs_serve_checkin_requests_total", "POST /v1/checkins requests received"),
+		checkinOKTotal:         r.Counter("fs_serve_checkin_ok_total", "check-in batches accepted 200"),
+		checkinBadRequestTotal: r.Counter("fs_serve_checkin_bad_request_total", "check-in batches rejected 400 (malformed body or validation failure)"),
+		checkinErrorTotal:      r.Counter("fs_serve_checkin_error_total", "check-in batches answered 500"),
+
 		// Fine buckets: the trace-driven load harness reads p99.9 off these
 		// histograms, which needs sub-decade bucket resolution.
 		requestSeconds: r.Histogram("fs_serve_request_seconds",
@@ -64,6 +75,8 @@ func newServerMetrics() *serverMetrics {
 			"time a pair waited in the coalescer queue (seconds)", telemetry.FineLatencyBuckets()),
 		batchPairs: r.Histogram("fs_serve_batch_pairs",
 			"pairs per scored batch", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		checkinSeconds: r.Histogram("fs_serve_checkin_seconds",
+			"POST /v1/checkins request latency (seconds)", telemetry.FineLatencyBuckets()),
 	}
 }
 

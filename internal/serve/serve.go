@@ -37,7 +37,9 @@ import (
 	"github.com/friendseeker/friendseeker/internal/checkin"
 	"github.com/friendseeker/friendseeker/internal/core"
 	"github.com/friendseeker/friendseeker/internal/faultinject"
+	"github.com/friendseeker/friendseeker/internal/ingest"
 	"github.com/friendseeker/friendseeker/internal/resilience"
+	"github.com/friendseeker/friendseeker/internal/telemetry"
 )
 
 // Config parameterises the server. The zero value gets sensible defaults
@@ -85,6 +87,14 @@ type Config struct {
 	// an open breaker answers 503 + Retry-After instead of degraded
 	// decisions.
 	DisableFallback bool
+	// Ingest, when set, backs POST /v1/checkins: submitted check-ins are
+	// validated, durably logged and folded into the incremental JOC state.
+	// Without it the endpoint answers 501. The ingestor's metrics are
+	// registered on the server's /metrics registry.
+	Ingest *ingest.Ingestor
+	// MaxCheckInsPerRequest bounds one POST /v1/checkins batch (default
+	// 1024).
+	MaxCheckInsPerRequest int
 	// Faults is the deterministic chaos-test fault injector threaded
 	// through the warm and flush paths. Nil (the production default) makes
 	// every hook a no-op.
@@ -115,6 +125,9 @@ func (c Config) fillDefaults() Config {
 	if c.MaxPairsPerRequest > c.QueueDepth {
 		c.MaxPairsPerRequest = c.QueueDepth
 	}
+	if c.MaxCheckInsPerRequest == 0 {
+		c.MaxCheckInsPerRequest = 1024
+	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 5
 	}
@@ -136,15 +149,29 @@ type Dataset struct {
 	RefPairs []checkin.Pair
 }
 
-// dsEntry is the immutable per-dataset serving state.
+// dsEntry is the static per-dataset machinery: the coalescer and breaker
+// live for the server's lifetime. What the dataset *contains* — data,
+// reference universe, fallback tier — is the swappable dsState, published
+// inside modelState so one atomic flip retargets model and data together.
 type dsEntry struct {
-	name     string
+	name string
+	co   *coalescer
+	// breaker trips after consecutive primary-scoring failures on this
+	// dataset; nil when breaking is disabled. It deliberately survives
+	// dataset swaps: a failure streak is evidence about the serving stack,
+	// not about one corpus version.
+	breaker *resilience.Breaker
+}
+
+// dsState is one immutable version of a served dataset. SwapWithDataset
+// publishes a new version (the retrain loop's ingest snapshot); in-flight
+// batches keep the version their model state was built against.
+type dsState struct {
 	data     *checkin.Dataset
 	refPairs []checkin.Pair
-	co       *coalescer
-	// breaker trips after consecutive primary-scoring failures on this
-	// dataset; nil when breaking is disabled.
-	breaker *resilience.Breaker
+	// fallback is the degraded co-location tier over this dataset version;
+	// nil when Config.DisableFallback is set.
+	fallback decider
 }
 
 // session is one (model, dataset) scorer, built on first use. A failed
@@ -157,12 +184,15 @@ type session struct {
 	scorer *core.PairScorer
 }
 
-// modelState is everything derived from one loaded model. Swapping the
-// model swaps the whole state atomically; in-flight work keeps using the
-// state it started with.
+// modelState is everything derived from one loaded model plus the dataset
+// versions it serves against. Swapping publishes a whole new state with
+// one atomic store — model, per-dataset data and fallback move together,
+// so a session can never bind an old model to a new corpus or vice versa;
+// in-flight work keeps using the state it started with.
 type modelState struct {
 	fs       *core.FriendSeeker
 	id       string
+	ds       map[string]*dsState
 	sessions map[string]*session
 }
 
@@ -181,7 +211,8 @@ func (ms *modelState) scorer(ctx context.Context, e *dsEntry, faults *faultinjec
 	if err := faults.Fire("warm"); err != nil {
 		return nil, fmt.Errorf("serve: warm %q: %w", e.name, err)
 	}
-	sc, err := ms.fs.NewPairScorer(ctx, e.data, e.refPairs)
+	ds := ms.ds[e.name]
+	sc, err := ms.fs.NewPairScorer(ctx, ds.data, ds.refPairs)
 	if err != nil {
 		return nil, err
 	}
@@ -195,10 +226,12 @@ type Server struct {
 	log      *slog.Logger
 	state    atomic.Pointer[modelState]
 	datasets map[string]*dsEntry
+	ing      *ingest.Ingestor
+	retrain  atomic.Pointer[ingest.Retrainer]
 
 	inflight chan struct{}
 	draining atomic.Bool
-	reqWG    sync.WaitGroup // in-flight /v1/infer handlers
+	reqWG    sync.WaitGroup // in-flight request handlers
 	flushWG  sync.WaitGroup // coalescer flusher goroutines
 
 	baseCtx context.Context
@@ -231,6 +264,7 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 		stop:     cancel,
 		met:      newServerMetrics(),
 	}
+	dsStates := make(map[string]*dsState, len(datasets))
 	for _, d := range datasets {
 		if d.Name == "" || d.Data == nil {
 			cancel()
@@ -240,11 +274,8 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 			cancel()
 			return nil, fmt.Errorf("serve: duplicate dataset %q", d.Name)
 		}
-		refPairs := d.RefPairs
-		if len(refPairs) == 0 {
-			refPairs = AllUserPairs(d.Data)
-		}
-		e := &dsEntry{name: d.Name, data: d.Data, refPairs: refPairs}
+		dsStates[d.Name] = s.newDSState(d.Data, d.RefPairs)
+		e := &dsEntry{name: d.Name}
 		if cfg.BreakerThreshold > 0 {
 			name := d.Name
 			e.breaker = resilience.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown).
@@ -253,10 +284,7 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 					s.log.Warn("circuit breaker opened", "dataset", name)
 				})
 		}
-		var fb decider
-		if !cfg.DisableFallback {
-			fb = newCoLocationFallback(d.Data)
-		}
+		name := d.Name
 		e.co = newCoalescer(coalescerConfig{
 			queueDepth: cfg.QueueDepth,
 			batchSize:  cfg.BatchSize,
@@ -264,8 +292,10 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 			scoreDelay: cfg.ScoreDelay,
 			met:        s.met,
 			breaker:    e.breaker,
-			fallback:   fb,
-			faults:     cfg.Faults,
+			// The fallback tier tracks the published dataset version, so a
+			// dataset swap retargets degraded answers too.
+			fallback: func() decider { return s.state.Load().ds[name].fallback },
+			faults:   cfg.Faults,
 		}, func(ctx context.Context) (decider, error) {
 			return s.state.Load().scorer(s.baseCtx, e, cfg.Faults)
 		})
@@ -276,14 +306,31 @@ func New(cfg Config, model *core.FriendSeeker, modelID string, datasets []Datase
 			e.co.run(ctx)
 		}()
 	}
-	s.state.Store(s.newModelState(model, modelID))
+	s.state.Store(s.newModelState(model, modelID, dsStates))
+	if cfg.Ingest != nil {
+		s.ing = cfg.Ingest
+		s.ing.RegisterMetrics(s.met.registry)
+	}
 	s.met.registerGauges(s)
 	s.buildMux()
 	return s, nil
 }
 
-func (s *Server) newModelState(model *core.FriendSeeker, id string) *modelState {
-	ms := &modelState{fs: model, id: id, sessions: make(map[string]*session, len(s.datasets))}
+// newDSState builds one dataset version, defaulting the reference universe
+// to all user pairs and attaching the fallback tier unless disabled.
+func (s *Server) newDSState(data *checkin.Dataset, refPairs []checkin.Pair) *dsState {
+	if len(refPairs) == 0 {
+		refPairs = AllUserPairs(data)
+	}
+	ds := &dsState{data: data, refPairs: refPairs}
+	if !s.cfg.DisableFallback {
+		ds.fallback = newCoLocationFallback(data)
+	}
+	return ds
+}
+
+func (s *Server) newModelState(model *core.FriendSeeker, id string, ds map[string]*dsState) *modelState {
+	ms := &modelState{fs: model, id: id, ds: ds, sessions: make(map[string]*session, len(s.datasets))}
 	for name := range s.datasets {
 		ms.sessions[name] = &session{}
 	}
@@ -341,16 +388,49 @@ func (s *Server) Swap(ctx context.Context, model *core.FriendSeeker, modelID str
 	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	ns := s.newModelState(model, modelID)
+	return s.swapLocked(ctx, s.newModelState(model, modelID, s.state.Load().ds))
+}
+
+// SwapWithDataset publishes a new model together with a new version of one
+// served dataset — the retrain loop's landing: the candidate was trained
+// on an ingest snapshot, so it must serve against that snapshot, not the
+// corpus the previous model saw. Both move in one atomic state flip;
+// failure semantics match Swap (last-known-good model and dataset keep
+// serving).
+func (s *Server) SwapWithDataset(ctx context.Context, model *core.FriendSeeker, modelID, dsName string, data *checkin.Dataset, refPairs []checkin.Pair) error {
+	if model == nil || !model.Trained() {
+		s.met.swapFailuresTotal.Inc()
+		return errUntrainedModel
+	}
+	if data == nil {
+		s.met.swapFailuresTotal.Inc()
+		return fmt.Errorf("serve: swap %s: nil dataset", modelID)
+	}
+	if _, ok := s.datasets[dsName]; !ok {
+		s.met.swapFailuresTotal.Inc()
+		return fmt.Errorf("serve: swap %s: unknown dataset %q", modelID, dsName)
+	}
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	cur := s.state.Load()
+	ds := make(map[string]*dsState, len(cur.ds))
+	for name, st := range cur.ds {
+		ds[name] = st
+	}
+	ds[dsName] = s.newDSState(data, refPairs)
+	return s.swapLocked(ctx, s.newModelState(model, modelID, ds))
+}
+
+func (s *Server) swapLocked(ctx context.Context, ns *modelState) error {
 	if err := s.warmState(ctx, ns); err != nil {
 		s.met.swapFailuresTotal.Inc()
 		s.log.Error("swap rejected; previous model keeps serving",
-			"candidate", modelID, "serving", s.state.Load().id, "err", err)
-		return fmt.Errorf("serve: swap %s: %w", modelID, err)
+			"candidate", ns.id, "serving", s.state.Load().id, "err", err)
+		return fmt.Errorf("serve: swap %s: %w", ns.id, err)
 	}
 	s.state.Store(ns)
 	s.met.swapsTotal.Inc()
-	s.log.Info("model swapped", "model", modelID)
+	s.log.Info("model swapped", "model", ns.id)
 	return nil
 }
 
@@ -381,6 +461,20 @@ func (s *Server) ModelID() string { return s.state.Load().id }
 
 // Handler returns the server's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// MetricsRegistry exposes the /metrics registry so embedders (the CLI's
+// retrain worker, tests) can register additional collectors on the same
+// scrape surface.
+func (s *Server) MetricsRegistry() *telemetry.Registry { return s.met.registry }
+
+// SetRetrainer attaches the background retrain worker for /healthz
+// reporting and registers its metrics. Call once, after NewRetrainer
+// (the worker's Publish closure typically points back at this server's
+// SwapWithDataset, so it cannot exist before New returns).
+func (s *Server) SetRetrainer(rt *ingest.Retrainer) {
+	s.retrain.Store(rt)
+	rt.RegisterMetrics(s.met.registry)
+}
 
 // Shutdown drains the server: new infer requests are refused with 503,
 // in-flight requests run to completion (bounded by ctx), then the
@@ -505,6 +599,7 @@ type errorResponse struct {
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	mux.HandleFunc("POST /v1/checkins", s.handleCheckins)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
@@ -637,6 +732,85 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// checkinsRequest is the body of POST /v1/checkins.
+type checkinsRequest struct {
+	Records []ingest.Record `json:"records"`
+}
+
+// checkinsResponse is the body of a successful POST /v1/checkins: the
+// batch is durable and applied, holding the given log sequence range.
+type checkinsResponse struct {
+	Accepted int    `json:"accepted"`
+	FirstSeq uint64 `json:"first_seq"`
+	LastSeq  uint64 `json:"last_seq"`
+}
+
+// checkinErrorResponse is the body of a 400 from POST /v1/checkins: the
+// typed validation rejection, locating the offending record.
+type checkinErrorResponse struct {
+	Error  string `json:"error"`
+	Index  int    `json:"index"`
+	Field  string `json:"field"`
+	Reason string `json:"reason"`
+}
+
+func (s *Server) handleCheckins(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if s.ing == nil {
+		s.reject(w, http.StatusNotImplemented, "no ingestor configured")
+		return
+	}
+	s.met.checkinRequestsTotal.Inc()
+	if s.draining.Load() {
+		s.met.rejectedDrainTotal.Inc()
+		s.reject(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.reqWG.Add(1)
+	defer s.reqWG.Done()
+
+	var req checkinsRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		s.met.checkinBadRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Records) == 0 {
+		s.met.checkinBadRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest, "no records")
+		return
+	}
+	if len(req.Records) > s.cfg.MaxCheckInsPerRequest {
+		s.met.checkinBadRequestTotal.Inc()
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("%d records exceeds the per-request limit %d", len(req.Records), s.cfg.MaxCheckInsPerRequest))
+		return
+	}
+
+	first, last, err := s.ing.Ingest(r.Context(), req.Records)
+	var verr *ingest.ValidationError
+	switch {
+	case errors.As(err, &verr):
+		s.met.checkinBadRequestTotal.Inc()
+		writeJSON(w, http.StatusBadRequest, checkinErrorResponse{
+			Error: verr.Error(), Index: verr.Index, Field: verr.Field, Reason: verr.Reason,
+		})
+		return
+	case err != nil:
+		s.met.checkinErrorTotal.Inc()
+		s.log.Error("checkin ingest failed", "records", len(req.Records), "err", err)
+		s.reject(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.met.checkinOKTotal.Inc()
+	s.met.checkinSeconds.Observe(time.Since(start).Seconds())
+	s.log.Info("checkins ingested", "records", len(req.Records),
+		"first_seq", first, "last_seq", last, "dur_ms", time.Since(start).Milliseconds())
+	writeJSON(w, http.StatusOK, checkinsResponse{
+		Accepted: len(req.Records), FirstSeq: first, LastSeq: last,
+	})
+}
+
 // retryAfterSeconds renders a cooldown as a Retry-After value, rounding
 // up so sub-second cooldowns do not advertise "retry immediately".
 func retryAfterSeconds(d time.Duration) int {
@@ -674,13 +848,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		// status tells operators the primary tier is impaired.
 		status = "degraded"
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":        status,
 		"model":         s.state.Load().id,
 		"datasets":      names,
 		"breakers":      breakers,
 		"swap_failures": s.met.swapFailuresTotal.Value(),
-	})
+	}
+	if s.ing != nil {
+		body["ingest"] = s.ing.Stats()
+	}
+	if rt := s.retrain.Load(); rt != nil {
+		body["retrain"] = rt.Outcome()
+	}
+	writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

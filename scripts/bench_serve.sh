@@ -38,9 +38,10 @@ echo "bench-serve: training model"
   -checkins "$WORK/tiny-checkins.csv" -edges "$WORK/tiny-edges.csv" \
   -epochs 10 -seed 1 -save-model "$WORK/model.bin" >/dev/null
 
-echo "bench-serve: starting server on $HOST:$PORT"
+echo "bench-serve: starting server on $HOST:$PORT (ingestion enabled)"
 "$WORK/bin/friendseeker" serve \
   -model "$WORK/model.bin" -data tiny="$WORK/tiny-checkins.csv" \
+  -ingest-dir "$WORK/ingest" \
   -listen "$HOST:$PORT" >"$WORK/server.out" 2>"$WORK/server.log" &
 SERVER_PID=$!
 
@@ -54,15 +55,18 @@ for _ in $(seq 1 120); do
 done
 
 # Fixed-seed open-loop sweep: 40 -> 120 rps in steps of 40, two 500ms
-# slots per step (240 scheduled requests over 3s). Deterministic by
-# construction; the schedule artifact is saved next to the report.
-echo "bench-serve: replaying fixed-seed sweep schedule"
+# slots per step (240 scheduled requests over 3s), with one check-in
+# write batch interleaved per ten reads so the gated read-path goodput is
+# measured under concurrent ingestion. Deterministic by construction; the
+# schedule artifact is saved next to the report.
+echo "bench-serve: replaying fixed-seed sweep schedule with write mix"
 "$WORK/bin/loadgen" -addr "http://$HOST:$PORT" -dataset tiny -preset tiny -seed 1 \
   -mode sweep -start-rps 40 -target-rps 120 -step-rps 40 -slots-per-step 2 \
-  -slot 500ms -pairs 4 \
+  -slot 500ms -pairs 4 -checkin-mix 0.1 -checkin-batch 16 \
   -save-schedule "$WORK/bench-schedule.csv" \
   -report "$WORK/BENCH_serve.json" | tee "$WORK/loadgen.out"
 grep -q 'overall:' "$WORK/loadgen.out" || fail "loadgen produced no overall report"
+grep -Eq 'writes: sent [1-9][0-9]* ok [1-9][0-9]* ' "$WORK/loadgen.out" || fail "write mix produced no accepted writes"
 
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the online ingestion loop (`make ingest-smoke`):
+# synthesize a tiny world split into a base corpus and a streamed tail,
+# train a model on the base only, serve it with ingestion and a low drift
+# threshold, then replay the tail into POST /v1/checkins while loadgen
+# keeps read traffic flowing. Passes when the drift-triggered retrain
+# lands a new model via hot swap and the read path never errored. Uses
+# only bash builtins for HTTP probes (/dev/tcp) so it runs anywhere the
+# Go toolchain does.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+HOST=127.0.0.1
+PORT="${INGEST_SMOKE_PORT:-8475}"
+
+http_get() {
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$1" "$HOST" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+fail() {
+  echo "ingest-smoke: $*" >&2
+  [ -f "$WORK/server.log" ] && sed 's/^/ingest-smoke:   server: /' "$WORK/server.log" >&2
+  exit 1
+}
+
+cd "$ROOT"
+echo "ingest-smoke: building binaries"
+go build -o "$WORK/bin/" ./cmd/friendseeker ./cmd/synthgen ./cmd/loadgen
+
+echo "ingest-smoke: generating tiny world split 70/30 by time"
+"$WORK/bin/synthgen" -preset tiny -seed 1 -split-frac 0.7 -out "$WORK" >/dev/null
+[ -f "$WORK/tiny-checkins-base.csv" ] || fail "synthgen wrote no base split"
+[ -f "$WORK/tiny-checkins-stream.csv" ] || fail "synthgen wrote no stream split"
+
+echo "ingest-smoke: training model on the base corpus only"
+"$WORK/bin/friendseeker" \
+  -checkins "$WORK/tiny-checkins-base.csv" -edges "$WORK/tiny-edges.csv" \
+  -epochs 10 -seed 1 -save-model "$WORK/model.bin" >/dev/null
+
+echo "ingest-smoke: starting server with ingestion and retrain armed"
+"$WORK/bin/friendseeker" serve \
+  -model "$WORK/model.bin" -data tiny="$WORK/tiny-checkins-base.csv" \
+  -ingest-dir "$WORK/ingest" -truth "$WORK/tiny-edges.csv" \
+  -drift-threshold 0.05 -drift-window 64 -drift-min-checkins 20 \
+  -retrain-interval 500ms -retrain-cooldown 2s \
+  -listen "$HOST:$PORT" >"$WORK/server.out" 2>"$WORK/server.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 120); do
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+  if (exec 3<>"/dev/tcp/$HOST/$PORT") 2>/dev/null; then
+    exec 3<&- 3>&-
+    break
+  fi
+  sleep 1
+done
+
+HEALTH="$(http_get /healthz)"
+echo "$HEALTH" | grep -q '"status":"ok"' || fail "healthz not ok: $HEALTH"
+MODEL_BEFORE="$(echo "$HEALTH" | grep -o '"model":"[^"]*"' | head -1)"
+[ -n "$MODEL_BEFORE" ] || fail "healthz missing model id"
+
+echo "ingest-smoke: replaying streamed tail while loadgen reads"
+"$WORK/bin/loadgen" -addr "http://$HOST:$PORT" -dataset tiny \
+  -checkins "$WORK/tiny-checkins-base.csv" -seed 1 \
+  -rps 20,20,20 -stage 2s -pairs 4 >"$WORK/loadgen.out" 2>&1 &
+LOADGEN_PID=$!
+
+"$WORK/bin/friendseeker" ingest -addr "http://$HOST:$PORT" \
+  -checkins "$WORK/tiny-checkins-stream.csv" -batch 32 | tee "$WORK/ingest.out"
+grep -Eq 'replayed [1-9][0-9]* record' "$WORK/ingest.out" || fail "replay sent nothing"
+grep -q ' 0 rejected' "$WORK/ingest.out" || fail "replay had rejected batches"
+
+wait "$LOADGEN_PID" || fail "loadgen exited non-zero"
+grep -Eq ' ok [1-9][0-9]* ' "$WORK/loadgen.out" || fail "no successful reads during ingestion"
+grep -Eq ' err 0 ' "$WORK/loadgen.out" || fail "read path errored during ingestion"
+
+echo "ingest-smoke: waiting for the drift-triggered retrain to publish"
+RETRAINED=0
+for _ in $(seq 1 60); do
+  HEALTH="$(http_get /healthz)"
+  if echo "$HEALTH" | grep -q '"successes":[1-9]'; then
+    RETRAINED=1
+    break
+  fi
+  sleep 1
+done
+[ "$RETRAINED" = 1 ] || fail "retrain never published: $(http_get /healthz)"
+
+MODEL_AFTER="$(http_get /healthz | grep -o '"model":"[^"]*"' | head -1)"
+[ "$MODEL_AFTER" != "$MODEL_BEFORE" ] || fail "model id unchanged after retrain ($MODEL_AFTER)"
+echo "ingest-smoke: model swapped $MODEL_BEFORE -> $MODEL_AFTER"
+
+METRICS="$(http_get /metrics)"
+echo "$METRICS" | grep -Eq 'fs_ingest_checkins_total [1-9]' || fail "no ingested check-ins in metrics"
+echo "$METRICS" | grep -Eq 'fs_retrain_successes_total [1-9]' || fail "no retrain success in metrics"
+echo "$METRICS" | grep -Eq 'fs_serve_model_swaps_total [1-9]' || fail "no model swap in metrics"
+echo "$METRICS" | grep -Eq 'fs_serve_checkin_ok_total [1-9]' || fail "no accepted checkin batches in metrics"
+
+echo "ingest-smoke: graceful shutdown"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+echo "ingest-smoke: OK"
